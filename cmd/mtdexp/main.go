@@ -1,0 +1,92 @@
+// Command mtdexp regenerates the tables and figures of "Cost-Benefit
+// Analysis of Moving-Target Defense in Power Grids" (DSN 2018).
+//
+// Usage:
+//
+//	mtdexp -list
+//	mtdexp -exp table1
+//	mtdexp -exp fig6a -quick
+//	mtdexp -exp all -out results.txt
+//
+// Experiment IDs follow the paper's numbering: table1..table4, fig6a,
+// fig6b, fig7, fig8, fig9, fig10, fig11. The -quick flag shrinks sampling
+// budgets (useful for smoke tests); the default budgets follow the paper's
+// protocol. EXPERIMENTS.md records the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"gridmtd/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mtdexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mtdexp", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		list  = fs.Bool("list", false, "list available experiments and exit")
+		exp   = fs.String("exp", "all", "experiment id to run, or 'all'")
+		quick = fs.Bool("quick", false, "use reduced sampling budgets")
+		out   = fs.String("out", "", "also write the output to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = io.MultiWriter(stdout, f)
+	}
+
+	quality := experiments.Full
+	if *quick {
+		quality = experiments.Quick
+	}
+
+	var ids []string
+	if strings.EqualFold(*exp, "all") {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	for _, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		start := time.Now()
+		fmt.Fprintf(w, "=== %s: %s (quality: %s)\n", e.ID, e.Title, quality)
+		if err := e.Run(w, quality); err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		fmt.Fprintf(w, "(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"table1", "fig6a", "fig10", "impact", "learning"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %q", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &buf); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestRunTablesWithOutputFile(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "out.txt")
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table1,table4", "-out", outPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Output goes to both the writer and the file.
+	if !strings.Contains(buf.String(), "Table I") {
+		t.Error("stdout missing Table I")
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Table IV") {
+		t.Error("file output missing Table IV")
+	}
+}
+
+func TestQuickFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table2", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "quality: quick") {
+		t.Error("quick quality not reported")
+	}
+}

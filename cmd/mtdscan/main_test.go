@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildCase(t *testing.T) {
+	for _, name := range []string{"case4gs", "4bus", "ieee14", "14bus", "ieee30", "30bus"} {
+		if _, err := buildCase(name); err != nil {
+			t.Errorf("buildCase(%q): %v", name, err)
+		}
+	}
+	if _, err := buildCase("nope"); err == nil {
+		t.Error("expected error for unknown case")
+	}
+}
+
+func TestRunRejectsBadRange(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-from", "0.5", "-to", "0.1"}, &buf); err == nil {
+		t.Error("expected error for inverted range")
+	}
+	if err := run([]string{"-step", "0"}, &buf); err == nil {
+		t.Error("expected error for zero step")
+	}
+	if err := run([]string{"-case", "bogus"}, &buf); err == nil {
+		t.Error("expected error for unknown case")
+	}
+}
+
+func TestRunSmallSweepWithCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is expensive")
+	}
+	csvPath := filepath.Join(t.TempDir(), "frontier.csv")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-case", "ieee14",
+		"-from", "0.2", "-to", "0.2", "-step", "0.1",
+		"-attacks", "50", "-starts", "2",
+		"-csv", csvPath,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "η'(0.9)") || !strings.Contains(out, "no-MTD cost") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 { // header + one sweep point
+		t.Errorf("CSV has %d lines, want 2:\n%s", len(lines), data)
+	}
+	if !strings.HasPrefix(lines[0], "gamma_th,") {
+		t.Errorf("CSV header wrong: %s", lines[0])
+	}
+}

@@ -1,0 +1,45 @@
+// Package gridmtd is a reproduction of "Cost-Benefit Analysis of
+// Moving-Target Defense in Power Grids" (Lakshminarayana & Yau, IEEE/IFIP
+// DSN 2018) as a reusable Go library.
+//
+// The library models a DC power grid with D-FACTS-equipped transmission
+// lines, runs state estimation with a χ²-calibrated bad data detector
+// (BDD), crafts the stealthy false-data-injection (FDI) attacks the BDD
+// cannot see, and implements the paper's moving-target defense (MTD):
+// perturb branch reactances so that attacks crafted against the old
+// measurement matrix become detectable, while accounting for the
+// perturbation's operational (OPF) cost.
+//
+// # Quick start
+//
+//	n := gridmtd.NewIEEE14()
+//	pre, _ := gridmtd.SolveOPFWithDFACTS(n, gridmtd.DFACTSOPFConfig{Starts: 8})
+//	z, _ := gridmtd.OperatingMeasurements(n, pre.Reactances)
+//
+//	// The attacker learned H(pre.Reactances) and crafts stealthy attacks.
+//	// The defender selects a cost-minimal perturbation with γ >= 0.3:
+//	sel, _ := gridmtd.SelectMTD(n, pre.Reactances, gridmtd.MTDSelectConfig{
+//		GammaThreshold: 0.3,
+//	})
+//	eff, _ := gridmtd.Effectiveness(n, pre.Reactances, sel.Reactances, z,
+//		gridmtd.EffectivenessConfig{})
+//	fmt.Printf("γ=%.2f, η'(0.95)=%.2f, cost +%.2f%%\n",
+//		eff.Gamma, eff.Eta[3], 100*sel.CostIncrease)
+//
+// The runnable programs under examples/ walk through the full defender
+// workflow, the cost-effectiveness tradeoff, a 24-hour operating day and
+// the attacker's learning process; cmd/mtdexp regenerates every table and
+// figure of the paper (see EXPERIMENTS.md for the comparison).
+//
+// # Architecture
+//
+// The facade re-exports the building blocks implemented under internal/:
+// dense linear algebra (internal/mat), χ² statistics (internal/stat), an
+// LP simplex solver (internal/lp), derivative-free optimizers
+// (internal/optimize), the grid model and IEEE cases (internal/grid), DC
+// power flow (internal/dcflow), state estimation and BDD (internal/se),
+// FDI attacks (internal/attack), principal angles (internal/subspace), DC
+// OPF (internal/opf), the MTD algorithms (internal/core), load profiles
+// (internal/loadprofile) and the daily/learning simulations
+// (internal/sim).
+package gridmtd

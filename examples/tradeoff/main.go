@@ -1,0 +1,74 @@
+// Tradeoff sweeps the γ threshold of the MTD selection problem and prints
+// the cost-benefit frontier of the paper's Fig. 9: how much operational
+// cost buys how much attack-detection effectiveness. Use it to pick a γ
+// threshold for your own risk appetite.
+//
+// Run with: go run ./examples/tradeoff
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"gridmtd"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tradeoff: ")
+
+	n := gridmtd.NewIEEE14()
+	// Evening-peak loading makes congestion (and hence MTD cost) visible.
+	factors, err := gridmtd.ScaleToPeak(gridmtd.NYWinterWeekday(), n.TotalLoadMW(), 220)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n.ScaleLoads(factors[17]) // 6 PM
+
+	pre, err := gridmtd.SolveOPFWithDFACTS(n, gridmtd.DFACTSOPFConfig{Starts: 8, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	z, err := gridmtd.OperatingMeasurements(n, pre.Reactances)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacks, err := gridmtd.SampleAttacks(n, pre.Reactances, z,
+		gridmtd.EffectivenessConfig{NumAttacks: 400, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("6 PM operating point: load %.0f MW, no-MTD cost %.1f $/h\n\n",
+		n.TotalLoadMW(), pre.CostPerHour)
+	fmt.Printf("%8s  %8s  %10s  %10s  %12s\n", "γ_th", "γ", "η'(0.9)", "η'(0.95)", "cost premium")
+
+	var warm [][]float64
+	for gth := 0.05; gth <= 0.45; gth += 0.05 {
+		sel, err := gridmtd.SelectMTD(n, pre.Reactances, gridmtd.MTDSelectConfig{
+			GammaThreshold: gth,
+			Starts:         6,
+			Seed:           3,
+			BaselineCost:   pre.CostPerHour,
+			WarmStarts:     warm,
+		})
+		if err != nil {
+			if errors.Is(err, gridmtd.ErrGammaUnreachable) {
+				fmt.Printf("%8.2f  -- beyond the D-FACTS hardware's reach --\n", gth)
+				break
+			}
+			log.Fatal(err)
+		}
+		eff, err := gridmtd.EvaluateAttacks(n, attacks, sel.Reactances,
+			gridmtd.EffectivenessConfig{NumAttacks: 400, Seed: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eta09, _ := eff.EtaAt(0.9)
+		eta095, _ := eff.EtaAt(0.95)
+		fmt.Printf("%8.2f  %8.3f  %10.3f  %10.3f  %11.2f%%\n",
+			gth, eff.Gamma, eta09, eta095, 100*sel.CostIncrease)
+		warm = [][]float64{n.DFACTSSetting(sel.Reactances)}
+	}
+}

@@ -1,0 +1,290 @@
+package gridmtd
+
+import (
+	"math/rand"
+
+	"gridmtd/internal/attack"
+	"gridmtd/internal/core"
+	"gridmtd/internal/dcflow"
+	"gridmtd/internal/grid"
+	"gridmtd/internal/loadprofile"
+	"gridmtd/internal/mat"
+	"gridmtd/internal/opf"
+	"gridmtd/internal/se"
+	"gridmtd/internal/sim"
+	"gridmtd/internal/subspace"
+)
+
+// ---- Grid model ----------------------------------------------------------
+
+// Network is a power system model: buses, branches (optionally carrying
+// D-FACTS devices), and generators with linear costs.
+type Network = grid.Network
+
+// Bus is a network node with a real-power load.
+type Bus = grid.Bus
+
+// Branch is a transmission line; HasDFACTS marks defender-perturbable
+// reactances.
+type Branch = grid.Branch
+
+// Generator is a dispatchable source with a linear cost curve.
+type Generator = grid.Generator
+
+// Unlimited is a convenience flow limit for unconstrained branches.
+var Unlimited = grid.Unlimited
+
+// NewCase4GS returns the 4-bus system of the paper's motivating example
+// (MATPOWER case4gs with the reverse-engineered Table II/III economics).
+func NewCase4GS() *Network { return grid.Case4GS() }
+
+// NewIEEE14 returns the IEEE 14-bus system with the paper's Table-IV
+// generators, D-FACTS on branches {1,5,9,11,17,19} (ηmax = 0.5) and the
+// 160/60 MW flow limits.
+func NewIEEE14() *Network { return grid.CaseIEEE14() }
+
+// NewIEEE30 returns the IEEE 30-bus system used in the paper's
+// scalability experiment.
+func NewIEEE30() *Network { return grid.CaseIEEE30() }
+
+// ---- Power flow & OPF ----------------------------------------------------
+
+// PowerFlow is a solved DC power flow.
+type PowerFlow = dcflow.Result
+
+// RunPowerFlow solves the DC power flow for branch reactances x (per-unit)
+// and net bus injections (MW, must balance).
+func RunPowerFlow(n *Network, x, injectionsMW []float64) (*PowerFlow, error) {
+	return dcflow.Solve(n, x, injectionsMW)
+}
+
+// Measurements builds the noiseless sensor vector z = [p; f; −f]
+// (per-unit) for a solved power flow.
+func Measurements(n *Network, injectionsMW []float64, pf *PowerFlow) []float64 {
+	return dcflow.Measurements(n, injectionsMW, pf)
+}
+
+// OPFResult is a solved optimal power flow.
+type OPFResult = opf.Result
+
+// DFACTSOPFConfig tunes the reactance search of SolveOPFWithDFACTS.
+type DFACTSOPFConfig = opf.DFACTSConfig
+
+// SolveOPF solves the dispatch-only DC OPF at fixed reactances x (the
+// paper's problem (1) without D-FACTS, footnote 1).
+func SolveOPF(n *Network, x []float64) (*OPFResult, error) {
+	return opf.SolveDispatch(n, x)
+}
+
+// SolveOPFWithDFACTS solves the paper's problem (1) in full: generation
+// cost minimized over both dispatch and D-FACTS reactance settings.
+func SolveOPFWithDFACTS(n *Network, cfg DFACTSOPFConfig) (*OPFResult, error) {
+	return opf.SolveDFACTS(n, cfg)
+}
+
+// ---- State estimation & attacks -------------------------------------------
+
+// Estimator is a least-squares DC state estimator for a fixed measurement
+// matrix.
+type Estimator = se.Estimator
+
+// BDD is the residual-based bad data detector.
+type BDD = se.BDD
+
+// NewEstimator builds a state estimator for the network at reactances x.
+func NewEstimator(n *Network, x []float64) (*Estimator, error) {
+	return se.NewEstimator(n.MeasurementMatrix(x))
+}
+
+// NewBDD calibrates a bad data detector for the estimator at noise level
+// sigma (per-unit) and false-positive rate alpha.
+func NewBDD(e *Estimator, sigma, alpha float64) (*BDD, error) {
+	return se.NewBDD(e, sigma, alpha)
+}
+
+// Attack is a crafted false-data-injection vector a = H·c.
+type Attack = attack.Vector
+
+// CraftAttack builds the BDD-bypassing attack a = H(x)·c for a state
+// perturbation c in the reduced (slack-removed) state space.
+func CraftAttack(n *Network, x, c []float64) *Attack {
+	return attack.Craft(n.MeasurementMatrix(x), c)
+}
+
+// RandomAttack draws a random stealthy attack scaled so that
+// ‖a‖₁/‖z‖₁ = ratio (the paper uses ≈ 0.08).
+func RandomAttack(rng *rand.Rand, n *Network, x, z []float64, ratio float64) (*Attack, error) {
+	return attack.Random(rng, n.MeasurementMatrix(x), z, ratio)
+}
+
+// IsUndetectable applies the paper's Proposition 1: does attack vector a
+// (crafted on an older matrix) still lie in the column space of the
+// measurement matrix at reactances xNew?
+func IsUndetectable(n *Network, xNew, a []float64) bool {
+	return attack.IsUndetectable(n.MeasurementMatrix(xNew), a, 0)
+}
+
+// ---- MTD ------------------------------------------------------------------
+
+// EffectivenessConfig controls the η'(δ) evaluation (attack count, noise
+// level, FP rate, δ thresholds, analytic vs Monte-Carlo detection).
+type EffectivenessConfig = core.EffectivenessConfig
+
+// EffectivenessResult carries γ, the η'(δ) curve and per-attack detection
+// probabilities.
+type EffectivenessResult = core.EffectivenessResult
+
+// AttackSet is a reusable batch of crafted attacks.
+type AttackSet = core.AttackSet
+
+// MTDSelection is a chosen perturbation with its γ, OPF and cost metrics.
+type MTDSelection = core.Selection
+
+// MTDSelectConfig tunes the problem-(4) search.
+type MTDSelectConfig = core.SelectConfig
+
+// MaxGammaConfig tunes the pure-detection (max-γ) search.
+type MaxGammaConfig = core.MaxGammaConfig
+
+// TuneConfig drives the γ-threshold auto-tuning loop.
+type TuneConfig = core.TuneConfig
+
+// DefaultDeltas are the paper's detection-probability thresholds
+// {0.5, 0.8, 0.9, 0.95}.
+var DefaultDeltas = core.DefaultDeltas
+
+// ErrGammaUnreachable is returned by SelectMTD when no setting within the
+// D-FACTS limits achieves the requested γ threshold.
+var ErrGammaUnreachable = core.ErrConstraintUnreachable
+
+// ErrNoDFACTS is returned by MTD routines on networks without D-FACTS
+// devices.
+var ErrNoDFACTS = core.ErrNoDFACTS
+
+// OperatingMeasurements returns the noiseless measurement vector of the
+// OPF operating point at reactances x (used to scale attack magnitudes).
+func OperatingMeasurements(n *Network, x []float64) ([]float64, error) {
+	return core.OperatingMeasurements(n, x)
+}
+
+// Effectiveness evaluates the paper's η'(δ) metric for the MTD that moves
+// the reactances from xOld (attacker's knowledge) to xNew, with zOld the
+// operating measurements under xOld.
+func Effectiveness(n *Network, xOld, xNew, zOld []float64, cfg EffectivenessConfig) (*EffectivenessResult, error) {
+	return core.Effectiveness(n, xOld, xNew, zOld, cfg)
+}
+
+// SampleAttacks pre-crafts an attack batch for reuse across perturbations.
+func SampleAttacks(n *Network, xOld, zOld []float64, cfg EffectivenessConfig) (*AttackSet, error) {
+	return core.SampleAttacks(n, xOld, zOld, cfg)
+}
+
+// EvaluateAttacks computes the effectiveness of perturbation xNew against
+// a pre-crafted attack set.
+func EvaluateAttacks(n *Network, set *AttackSet, xNew []float64, cfg EffectivenessConfig) (*EffectivenessResult, error) {
+	return core.EvaluateAttacks(n, set, xNew, cfg)
+}
+
+// SelectMTD solves the paper's problem (4): a cost-minimal reactance
+// perturbation subject to γ(H(xOld), H(x')) ≥ γ_th.
+func SelectMTD(n *Network, xOld []float64, cfg MTDSelectConfig) (*MTDSelection, error) {
+	return core.SelectMTD(n, xOld, cfg)
+}
+
+// MaxGamma finds the most detection-effective perturbation the D-FACTS
+// hardware allows, regardless of cost.
+func MaxGamma(n *Network, xOld []float64, cfg MaxGammaConfig) (*MTDSelection, error) {
+	return core.MaxGamma(n, xOld, cfg)
+}
+
+// RandomPerturbation applies a naive random baseline: independent uniform
+// reactance perturbations within ±maxFrac on every D-FACTS branch.
+func RandomPerturbation(rng *rand.Rand, n *Network, maxFrac float64) ([]float64, error) {
+	return core.RandomPerturbation(rng, n, maxFrac)
+}
+
+// RandomKeyWithinCost draws one key of the prior-work random MTD keyspace:
+// a uniform D-FACTS setting accepted when its OPF cost stays within
+// costFrac of baselineCost (the paper reads prior work's "within 2% of the
+// optimal value" as this cost budget). It returns the reactance vector,
+// its OPF cost and the number of draws used.
+func RandomKeyWithinCost(rng *rand.Rand, n *Network, baselineCost, costFrac float64, maxDraws int) ([]float64, float64, int, error) {
+	return core.RandomKeyWithinCost(rng, n, baselineCost, costFrac, maxDraws)
+}
+
+// TuneGammaThreshold bisects γ_th to the smallest value whose selected MTD
+// achieves the target effectiveness (the paper's daily procedure).
+func TuneGammaThreshold(n *Network, xOld, zOld []float64, cfg TuneConfig) (*MTDSelection, *EffectivenessResult, error) {
+	return core.TuneGammaThreshold(n, xOld, zOld, cfg)
+}
+
+// Gamma returns the subspace separation γ(H(xOld), H(xNew)): the largest
+// principal angle between the two measurement column spaces.
+func Gamma(n *Network, xOld, xNew []float64) float64 {
+	return core.Gamma(n, xOld, xNew)
+}
+
+// PrincipalAngles returns all principal angles between the column spaces
+// of the measurement matrices at the two settings (ascending, radians).
+func PrincipalAngles(n *Network, xOld, xNew []float64) []float64 {
+	return subspace.PrincipalAngles(n.MeasurementMatrix(xOld), n.MeasurementMatrix(xNew))
+}
+
+// OperationalCost is the paper's C_MTD metric: the relative OPF cost
+// increase of the MTD over the no-MTD optimum.
+func OperationalCost(baselineCost, mtdCost float64) float64 {
+	return core.OperationalCost(baselineCost, mtdCost)
+}
+
+// ---- Simulations -----------------------------------------------------------
+
+// HourResult is one hour of the daily MTD simulation.
+type HourResult = sim.HourResult
+
+// DayConfig configures the daily simulation.
+type DayConfig = sim.DayConfig
+
+// RunDay executes the paper's day-long hourly MTD loop (Figs. 10-11).
+func RunDay(cfg DayConfig) ([]HourResult, error) { return sim.RunDay(cfg) }
+
+// LearningConfig configures the attacker's subspace-learning simulation.
+type LearningConfig = sim.LearningConfig
+
+// LearningOutcome reports the attacker's subspace estimation error.
+type LearningOutcome = sim.LearningOutcome
+
+// SimulateLearning runs the attacker's measurement-driven estimation of
+// Col(H) and reports the residual angle to the truth.
+func SimulateLearning(n *Network, x []float64, cfg LearningConfig) (*LearningOutcome, error) {
+	return sim.SimulateLearning(n, x, cfg)
+}
+
+// LearnedModelGamma returns the angle γ between an attacker's learned
+// subspace and the true measurement column space at reactances x — large
+// after an MTD perturbation, which is exactly the defense's point.
+func LearnedModelGamma(n *Network, x []float64, learned *LearningOutcome) float64 {
+	return subspace.Gamma(n.MeasurementMatrix(x), learned.Basis)
+}
+
+// ---- Load profiles ----------------------------------------------------------
+
+// NYWinterWeekday returns the embedded 24-hour winter-weekday load shape
+// (peak-normalized) used by the dynamic-load experiments.
+func NYWinterWeekday() []float64 { return loadprofile.NYWinterWeekday() }
+
+// ScaleToPeak rescales a load shape so a network with base total load
+// baseTotalMW peaks at peakTotalMW.
+func ScaleToPeak(shape []float64, baseTotalMW, peakTotalMW float64) ([]float64, error) {
+	return loadprofile.ScaleToPeak(shape, baseTotalMW, peakTotalMW)
+}
+
+// HourLabel converts a 24-hour profile index to a clock label.
+func HourLabel(i int) string { return loadprofile.HourLabel(i) }
+
+// ---- Small numeric helpers re-exported for example programs ----------------
+
+// Norm1 returns the L1 norm of a vector.
+func Norm1(x []float64) float64 { return mat.Norm1(x) }
+
+// Norm2 returns the Euclidean norm of a vector.
+func Norm2(x []float64) float64 { return mat.Norm2(x) }

@@ -1,0 +1,150 @@
+package gridmtd_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gridmtd"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the README's
+// quickstart does: build a case, find the operating point, craft a stealthy
+// attack, verify the BDD misses it, apply an MTD, verify detection.
+func TestFacadeEndToEnd(t *testing.T) {
+	n := gridmtd.NewIEEE14()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	pre, err := gridmtd.SolveOPFWithDFACTS(n, gridmtd.DFACTSOPFConfig{Starts: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := gridmtd.OperatingMeasurements(n, pre.Reactances)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Attacker crafts a stealthy attack against the current configuration.
+	rng := rand.New(rand.NewSource(2))
+	atk, err := gridmtd.RandomAttack(rng, n, pre.Reactances, z, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gridmtd.IsUndetectable(n, pre.Reactances, atk.A) {
+		t.Fatal("crafted attack should bypass the BDD before MTD")
+	}
+
+	// Defender applies a designed perturbation.
+	sel, err := gridmtd.SelectMTD(n, pre.Reactances, gridmtd.MTDSelectConfig{
+		GammaThreshold: 0.3,
+		Starts:         3,
+		Seed:           3,
+		BaselineCost:   pre.CostPerHour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gridmtd.IsUndetectable(n, sel.Reactances, atk.A) {
+		t.Error("attack remained in the new column space after a γ=0.3 MTD")
+	}
+
+	// Detection probability is high under the new configuration.
+	est, err := gridmtd.NewEstimator(n, sel.Reactances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdd, err := gridmtd.NewBDD(est, 0.0015, 5e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := est.DetectionProbability(bdd, atk.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd < 0.5 {
+		t.Errorf("post-MTD detection probability %v too low", pd)
+	}
+
+	// Effectiveness metric agrees.
+	eff, err := gridmtd.Effectiveness(n, pre.Reactances, sel.Reactances, z,
+		gridmtd.EffectivenessConfig{NumAttacks: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.Gamma < 0.29 {
+		t.Errorf("gamma = %v, want >= threshold", eff.Gamma)
+	}
+	if eff.Eta[0] < 0.5 {
+		t.Errorf("eta(0.5) = %v unexpectedly low", eff.Eta[0])
+	}
+}
+
+func TestFacadePowerFlowHelpers(t *testing.T) {
+	n := gridmtd.NewCase4GS()
+	pf, err := gridmtd.RunPowerFlow(n, n.Reactances(), n.InjectionsMW([]float64{350, 150}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pf.FlowsMW[0]-126.56) > 0.05 {
+		t.Errorf("flow = %v, want 126.56", pf.FlowsMW[0])
+	}
+	z := gridmtd.Measurements(n, n.InjectionsMW([]float64{350, 150}), pf)
+	if len(z) != n.M() {
+		t.Errorf("len(z) = %d, want %d", len(z), n.M())
+	}
+	if gridmtd.Norm1(z) <= 0 || gridmtd.Norm2(z) <= 0 {
+		t.Error("norms of a live measurement vector must be positive")
+	}
+}
+
+func TestFacadeGammaAndAngles(t *testing.T) {
+	n := gridmtd.NewIEEE14()
+	x := n.Reactances()
+	// acos roundoff near 1 limits identical-subspace angles to ~1e-7.
+	if g := gridmtd.Gamma(n, x, x); g > 1e-6 {
+		t.Errorf("Gamma(x, x) = %v, want ~0", g)
+	}
+	angles := gridmtd.PrincipalAngles(n, x, x)
+	if len(angles) != n.N()-1 {
+		t.Fatalf("got %d principal angles, want %d", len(angles), n.N()-1)
+	}
+	// With D-FACTS on a strict subset of branches the smallest principal
+	// angle is structurally zero for any perturbation — the reproduction
+	// finding that pins γ to the LARGEST angle (see DESIGN.md).
+	xNew := append([]float64(nil), x...)
+	for _, i := range n.DFACTSIndices() {
+		xNew[i] = n.Branches[i].XMax
+	}
+	perturbed := gridmtd.PrincipalAngles(n, x, xNew)
+	if perturbed[0] > 1e-6 {
+		t.Errorf("smallest principal angle %v, structurally expected 0", perturbed[0])
+	}
+	if perturbed[len(perturbed)-1] < 0.1 {
+		t.Errorf("largest principal angle %v unexpectedly small", perturbed[len(perturbed)-1])
+	}
+}
+
+func TestFacadeLoadHelpers(t *testing.T) {
+	shape := gridmtd.NYWinterWeekday()
+	if len(shape) != 24 {
+		t.Fatalf("profile length %d", len(shape))
+	}
+	factors, err := gridmtd.ScaleToPeak(shape, 259, 220)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(factors) != 24 {
+		t.Fatal("factor length")
+	}
+	if gridmtd.HourLabel(17) != "6PM" {
+		t.Error("HourLabel wrong")
+	}
+}
+
+func TestFacadeOperationalCost(t *testing.T) {
+	if got := gridmtd.OperationalCost(100, 102); math.Abs(got-0.02) > 1e-12 {
+		t.Errorf("OperationalCost = %v", got)
+	}
+}

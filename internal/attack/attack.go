@@ -1,0 +1,86 @@
+// Package attack constructs the false data injection (FDI) attacks the MTD
+// defends against. An attacker who has learned the measurement matrix H of
+// the state estimator injects a = H·c into the sensor measurements; such
+// attacks are undetectable by the residual BDD (Liu, Ning & Reiter 2009).
+// The package crafts structured attacks from chosen or random state
+// perturbations c, applies the paper's ‖a‖₁/‖z‖₁ magnitude scaling, and
+// implements Proposition 1's rank test for whether an attack remains
+// stealthy after an MTD changes the matrix to H'.
+package attack
+
+import (
+	"errors"
+	"math/rand"
+
+	"gridmtd/internal/mat"
+)
+
+// Vector is a crafted FDI attack.
+type Vector struct {
+	// C is the state perturbation the attacker injects, in the reduced
+	// (slack-removed) state space.
+	C []float64
+	// A = H·C is the measurement injection, length M.
+	A []float64
+}
+
+// Craft builds the BDD-bypassing attack a = H·c for the (pre-perturbation)
+// measurement matrix h.
+func Craft(h *mat.Dense, c []float64) *Vector {
+	if len(c) != h.Cols() {
+		panic("attack: state perturbation length mismatch")
+	}
+	return &Vector{C: mat.CopyVec(c), A: mat.MulVec(h, c)}
+}
+
+// Random draws a random BDD-bypassing attack: c ~ N(0, I) scaled so that
+// ‖a‖₁/‖z‖₁ = ratio against the operating-point measurement vector z (the
+// paper uses ratio ≈ 0.08, keeping injections small relative to real
+// measurements). It returns an error if z or the drawn direction is
+// degenerate.
+func Random(rng *rand.Rand, h *mat.Dense, z []float64, ratio float64) (*Vector, error) {
+	if ratio <= 0 {
+		return nil, errors.New("attack: ratio must be positive")
+	}
+	zNorm := mat.Norm1(z)
+	if zNorm == 0 {
+		return nil, errors.New("attack: zero measurement vector")
+	}
+	c := make([]float64, h.Cols())
+	for i := range c {
+		c[i] = rng.NormFloat64()
+	}
+	a := mat.MulVec(h, c)
+	aNorm := mat.Norm1(a)
+	if aNorm == 0 {
+		return nil, errors.New("attack: degenerate attack direction")
+	}
+	scale := ratio * zNorm / aNorm
+	return &Vector{C: mat.ScaleVec(scale, c), A: mat.ScaleVec(scale, a)}, nil
+}
+
+// IsUndetectable implements the paper's Proposition 1: attack a (crafted
+// from the old H) stays undetectable under the new measurement matrix
+// hNew iff rank([hNew a]) = rank(hNew), i.e. a lies in Col(hNew). tol is
+// the relative rank tolerance (<= 0 selects the default).
+func IsUndetectable(hNew *mat.Dense, a []float64, tol float64) bool {
+	if len(a) != hNew.Rows() {
+		panic("attack: attack vector length mismatch")
+	}
+	if mat.Norm2(a) == 0 {
+		return true
+	}
+	base := mat.Rank(hNew, tol)
+	aug := mat.Rank(mat.HStackVec(hNew, a), tol)
+	return aug == base
+}
+
+// MagnitudeRatio returns ‖a‖₁/‖z‖₁, the attack sizing metric used in the
+// paper's simulations.
+func MagnitudeRatio(a, z []float64) float64 {
+	zn := mat.Norm1(z)
+	if zn == 0 {
+		return 0
+	}
+	return mat.Norm1(a) / zn
+}

@@ -1,0 +1,191 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gridmtd/internal/dcflow"
+	"gridmtd/internal/grid"
+	"gridmtd/internal/mat"
+	"gridmtd/internal/se"
+)
+
+func setup14(t *testing.T) (*grid.Network, *mat.Dense, []float64) {
+	t.Helper()
+	n := grid.CaseIEEE14()
+	h := n.MeasurementMatrix(n.Reactances())
+	inj := n.InjectionsMW([]float64{220, 10, 9, 10, 10})
+	res, err := dcflow.Solve(n, n.Reactances(), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := dcflow.Measurements(n, inj, res)
+	return n, h, z
+}
+
+func TestCraft(t *testing.T) {
+	_, h, _ := setup14(t)
+	c := make([]float64, h.Cols())
+	c[0] = 1
+	v := Craft(h, c)
+	if !mat.VecEqual(v.A, h.Col(0), 1e-14) {
+		t.Fatal("Craft(e1) must return the first column of H")
+	}
+	// C must be a copy, not an alias.
+	c[0] = 99
+	if v.C[0] == 99 {
+		t.Error("Craft aliases the input c")
+	}
+}
+
+func TestCraftedAttackIsStealthyOnOldH(t *testing.T) {
+	_, h, _ := setup14(t)
+	est, err := se.NewEstimator(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10; i++ {
+		c := make([]float64, h.Cols())
+		for j := range c {
+			c[j] = rng.NormFloat64()
+		}
+		v := Craft(h, c)
+		if !est.IsStealthy(v.A, 0) {
+			t.Fatalf("crafted attack %d is not stealthy on its own H", i)
+		}
+		if !IsUndetectable(h, v.A, 0) {
+			t.Fatalf("Proposition-1 test rejects crafted attack %d on its own H", i)
+		}
+	}
+}
+
+func TestRandomAttackScaling(t *testing.T) {
+	_, h, z := setup14(t)
+	rng := rand.New(rand.NewSource(8))
+	for _, ratio := range []float64{0.01, 0.08, 0.3} {
+		v, err := Random(rng, h, z, ratio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := MagnitudeRatio(v.A, z); math.Abs(got-ratio) > 1e-9 {
+			t.Errorf("ratio = %v, want %v", got, ratio)
+		}
+		// a must equal H·c after scaling too.
+		if !mat.VecEqual(v.A, mat.MulVec(h, v.C), 1e-10) {
+			t.Error("scaled attack inconsistent: a != H·c")
+		}
+	}
+}
+
+func TestRandomAttackErrors(t *testing.T) {
+	_, h, z := setup14(t)
+	rng := rand.New(rand.NewSource(9))
+	if _, err := Random(rng, h, z, 0); err == nil {
+		t.Error("expected error for ratio 0")
+	}
+	if _, err := Random(rng, h, make([]float64, len(z)), 0.1); err == nil {
+		t.Error("expected error for zero measurement vector")
+	}
+}
+
+func TestIsUndetectableAfterPerturbation(t *testing.T) {
+	// 4-bus motivating example: attack 2 (c = e4) involves only branches
+	// 3-4, so perturbing branch 1 or 2 leaves it stealthy while perturbing
+	// branch 3 or 4 exposes it (paper Table I zero pattern).
+	n := grid.Case4GS()
+	h := n.MeasurementMatrix(n.Reactances())
+	// Reduced state c: buses 2,3,4 -> c = e_{bus4} = [0,0,1].
+	attack2 := Craft(h, []float64{0, 0, 1})
+
+	for line := 0; line < 4; line++ {
+		x := n.Reactances()
+		x[line] *= 1.2
+		hNew := n.MeasurementMatrix(x)
+		got := IsUndetectable(hNew, attack2.A, 0)
+		want := line == 0 || line == 1 // stealthy when perturbing lines 1-2
+		if got != want {
+			t.Errorf("perturbing line %d: undetectable = %v, want %v", line+1, got, want)
+		}
+	}
+
+	// Attack 1 (c = [0,1,1,1] over all buses = [1,1,1] reduced) involves
+	// only branches 1-2: the pattern flips.
+	attack1 := Craft(h, []float64{1, 1, 1})
+	for line := 0; line < 4; line++ {
+		x := n.Reactances()
+		x[line] *= 1.2
+		hNew := n.MeasurementMatrix(x)
+		got := IsUndetectable(hNew, attack1.A, 0)
+		want := line == 2 || line == 3
+		if got != want {
+			t.Errorf("attack1, perturbing line %d: undetectable = %v, want %v", line+1, got, want)
+		}
+	}
+}
+
+func TestZeroAttackUndetectable(t *testing.T) {
+	_, h, _ := setup14(t)
+	if !IsUndetectable(h, make([]float64, h.Rows()), 0) {
+		t.Error("zero attack must be undetectable")
+	}
+}
+
+func TestMagnitudeRatioZeroZ(t *testing.T) {
+	if got := MagnitudeRatio([]float64{1}, []float64{0}); got != 0 {
+		t.Errorf("MagnitudeRatio with zero z = %v, want 0", got)
+	}
+}
+
+// Property: attacks crafted on H are undetectable on any scalar multiple of
+// H (the paper's perfectly-aligned column space case) but become detectable
+// under a D-FACTS perturbation of a branch their c touches.
+func TestQuickScalingKeepsStealth(t *testing.T) {
+	n := grid.CaseIEEE14()
+	h := n.MeasurementMatrix(n.Reactances())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := make([]float64, h.Cols())
+		for j := range c {
+			c[j] = rng.NormFloat64()
+		}
+		v := Craft(h, c)
+		scaled := mat.ScaleMat(1+rng.Float64(), h)
+		return IsUndetectable(scaled, v.A, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Proposition-1 rank test agrees with the residual-component
+// test of the estimator for random attacks and perturbations.
+func TestQuickRankTestAgreesWithResidual(t *testing.T) {
+	n := grid.CaseIEEE14()
+	h := n.MeasurementMatrix(n.Reactances())
+	lo, hi := n.DFACTSBounds()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random D-FACTS setting.
+		xd := make([]float64, len(lo))
+		for i := range xd {
+			xd[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+		}
+		hNew := n.MeasurementMatrix(n.ExpandDFACTS(xd))
+		est, err := se.NewEstimator(hNew)
+		if err != nil {
+			return false
+		}
+		c := make([]float64, h.Cols())
+		for j := range c {
+			c[j] = rng.NormFloat64()
+		}
+		v := Craft(h, c)
+		return IsUndetectable(hNew, v.A, 0) == est.IsStealthy(v.A, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gridmtd/internal/grid"
+	"gridmtd/internal/opf"
+)
+
+// pre14 lazily computes the paper's pre-perturbation state for the 14-bus
+// system: x_t from problem (1) (dispatch + D-FACTS optimized) and the
+// operating measurement vector, shared across tests because the D-FACTS OPF
+// is the expensive step.
+var pre14 = struct {
+	once sync.Once
+	net  *grid.Network
+	xt   []float64
+	zt   []float64
+	cost float64
+	err  error
+}{}
+
+func setup14(t *testing.T) (*grid.Network, []float64, []float64, float64) {
+	t.Helper()
+	pre14.once.Do(func() {
+		n := grid.CaseIEEE14()
+		res, err := opf.SolveDFACTS(n, opf.DFACTSConfig{Starts: 10, Seed: 7})
+		if err != nil {
+			pre14.err = err
+			return
+		}
+		z, err := OperatingMeasurements(n, res.Reactances)
+		if err != nil {
+			pre14.err = err
+			return
+		}
+		pre14.net, pre14.xt, pre14.zt, pre14.cost = n, res.Reactances, z, res.CostPerHour
+	})
+	if pre14.err != nil {
+		t.Fatal(pre14.err)
+	}
+	return pre14.net.Clone(), pre14.xt, pre14.zt, pre14.cost
+}
+
+func TestEffectivenessIdentityPerturbation(t *testing.T) {
+	// No perturbation: every crafted attack remains perfectly stealthy and
+	// no detection threshold is met.
+	n, xt, zt, _ := setup14(t)
+	eff, err := Effectiveness(n, xt, xt, zt, EffectivenessConfig{NumAttacks: 100, Seed: 1, ReportProbs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.Gamma > 1e-6 {
+		t.Errorf("gamma = %v for identical configurations, want 0", eff.Gamma)
+	}
+	if eff.UndetectableFraction != 1 {
+		t.Errorf("undetectable fraction = %v, want 1", eff.UndetectableFraction)
+	}
+	for i, e := range eff.Eta {
+		if e != 0 {
+			t.Errorf("eta[%d] = %v, want 0", i, e)
+		}
+	}
+	// All detection probabilities equal the FP rate.
+	for _, p := range eff.DetectionProbs {
+		if math.Abs(p-5e-4) > 1e-6 {
+			t.Errorf("stealthy attack P_D = %v, want alpha", p)
+			break
+		}
+	}
+}
+
+func TestEffectivenessIncreasesWithGamma(t *testing.T) {
+	// The paper's central claim (Fig. 6): larger γ ⇒ larger η'(δ).
+	n, xt, zt, _ := setup14(t)
+	sel1, err := SelectMTD(n, xt, SelectConfig{GammaThreshold: 0.15, Starts: 4, Seed: 2, BaselineCost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel2, err := SelectMTD(n, xt, SelectConfig{GammaThreshold: 0.40, Starts: 4, Seed: 2, BaselineCost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff1, err := Effectiveness(n, xt, sel1.Reactances, zt, EffectivenessConfig{NumAttacks: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff2, err := Effectiveness(n, xt, sel2.Reactances, zt, EffectivenessConfig{NumAttacks: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(eff2.Gamma > eff1.Gamma) {
+		t.Fatalf("gamma ordering violated: %v vs %v", eff1.Gamma, eff2.Gamma)
+	}
+	for i := range eff1.Eta {
+		if eff2.Eta[i] < eff1.Eta[i] {
+			t.Errorf("eta[%d]: %v at γ=%.2f < %v at γ=%.2f",
+				i, eff2.Eta[i], eff2.Gamma, eff1.Eta[i], eff1.Gamma)
+		}
+	}
+	// At the high end the MTD must be strongly effective (Fig. 6a shape).
+	if eff2.Eta[len(eff2.Eta)-1] < 0.9 {
+		t.Errorf("eta(0.95) = %v at γ=%.2f, want >= 0.9", eff2.Eta[len(eff2.Eta)-1], eff2.Gamma)
+	}
+}
+
+func TestEffectivenessAnalyticMatchesMonteCarlo(t *testing.T) {
+	n, xt, zt, _ := setup14(t)
+	sel, err := SelectMTD(n, xt, SelectConfig{GammaThreshold: 0.3, Starts: 4, Seed: 4, BaselineCost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := EffectivenessConfig{NumAttacks: 60, Seed: 5}
+	analytic, err := Effectiveness(n, xt, sel.Reactances, zt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MonteCarlo = true
+	cfg.NoiseTrials = 400
+	mc, err := Effectiveness(n, xt, sel.Reactances, zt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range analytic.Eta {
+		if math.Abs(analytic.Eta[i]-mc.Eta[i]) > 0.12 {
+			t.Errorf("delta %v: analytic eta %v vs MC eta %v",
+				analytic.Deltas[i], analytic.Eta[i], mc.Eta[i])
+		}
+	}
+}
+
+func TestEffectivenessRejectsBadZ(t *testing.T) {
+	n, xt, _, _ := setup14(t)
+	if _, err := Effectiveness(n, xt, xt, []float64{1, 2}, EffectivenessConfig{NumAttacks: 10}); err == nil {
+		t.Fatal("expected error for wrong-length z")
+	}
+}
+
+func TestEtaAt(t *testing.T) {
+	r := &EffectivenessResult{Deltas: []float64{0.5, 0.9}, Eta: []float64{0.7, 0.3}}
+	if v, err := r.EtaAt(0.9); err != nil || v != 0.3 {
+		t.Errorf("EtaAt(0.9) = %v, %v", v, err)
+	}
+	if _, err := r.EtaAt(0.8); err == nil {
+		t.Error("expected error for unevaluated delta")
+	}
+}
+
+func TestSelectMTDMeetsThreshold(t *testing.T) {
+	n, xt, _, baseCost := setup14(t)
+	sel, err := SelectMTD(n, xt, SelectConfig{GammaThreshold: 0.25, Starts: 4, Seed: 6, BaselineCost: baseCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Gamma < 0.25-2e-3 {
+		t.Errorf("achieved gamma %v below threshold", sel.Gamma)
+	}
+	if sel.CostIncrease < 0 {
+		t.Errorf("cost increase %v negative", sel.CostIncrease)
+	}
+	// The chosen reactances respect the device limits and leave
+	// non-D-FACTS branches untouched.
+	dfacts := map[int]bool{}
+	for _, i := range n.DFACTSIndices() {
+		dfacts[i] = true
+	}
+	for i, br := range n.Branches {
+		if dfacts[i] {
+			if sel.Reactances[i] < br.XMin-1e-9 || sel.Reactances[i] > br.XMax+1e-9 {
+				t.Errorf("branch %d reactance %v outside limits", i, sel.Reactances[i])
+			}
+		} else if sel.Reactances[i] != br.X {
+			t.Errorf("branch %d without D-FACTS was perturbed", i)
+		}
+	}
+}
+
+func TestSelectMTDUnreachableThreshold(t *testing.T) {
+	n, xt, _, baseCost := setup14(t)
+	_, err := SelectMTD(n, xt, SelectConfig{GammaThreshold: 0.6, Starts: 3, Seed: 8, BaselineCost: baseCost})
+	if !errors.Is(err, ErrConstraintUnreachable) {
+		t.Fatalf("err = %v, want ErrConstraintUnreachable", err)
+	}
+}
+
+func TestSelectMTDCostMonotoneInThreshold(t *testing.T) {
+	// The tradeoff: a tighter γ requirement can only cost more.
+	n, xt, _, baseCost := setup14(t)
+	var prev float64
+	var warm [][]float64
+	for _, gth := range []float64{0.1, 0.3, 0.41} {
+		sel, err := SelectMTD(n, xt, SelectConfig{
+			GammaThreshold: gth, Starts: 4, Seed: 9,
+			BaselineCost: baseCost, WarmStarts: warm,
+		})
+		if err != nil {
+			t.Fatalf("gth=%v: %v", gth, err)
+		}
+		if sel.CostIncrease < prev-1e-3 {
+			t.Errorf("cost increase %v at γ_th=%v below previous %v", sel.CostIncrease, gth, prev)
+		}
+		prev = sel.CostIncrease
+		warm = [][]float64{n.DFACTSSetting(sel.Reactances)}
+	}
+	if prev <= 0 {
+		t.Error("high-γ MTD should incur positive operational cost on the congested 14-bus system")
+	}
+}
+
+func TestSelectMTDNoDFACTS(t *testing.T) {
+	n, xt, _, _ := setup14(t)
+	for i := range n.Branches {
+		n.Branches[i].HasDFACTS = false
+		n.Branches[i].XMin = n.Branches[i].X
+		n.Branches[i].XMax = n.Branches[i].X
+	}
+	if _, err := SelectMTD(n, xt, SelectConfig{GammaThreshold: 0.1}); !errors.Is(err, ErrNoDFACTS) {
+		t.Fatalf("err = %v, want ErrNoDFACTS", err)
+	}
+	if _, err := MaxGamma(n, xt, MaxGammaConfig{}); !errors.Is(err, ErrNoDFACTS) {
+		t.Fatalf("MaxGamma err = %v, want ErrNoDFACTS", err)
+	}
+	if _, err := RandomPerturbation(rand.New(rand.NewSource(1)), n, 0.02); !errors.Is(err, ErrNoDFACTS) {
+		t.Fatalf("RandomPerturbation err = %v, want ErrNoDFACTS", err)
+	}
+}
+
+func TestMaxGammaReachesPaperRange(t *testing.T) {
+	// With the paper's D-FACTS set and ±50% range, the achievable γ on the
+	// 14-bus system reaches ≈ 0.42-0.45 rad (the paper sweeps up to 0.45).
+	n, xt, _, baseCost := setup14(t)
+	sel, err := MaxGamma(n, xt, MaxGammaConfig{Starts: 4, Seed: 10, BaselineCost: baseCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Gamma < 0.40 || sel.Gamma > math.Pi/2 {
+		t.Errorf("max gamma = %v, want in [0.40, pi/2]", sel.Gamma)
+	}
+}
+
+func TestRandomPerturbationWithinBounds(t *testing.T) {
+	n, _, _, _ := setup14(t)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		x, err := RandomPerturbation(rng, n, 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, br := range n.Branches {
+			if !br.HasDFACTS {
+				if x[i] != br.X {
+					t.Fatalf("non-D-FACTS branch %d perturbed", i)
+				}
+				continue
+			}
+			if math.Abs(x[i]-br.X) > 0.02*br.X+1e-12 {
+				t.Fatalf("branch %d perturbed by more than 2%%: %v vs %v", i, x[i], br.X)
+			}
+			if x[i] < br.XMin-1e-12 || x[i] > br.XMax+1e-12 {
+				t.Fatalf("branch %d outside device limits", i)
+			}
+		}
+	}
+	if _, err := RandomPerturbation(rng, n, 0); err == nil {
+		t.Error("expected error for maxFrac=0")
+	}
+}
+
+func TestRandomPerturbationGammaIsSmall(t *testing.T) {
+	// The motivation for the paper: ±2% random keys yield tiny γ compared
+	// to the designed perturbations.
+	n, xt, _, _ := setup14(t)
+	rng := rand.New(rand.NewSource(12))
+	nn := n.WithReactances(xt)
+	for trial := 0; trial < 10; trial++ {
+		x, err := RandomPerturbation(rng, nn, 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := Gamma(n, xt, x); g > 0.05 {
+			t.Errorf("random ±2%% perturbation achieved γ=%v, expected < 0.05", g)
+		}
+	}
+}
+
+func TestOperationalCost(t *testing.T) {
+	if got := OperationalCost(100, 110); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("OperationalCost = %v, want 0.1", got)
+	}
+	if got := OperationalCost(100, 99.9999); got != 0 {
+		t.Errorf("tiny negative should clamp to 0, got %v", got)
+	}
+	if got := OperationalCost(0, 50); got != 0 {
+		t.Errorf("zero baseline should give 0, got %v", got)
+	}
+}
+
+func TestOperatingMeasurementsLength(t *testing.T) {
+	n, xt, zt, _ := setup14(t)
+	if len(zt) != n.M() {
+		t.Fatalf("len(z) = %d, want %d", len(zt), n.M())
+	}
+	_ = xt
+}
+
+func TestTuneGammaThreshold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning loop is expensive")
+	}
+	n, xt, zt, baseCost := setup14(t)
+	sel, eff, err := TuneGammaThreshold(n, xt, zt, TuneConfig{
+		TargetDelta: 0.9,
+		TargetEta:   0.9,
+		Iterations:  4,
+		Effectiveness: EffectivenessConfig{
+			NumAttacks: 200,
+			Seed:       13,
+		},
+		Select: SelectConfig{Starts: 3, Seed: 13, BaselineCost: baseCost},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.Eta[0] < 0.9 {
+		t.Errorf("tuned effectiveness %v below target 0.9", eff.Eta[0])
+	}
+	if sel.Gamma <= 0 {
+		t.Errorf("tuned gamma = %v", sel.Gamma)
+	}
+}
+
+func TestRandomKeyWithinCost(t *testing.T) {
+	n, _, _, baseCost := setup14(t)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 5; trial++ {
+		x, cost, draws, err := RandomKeyWithinCost(rng, n, baseCost, 0.02, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost > baseCost*1.02+1e-9 {
+			t.Errorf("key cost %v exceeds 2%% budget over %v", cost, baseCost)
+		}
+		if draws < 1 {
+			t.Errorf("draws = %d", draws)
+		}
+		for i, br := range n.Branches {
+			if x[i] < br.XMin-1e-12 || x[i] > br.XMax+1e-12 {
+				t.Errorf("branch %d reactance outside device limits", i)
+			}
+		}
+	}
+	// Impossible budget must exhaust draws with an error.
+	if _, _, _, err := RandomKeyWithinCost(rng, n, baseCost*0.5, 0.0, 10); err == nil {
+		t.Error("expected exhaustion error for impossible budget")
+	}
+	// Invalid arguments.
+	if _, _, _, err := RandomKeyWithinCost(rng, n, 0, 0.02, 10); err == nil {
+		t.Error("expected error for zero baseline cost")
+	}
+	if _, _, _, err := RandomKeyWithinCost(rng, n, baseCost, -1, 10); err == nil {
+		t.Error("expected error for negative budget")
+	}
+}

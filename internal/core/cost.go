@@ -1,0 +1,17 @@
+package core
+
+// OperationalCost returns the paper's C_MTD metric (equation (3)): the
+// relative increase of the OPF cost caused by the MTD perturbation,
+// (C'_OPF − C_OPF)/C_OPF. The result is clamped below at zero — the MTD
+// optimum can never genuinely beat the unconstrained optimum; tiny negative
+// values only arise from solver tolerance.
+func OperationalCost(baselineCost, mtdCost float64) float64 {
+	if baselineCost <= 0 {
+		return 0
+	}
+	c := (mtdCost - baselineCost) / baselineCost
+	if c < 0 {
+		return 0
+	}
+	return c
+}

@@ -1,0 +1,31 @@
+// Package core implements the paper's contribution: selection and
+// evaluation of moving-target-defense (MTD) reactance perturbations for
+// power grid state estimation.
+//
+// The defender periodically re-dispatches the grid by solving the OPF; an
+// attacker who learned the measurement matrix H_t of an earlier
+// configuration injects stealthy attacks a = H_t·c. The MTD perturbs
+// D-FACTS branch reactances so the new matrix H'_t' separates from H_t,
+// exposing those attacks to the bad data detector.
+//
+// The package provides:
+//
+//   - Effectiveness: the paper's η'(δ) metric — the fraction of stealthy
+//     pre-perturbation attacks whose detection probability under the new
+//     configuration exceeds δ (Section V-A), evaluated analytically via the
+//     noncentral-χ² residual distribution or by Monte Carlo, together with
+//     the subspace separation γ(H_t, H'_t').
+//   - SelectMTD: the constrained perturbation selection of problem (4) —
+//     minimize OPF cost subject to γ(H_t, H'_t') ≥ γ_th — solved by
+//     multi-start derivative-free search with a quadratic penalty, the
+//     dispatch LP nested inside.
+//   - MaxGamma: the pure-detection design (Section V) that maximizes
+//     γ regardless of cost, used to probe the feasible γ range of the
+//     D-FACTS hardware.
+//   - RandomPerturbation: the random keyspace baseline of prior work
+//     (Morrow et al., Davis et al., Rahman et al.) against which the paper
+//     compares.
+//   - OperationalCost: the paper's C_MTD metric (relative OPF cost
+//     increase), and TuneGammaThreshold: the numerical procedure that picks
+//     the smallest γ_th achieving a target effectiveness.
+package core

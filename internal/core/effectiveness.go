@@ -1,0 +1,268 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gridmtd/internal/attack"
+	"gridmtd/internal/dcflow"
+	"gridmtd/internal/grid"
+	"gridmtd/internal/mat"
+	"gridmtd/internal/opf"
+	"gridmtd/internal/se"
+	"gridmtd/internal/stat"
+	"gridmtd/internal/subspace"
+)
+
+// DefaultDeltas are the detection-probability thresholds plotted in the
+// paper's Fig. 6.
+var DefaultDeltas = []float64{0.5, 0.8, 0.9, 0.95}
+
+// EffectivenessConfig controls the η'(δ) evaluation. The zero value is
+// completed with the paper's simulation protocol: 1000 random attacks with
+// ‖a‖₁/‖z‖₁ ≈ 0.08, false-positive rate 5×10⁻⁴, and the analytic
+// detection probability. The paper does not state its noise level; the
+// default σ = 0.0015 p.u. (0.15 MW on the 100 MVA base) was calibrated so
+// the η'(δ) curves land in the paper's Fig.-6 operating range (see
+// EXPERIMENTS.md).
+type EffectivenessConfig struct {
+	// NumAttacks is the number of random stealthy attacks (default 1000).
+	NumAttacks int
+	// AttackRatio is the ‖a‖₁/‖z‖₁ scaling (default 0.08).
+	AttackRatio float64
+	// Sigma is the measurement noise standard deviation in per-unit
+	// (default 0.0015).
+	Sigma float64
+	// Alpha is the BDD false-positive rate (default 5e-4).
+	Alpha float64
+	// Deltas are the detection-probability thresholds (default
+	// DefaultDeltas).
+	Deltas []float64
+	// Seed seeds the attack sampler (and noise sampler under Monte Carlo).
+	Seed int64
+	// MonteCarlo switches from the analytic noncentral-χ² detection
+	// probability to noise-resampling Monte Carlo (the paper's literal
+	// protocol; slower, statistically identical — see the cross-validation
+	// tests).
+	MonteCarlo bool
+	// NoiseTrials is the number of noise draws per attack under Monte
+	// Carlo (default 1000).
+	NoiseTrials int
+	// ReportProbs requests the per-attack detection probabilities in
+	// EffectivenessResult.DetectionProbs. Under the analytic path η'(δ) is
+	// computed by noncentrality thresholding without evaluating per-attack
+	// probabilities, so reporting them costs extra; sweeps that only need
+	// η' leave this false. Monte Carlo always reports them.
+	ReportProbs bool
+}
+
+func (c EffectivenessConfig) withDefaults() EffectivenessConfig {
+	if c.NumAttacks <= 0 {
+		c.NumAttacks = 1000
+	}
+	if c.AttackRatio <= 0 {
+		c.AttackRatio = 0.08
+	}
+	if c.Sigma <= 0 {
+		c.Sigma = 0.0015
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 5e-4
+	}
+	if len(c.Deltas) == 0 {
+		c.Deltas = DefaultDeltas
+	}
+	if c.NoiseTrials <= 0 {
+		c.NoiseTrials = 1000
+	}
+	return c
+}
+
+// EffectivenessResult reports the MTD quality metrics for one perturbation.
+type EffectivenessResult struct {
+	// Gamma is the subspace separation γ(H_old, H_new) (largest principal
+	// angle; see internal/subspace).
+	Gamma float64
+	// Deltas are the evaluated thresholds.
+	Deltas []float64
+	// Eta[i] is η'(Deltas[i]): the fraction of attacks with detection
+	// probability at least Deltas[i].
+	Eta []float64
+	// DetectionProbs holds P'_D(a) for each sampled attack when requested
+	// via EffectivenessConfig.ReportProbs or Monte Carlo (nil otherwise).
+	DetectionProbs []float64
+	// UndetectableFraction is the fraction of sampled attacks that remain
+	// perfectly stealthy under the new matrix (Proposition-1 condition,
+	// detection probability = false-positive rate).
+	UndetectableFraction float64
+}
+
+// EtaAt returns η'(δ) for an evaluated threshold δ, or an error if δ was
+// not in the configured set.
+func (r *EffectivenessResult) EtaAt(delta float64) (float64, error) {
+	for i, d := range r.Deltas {
+		if d == delta {
+			return r.Eta[i], nil
+		}
+	}
+	return 0, fmt.Errorf("core: delta %v was not evaluated", delta)
+}
+
+// AttackSet is a batch of pre-crafted stealthy attacks, reusable across
+// many candidate perturbations (the paper's Figs. 6-8 evaluate the same
+// 1000-attack set against every MTD).
+type AttackSet struct {
+	// Vectors are the crafted attacks a = H_old·c.
+	Vectors []*attack.Vector
+	// HOld is the measurement matrix the attacks were crafted against.
+	HOld *mat.Dense
+}
+
+// SampleAttacks draws cfg.NumAttacks random stealthy attacks against the
+// configuration xOld with operating measurements zOld.
+func SampleAttacks(n *grid.Network, xOld, zOld []float64, cfg EffectivenessConfig) (*AttackSet, error) {
+	cfg = cfg.withDefaults()
+	if len(zOld) != n.M() {
+		return nil, errors.New("core: operating measurement vector has wrong length")
+	}
+	hOld := n.MeasurementMatrix(xOld)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vecs := make([]*attack.Vector, 0, cfg.NumAttacks)
+	for k := 0; k < cfg.NumAttacks; k++ {
+		av, err := attack.Random(rng, hOld, zOld, cfg.AttackRatio)
+		if err != nil {
+			return nil, fmt.Errorf("core: sampling attack %d: %w", k, err)
+		}
+		vecs = append(vecs, av)
+	}
+	return &AttackSet{Vectors: vecs, HOld: hOld}, nil
+}
+
+// EvaluateAttacks computes the effectiveness of the perturbation xNew
+// against a pre-crafted attack set.
+func EvaluateAttacks(n *grid.Network, set *AttackSet, xNew []float64, cfg EffectivenessConfig) (*EffectivenessResult, error) {
+	cfg = cfg.withDefaults()
+	if len(set.Vectors) == 0 {
+		return nil, errors.New("core: empty attack set")
+	}
+	hNew := n.MeasurementMatrix(xNew)
+	est, err := se.NewEstimator(hNew)
+	if err != nil {
+		return nil, fmt.Errorf("core: post-MTD estimator: %w", err)
+	}
+	bdd, err := se.NewBDD(est, cfg.Sigma, cfg.Alpha)
+	if err != nil {
+		return nil, fmt.Errorf("core: post-MTD BDD: %w", err)
+	}
+
+	numAtt := len(set.Vectors)
+	eta := make([]float64, len(cfg.Deltas))
+	var probs []float64
+	undetectable := 0
+
+	if cfg.MonteCarlo {
+		rng := rand.New(rand.NewSource(cfg.Seed + 1))
+		probs = make([]float64, numAtt)
+		for k, av := range set.Vectors {
+			if est.IsStealthy(av.A, 0) {
+				undetectable++
+			}
+			probs[k] = est.DetectionProbabilityMC(bdd, av.A, cfg.NoiseTrials, rng)
+		}
+		for i, d := range cfg.Deltas {
+			eta[i] = stat.FractionAtLeast(probs, d)
+		}
+	} else {
+		// Fast analytic path: P'_D(a) ≥ δ iff the residual component
+		// ‖(I−Γ')a‖ meets the noncentrality threshold σ·sqrt(λ_δ).
+		x := (bdd.Tau / bdd.Sigma) * (bdd.Tau / bdd.Sigma)
+		dof := float64(bdd.DOF)
+		raThresh := make([]float64, len(cfg.Deltas))
+		for i, d := range cfg.Deltas {
+			if d >= 1 {
+				raThresh[i] = math.Inf(1)
+				continue
+			}
+			lambda, err := stat.NoncentralChiSquareLambdaForSF(dof, x, d)
+			if err != nil {
+				return nil, fmt.Errorf("core: inverting detection probability: %w", err)
+			}
+			raThresh[i] = bdd.Sigma * math.Sqrt(lambda)
+		}
+		ras := make([]float64, numAtt)
+		for k, av := range set.Vectors {
+			ra := est.ResidualComponent(av.A)
+			ras[k] = ra
+			if ra <= 1e-8*mat.Norm2(av.A) {
+				undetectable++
+			}
+		}
+		for i, thresh := range raThresh {
+			cnt := 0
+			for _, ra := range ras {
+				if ra >= thresh {
+					cnt++
+				}
+			}
+			eta[i] = float64(cnt) / float64(numAtt)
+		}
+		if cfg.ReportProbs {
+			probs = make([]float64, numAtt)
+			for k, ra := range ras {
+				lambda := (ra / bdd.Sigma) * (ra / bdd.Sigma)
+				pd, err := stat.NoncentralChiSquareSF(dof, lambda, x)
+				if err != nil {
+					return nil, fmt.Errorf("core: detection probability: %w", err)
+				}
+				probs[k] = pd
+			}
+		}
+	}
+
+	return &EffectivenessResult{
+		Gamma:                subspace.Gamma(set.HOld, hNew),
+		Deltas:               mat.CopyVec(cfg.Deltas),
+		Eta:                  eta,
+		DetectionProbs:       probs,
+		UndetectableFraction: float64(undetectable) / float64(numAtt),
+	}, nil
+}
+
+// Effectiveness evaluates the MTD that changes the reactances from xOld
+// (the configuration the attacker learned) to xNew. zOld is the operating
+// measurement vector under xOld used for attack scaling (see
+// OperatingMeasurements). It samples stealthy attacks a = H(xOld)·c,
+// computes each attack's detection probability under H(xNew), and reduces
+// them to the η'(δ) curve.
+func Effectiveness(n *grid.Network, xOld, xNew, zOld []float64, cfg EffectivenessConfig) (*EffectivenessResult, error) {
+	set, err := SampleAttacks(n, xOld, zOld, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return EvaluateAttacks(n, set, xNew, cfg)
+}
+
+// OperatingMeasurements solves the dispatch OPF at reactances x and returns
+// the noiseless measurement vector z = [p; f; −f] (per-unit) of the
+// resulting operating point. This is the z against which attack magnitudes
+// are scaled.
+func OperatingMeasurements(n *grid.Network, x []float64) ([]float64, error) {
+	res, err := opf.SolveDispatch(n, x)
+	if err != nil {
+		return nil, fmt.Errorf("core: operating point: %w", err)
+	}
+	inj := n.InjectionsMW(res.DispatchMW)
+	fl, err := dcflow.Solve(n, x, inj)
+	if err != nil {
+		return nil, err
+	}
+	return dcflow.Measurements(n, inj, fl), nil
+}
+
+// Gamma returns the subspace separation γ between the measurement matrices
+// at the two reactance settings.
+func Gamma(n *grid.Network, xOld, xNew []float64) float64 {
+	return subspace.Gamma(n.MeasurementMatrix(xOld), n.MeasurementMatrix(xNew))
+}

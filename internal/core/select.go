@@ -1,0 +1,323 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"gridmtd/internal/grid"
+	"gridmtd/internal/opf"
+	"gridmtd/internal/optimize"
+	"gridmtd/internal/subspace"
+)
+
+// ErrNoDFACTS is returned when a selection routine runs on a network
+// without any D-FACTS devices.
+var ErrNoDFACTS = errors.New("core: network has no D-FACTS devices")
+
+// ErrConstraintUnreachable is returned by SelectMTD when no reactance
+// setting within the D-FACTS limits achieves the requested γ threshold.
+var ErrConstraintUnreachable = errors.New("core: gamma threshold unreachable within D-FACTS limits")
+
+// Selection is a chosen MTD perturbation together with its metrics.
+type Selection struct {
+	// Reactances is the full post-MTD branch reactance vector x'.
+	Reactances []float64
+	// OPF is the optimal dispatch under the chosen reactances.
+	OPF *opf.Result
+	// Gamma is the achieved separation γ(H(xOld), H(x')).
+	Gamma float64
+	// CostIncrease is C_MTD: the relative OPF cost increase over the
+	// no-MTD optimum at the same loads (paper equation (3)).
+	CostIncrease float64
+	// BaselineCost is the no-MTD OPF cost C_OPF,t' used as reference: the
+	// cost of problem (1) — dispatch AND D-FACTS reactances optimized
+	// without any γ constraint.
+	BaselineCost float64
+}
+
+// SelectConfig tunes the problem-(4) search.
+type SelectConfig struct {
+	// GammaThreshold is γ_th in constraint (4b).
+	GammaThreshold float64
+	// Starts is the number of multi-start points (default 8).
+	Starts int
+	// Seed seeds the multi-start sampler.
+	Seed int64
+	// MaxEvals bounds objective evaluations per local search (default
+	// 80 × #D-FACTS branches).
+	MaxEvals int
+	// PenaltyMu weights the quadratic γ-constraint penalty (default 1e10,
+	// large relative to $-scale OPF costs).
+	PenaltyMu float64
+	// GammaTol is the tolerated constraint slack when validating the
+	// result (default 2e-3 rad).
+	GammaTol float64
+	// BaselineCost, when positive, is used as the no-MTD reference cost
+	// C_OPF,t' instead of solving problem (1) internally. Callers running
+	// many selections against the same loads (tradeoff sweeps, the daily
+	// simulation) should compute it once via NoMTDCost.
+	BaselineCost float64
+	// WarmStarts are additional D-FACTS starting points for the search
+	// (e.g. the previous γ-threshold's solution during a sweep).
+	WarmStarts [][]float64
+}
+
+func (c SelectConfig) withDefaults(dim int) SelectConfig {
+	if c.Starts <= 0 {
+		c.Starts = 8
+	}
+	if c.MaxEvals <= 0 {
+		c.MaxEvals = 80 * dim
+	}
+	if c.PenaltyMu <= 0 {
+		c.PenaltyMu = 1e10
+	}
+	if c.GammaTol <= 0 {
+		c.GammaTol = 2e-3
+	}
+	return c
+}
+
+// NoMTDCost returns C_OPF,t': the generation cost of problem (1) at the
+// network's current loads with dispatch and D-FACTS reactances free — the
+// reference against which the MTD operational cost is measured.
+func NoMTDCost(n *grid.Network, starts int, seed int64) (float64, error) {
+	res, err := opf.SolveDFACTS(n, opf.DFACTSConfig{Starts: starts, Seed: seed})
+	if err != nil {
+		return 0, fmt.Errorf("core: no-MTD baseline OPF: %w", err)
+	}
+	return res.CostPerHour, nil
+}
+
+// SelectMTD solves the paper's problem (4): choose the D-FACTS reactance
+// vector x' minimizing the OPF generation cost at the network's current
+// loads subject to γ(H(xOld), H(x')) ≥ γ_th and the device/network limits.
+// xOld is the (attacker-known) pre-perturbation reactance vector — with
+// hourly MTD it reflects loads one interval old, while cost is evaluated at
+// the current loads, exactly as in Section VI.
+func SelectMTD(n *grid.Network, xOld []float64, cfg SelectConfig) (*Selection, error) {
+	idx := n.DFACTSIndices()
+	if len(idx) == 0 {
+		return nil, ErrNoDFACTS
+	}
+	cfg = cfg.withDefaults(len(idx))
+
+	baselineCost := cfg.BaselineCost
+	if baselineCost <= 0 {
+		var err error
+		baselineCost, err = NoMTDCost(n, cfg.Starts, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	hOld := n.MeasurementMatrix(xOld)
+	gammaOf := func(xd []float64) float64 {
+		return subspace.Gamma(hOld, n.MeasurementMatrix(n.ExpandDFACTS(xd)))
+	}
+	costOf := func(xd []float64) float64 {
+		res, err := opf.SolveDispatch(n, n.ExpandDFACTS(xd))
+		if err != nil {
+			return optimize.InfeasibleObjective
+		}
+		return res.CostPerHour
+	}
+	cons := []optimize.Constraint{
+		func(xd []float64) float64 { return cfg.GammaThreshold - gammaOf(xd) },
+	}
+	obj := optimize.Penalized(costOf, cons, cfg.PenaltyMu)
+
+	lo, hi := n.DFACTSBounds()
+	box := optimize.Bounds{Lower: lo, Upper: hi}
+	local := func(f optimize.Objective, x0 []float64) (*optimize.Result, error) {
+		return optimize.NelderMead(f, x0, optimize.NMConfig{MaxEvals: cfg.MaxEvals})
+	}
+	initials := [][]float64{
+		n.DFACTSSetting(n.Reactances()),
+		n.DFACTSSetting(xOld),
+	}
+	initials = append(initials, cfg.WarmStarts...)
+	best, err := optimize.MultiStart(obj, box, local, optimize.MSConfig{
+		Starts:        cfg.Starts,
+		Seed:          cfg.Seed,
+		InitialPoints: initials,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: problem (4) search: %w", err)
+	}
+
+	gamma := gammaOf(best.X)
+	if gamma < cfg.GammaThreshold-cfg.GammaTol {
+		return nil, fmt.Errorf("%w: best γ %.4f < threshold %.4f", ErrConstraintUnreachable, gamma, cfg.GammaThreshold)
+	}
+	xFull := n.ExpandDFACTS(best.X)
+	res, err := opf.SolveDispatch(n, xFull)
+	if err != nil {
+		return nil, fmt.Errorf("core: OPF at selected reactances: %w", err)
+	}
+	return &Selection{
+		Reactances:   xFull,
+		OPF:          res,
+		Gamma:        gamma,
+		CostIncrease: OperationalCost(baselineCost, res.CostPerHour),
+		BaselineCost: baselineCost,
+	}, nil
+}
+
+// MaxGammaConfig tunes the MaxGamma search.
+type MaxGammaConfig struct {
+	// Starts is the number of multi-start points (default 8).
+	Starts int
+	// Seed seeds the sampler.
+	Seed int64
+	// BaselineCost, when positive, is the no-MTD reference cost (see
+	// SelectConfig.BaselineCost).
+	BaselineCost float64
+}
+
+// MaxGamma finds the D-FACTS setting that maximizes γ(H(xOld), H(x'))
+// regardless of cost — the pure-detection design of Section V, and the
+// practical probe for the largest achievable γ (Theorem 1's orthogonality
+// is unattainable with bounded devices, so this is the best the hardware
+// can do). Because γ is typically maximized at extreme device settings, the
+// search polls all box corners (up to 2¹² of them) in addition to
+// multi-start Nelder-Mead.
+func MaxGamma(n *grid.Network, xOld []float64, cfg MaxGammaConfig) (*Selection, error) {
+	idx := n.DFACTSIndices()
+	if len(idx) == 0 {
+		return nil, ErrNoDFACTS
+	}
+	if cfg.Starts <= 0 {
+		cfg.Starts = 8
+	}
+	hOld := n.MeasurementMatrix(xOld)
+	gammaOf := func(xd []float64) float64 {
+		return subspace.Gamma(hOld, n.MeasurementMatrix(n.ExpandDFACTS(xd)))
+	}
+	lo, hi := n.DFACTSBounds()
+	box := optimize.Bounds{Lower: lo, Upper: hi}
+
+	// Corner enumeration (exact when the maximum sits at a vertex, which it
+	// empirically does for reactance perturbations).
+	bestX := box.Sample(rand.New(rand.NewSource(cfg.Seed)))
+	bestG := gammaOf(bestX)
+	if d := len(idx); d <= 12 {
+		xd := make([]float64, d)
+		for mask := 0; mask < 1<<d; mask++ {
+			for i := 0; i < d; i++ {
+				if mask&(1<<i) != 0 {
+					xd[i] = hi[i]
+				} else {
+					xd[i] = lo[i]
+				}
+			}
+			if g := gammaOf(xd); g > bestG {
+				bestG = g
+				copy(bestX, xd)
+			}
+		}
+	}
+
+	obj := func(xd []float64) float64 { return -gammaOf(xd) }
+	local := func(f optimize.Objective, x0 []float64) (*optimize.Result, error) {
+		return optimize.NelderMead(f, x0, optimize.NMConfig{MaxEvals: 120 * len(idx)})
+	}
+	res, err := optimize.MultiStart(obj, box, local, optimize.MSConfig{
+		Starts:        cfg.Starts,
+		Seed:          cfg.Seed,
+		InitialPoints: [][]float64{bestX},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if g := -res.F; g > bestG {
+		bestG = g
+		bestX = res.X
+	}
+
+	baselineCost := cfg.BaselineCost
+	if baselineCost <= 0 {
+		baselineCost, err = NoMTDCost(n, cfg.Starts, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	xFull := n.ExpandDFACTS(bestX)
+	opfRes, err := opf.SolveDispatch(n, xFull)
+	if err != nil {
+		return nil, fmt.Errorf("core: OPF at max-γ reactances: %w", err)
+	}
+	return &Selection{
+		Reactances:   xFull,
+		OPF:          opfRes,
+		Gamma:        bestG,
+		CostIncrease: OperationalCost(baselineCost, opfRes.CostPerHour),
+		BaselineCost: baselineCost,
+	}, nil
+}
+
+// RandomKeyWithinCost implements the random-keyspace MTD of prior work
+// (Morrow et al., Davis et al.) under the reproduced paper's reading:
+// random D-FACTS settings drawn uniformly from the device box, accepted
+// when their OPF cost stays within costFrac (e.g. 0.02 = "within 2% of the
+// optimal value") of baselineCost. It returns the accepted full reactance
+// vector, its OPF cost, and the number of draws consumed. maxDraws bounds
+// rejection sampling (default 1000 when <= 0).
+func RandomKeyWithinCost(rng *rand.Rand, n *grid.Network, baselineCost, costFrac float64, maxDraws int) ([]float64, float64, int, error) {
+	idx := n.DFACTSIndices()
+	if len(idx) == 0 {
+		return nil, 0, 0, ErrNoDFACTS
+	}
+	if baselineCost <= 0 || costFrac < 0 {
+		return nil, 0, 0, errors.New("core: invalid cost budget")
+	}
+	if maxDraws <= 0 {
+		maxDraws = 1000
+	}
+	lo, hi := n.DFACTSBounds()
+	box := optimize.Bounds{Lower: lo, Upper: hi}
+	budget := baselineCost * (1 + costFrac)
+	for draw := 1; draw <= maxDraws; draw++ {
+		xd := box.Sample(rng)
+		x := n.ExpandDFACTS(xd)
+		res, err := opf.SolveDispatch(n, x)
+		if err != nil {
+			continue // infeasible draw: outside the keyspace
+		}
+		if res.CostPerHour <= budget {
+			return x, res.CostPerHour, draw, nil
+		}
+	}
+	return nil, 0, maxDraws, fmt.Errorf("core: no random key within %.1f%% cost budget after %d draws", 100*costFrac, maxDraws)
+}
+
+// RandomPerturbation is the naive random baseline: every D-FACTS branch
+// reactance is multiplied by an independent uniform factor in
+// [1−maxFrac, 1+maxFrac], clipped to the device limits. It returns the
+// full post-MTD reactance vector derived from the network's current
+// reactances. (Under the paper's reading the prior-work keyspace bounds
+// the OPF *cost*, not the reactance change — see RandomKeyWithinCost; this
+// variant is kept as the literal-jitter ablation.)
+func RandomPerturbation(rng *rand.Rand, n *grid.Network, maxFrac float64) ([]float64, error) {
+	idx := n.DFACTSIndices()
+	if len(idx) == 0 {
+		return nil, ErrNoDFACTS
+	}
+	if maxFrac <= 0 {
+		return nil, errors.New("core: maxFrac must be positive")
+	}
+	x := n.Reactances()
+	for _, i := range idx {
+		factor := 1 + (2*rng.Float64()-1)*maxFrac
+		v := x[i] * factor
+		if v < n.Branches[i].XMin {
+			v = n.Branches[i].XMin
+		}
+		if v > n.Branches[i].XMax {
+			v = n.Branches[i].XMax
+		}
+		x[i] = v
+	}
+	return x, nil
+}

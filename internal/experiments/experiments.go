@@ -1,0 +1,126 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section VII). Each experiment has a typed config with the
+// paper's parameters as defaults, a Run function returning structured rows,
+// and a text formatter that prints the same rows/series the paper reports.
+// The cmd/mtdexp binary and the repository benchmarks are thin wrappers
+// around this package; EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Quality selects the evaluation budget.
+type Quality int
+
+const (
+	// Full reproduces the paper's protocol (1000 attacks, 500 keyspace
+	// draws, 24-hour day, full multi-start budgets).
+	Full Quality = iota
+	// Quick shrinks sampling budgets for benchmarks and smoke tests while
+	// preserving every code path and the qualitative shapes.
+	Quick
+)
+
+// String names the quality level.
+func (q Quality) String() string {
+	if q == Quick {
+		return "quick"
+	}
+	return "full"
+}
+
+// Experiment is a runnable reproduction of one paper artifact.
+type Experiment struct {
+	// ID is the registry key (e.g. "table1", "fig6a").
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Run executes the experiment and writes its table(s) to w.
+	Run func(w io.Writer, q Quality) error
+}
+
+// registry holds all experiments keyed by ID.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) { registry[e.ID] = e }
+
+// All returns the experiments sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up an experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs returns the sorted registry keys.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// renderTable writes a fixed-width text table.
+func renderTable(w io.Writer, title string, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+			return err
+		}
+	}
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if _, err := fmt.Fprintf(w, "%-*s", widths[i]+2, c); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	if err := writeRow(headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(headers))
+	for i := range sep {
+		for j := 0; j < widths[i]; j++ {
+			sep[i] += "-"
+		}
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }

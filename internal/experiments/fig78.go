@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"gridmtd/internal/core"
+	"gridmtd/internal/grid"
+	"gridmtd/internal/opf"
+)
+
+// Fig7Config controls the random-perturbation baseline comparison.
+type Fig7Config struct {
+	// Trials is the number of random perturbations plotted (paper: 5).
+	Trials int
+	// CostBudget is the keyspace's relative OPF-cost allowance (paper:
+	// perturbations "within 2% of the optimal value", i.e. 0.02).
+	CostBudget float64
+	// DeltaGrid is the δ axis.
+	DeltaGrid []float64
+	// Effectiveness configures the η' evaluation.
+	Effectiveness core.EffectivenessConfig
+	// Seed seeds the key sampler.
+	Seed int64
+	// OPFStarts is the pre-perturbation problem-(1) budget.
+	OPFStarts int
+}
+
+// DefaultFig7Config returns the paper's Fig. 7 protocol.
+func DefaultFig7Config() Fig7Config {
+	return Fig7Config{
+		Trials:     5,
+		CostBudget: 0.02,
+		DeltaGrid:  gammaGrid(0.05, 0.95, 0.05),
+		Seed:       71,
+		OPFStarts:  8,
+	}
+}
+
+// Fig7Row is one random trial's η'(δ) curve.
+type Fig7Row struct {
+	Trial int
+	Gamma float64
+	Eta   []float64 // aligned with the configured DeltaGrid
+}
+
+// fig7Setup prepares the shared pre-perturbation state, attack set and
+// no-MTD cost.
+func fig7Setup(cfg *Fig7Config) (*grid.Network, []float64, *core.AttackSet, float64, error) {
+	n := grid.CaseIEEE14()
+	pre, err := opf.SolveDFACTS(n, opf.DFACTSConfig{Starts: cfg.OPFStarts, Seed: cfg.Seed})
+	if err != nil {
+		return nil, nil, nil, 0, fmt.Errorf("experiments: fig7/8 pre-perturbation OPF: %w", err)
+	}
+	xt := pre.Reactances
+	zt, err := core.OperatingMeasurements(n, xt)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	cfg.Effectiveness.Deltas = cfg.DeltaGrid
+	cfg.Effectiveness.Seed = cfg.Seed
+	attacks, err := core.SampleAttacks(n, xt, zt, cfg.Effectiveness)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	return n, xt, attacks, pre.CostPerHour, nil
+}
+
+// RunFig7 reproduces Fig. 7: η'(δ) for a handful of random keyspace
+// perturbations (prior work's MTD — random D-FACTS settings whose OPF cost
+// stays within 2% of the optimum), showing high across-trial variability.
+func RunFig7(cfg Fig7Config) ([]Fig7Row, error) {
+	n, _, attacks, baseCost, err := fig7Setup(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	rows := make([]Fig7Row, 0, cfg.Trials)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		xRand, _, _, err := core.RandomKeyWithinCost(rng, n, baseCost, cfg.CostBudget, 0)
+		if err != nil {
+			return nil, err
+		}
+		eff, err := core.EvaluateAttacks(n, attacks, xRand, cfg.Effectiveness)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig7Row{Trial: trial + 1, Gamma: eff.Gamma, Eta: eff.Eta})
+	}
+	return rows, nil
+}
+
+// FormatFig7 renders the per-trial curves.
+func FormatFig7(w io.Writer, cfg Fig7Config, rows []Fig7Row) error {
+	headers := []string{"δ"}
+	for _, r := range rows {
+		headers = append(headers, fmt.Sprintf("trial %d (γ=%.3f)", r.Trial, r.Gamma))
+	}
+	out := make([][]string, 0, len(cfg.DeltaGrid))
+	for i, d := range cfg.DeltaGrid {
+		cells := []string{f2(d)}
+		for _, r := range rows {
+			cells = append(cells, f3(r.Eta[i]))
+		}
+		out = append(out, cells)
+	}
+	return renderTable(w,
+		"Fig. 7: η'(δ) under five random keyspace MTD perturbations (2% cost budget), IEEE 14-bus",
+		headers, out)
+}
+
+// Fig8Config controls the keyspace experiment.
+type Fig8Config struct {
+	// Keys is the keyspace size (paper: 500 random perturbations).
+	Keys int
+	// EtaTarget is the effectiveness bar (paper: η'(δ) >= 0.9).
+	EtaTarget float64
+	Fig7      Fig7Config
+}
+
+// DefaultFig8Config returns the paper's Fig. 8 protocol.
+func DefaultFig8Config() Fig8Config {
+	cfg := DefaultFig7Config()
+	cfg.Seed = 81
+	return Fig8Config{Keys: 500, EtaTarget: 0.9, Fig7: cfg}
+}
+
+// Fig8Row is one δ point: the fraction of random keys that meet the bar.
+type Fig8Row struct {
+	Delta    float64
+	Fraction float64
+}
+
+// RunFig8 reproduces Fig. 8: the fraction of the random-perturbation
+// keyspace achieving η'(δ) ≥ 0.9, as a function of δ.
+func RunFig8(cfg Fig8Config) ([]Fig8Row, error) {
+	f7 := cfg.Fig7
+	n, _, attacks, baseCost, err := fig7Setup(&f7)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(f7.Seed))
+
+	counts := make([]int, len(f7.DeltaGrid))
+	for k := 0; k < cfg.Keys; k++ {
+		xRand, _, _, err := core.RandomKeyWithinCost(rng, n, baseCost, f7.CostBudget, 0)
+		if err != nil {
+			return nil, err
+		}
+		eff, err := core.EvaluateAttacks(n, attacks, xRand, f7.Effectiveness)
+		if err != nil {
+			return nil, err
+		}
+		for i := range f7.DeltaGrid {
+			if eff.Eta[i] >= cfg.EtaTarget {
+				counts[i]++
+			}
+		}
+	}
+	rows := make([]Fig8Row, len(f7.DeltaGrid))
+	for i, d := range f7.DeltaGrid {
+		rows[i] = Fig8Row{Delta: d, Fraction: float64(counts[i]) / float64(cfg.Keys)}
+	}
+	return rows, nil
+}
+
+// FormatFig8 renders the keyspace fractions.
+func FormatFig8(w io.Writer, cfg Fig8Config, rows []Fig8Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{f2(r.Delta), f3(r.Fraction)})
+	}
+	return renderTable(w,
+		fmt.Sprintf("Fig. 8: fraction of %d random keyspace perturbations (2%% cost budget) with η'(δ) ≥ %.1f, IEEE 14-bus",
+			cfg.Keys, cfg.EtaTarget),
+		[]string{"δ", "fraction of keys"}, out)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Fig. 7: η'(δ) under five random MTD perturbations (IEEE 14-bus)",
+		Run: func(w io.Writer, q Quality) error {
+			cfg := DefaultFig7Config()
+			if q == Quick {
+				cfg.Effectiveness.NumAttacks = 100
+				cfg.OPFStarts = 3
+				cfg.DeltaGrid = gammaGrid(0.1, 0.9, 0.2)
+			}
+			rows, err := RunFig7(cfg)
+			if err != nil {
+				return err
+			}
+			return FormatFig7(w, cfg, rows)
+		},
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Fig. 8: fraction of random keyspace achieving η'(δ) ≥ 0.9 (IEEE 14-bus)",
+		Run: func(w io.Writer, q Quality) error {
+			cfg := DefaultFig8Config()
+			if q == Quick {
+				cfg.Keys = 50
+				cfg.Fig7.Effectiveness.NumAttacks = 100
+				cfg.Fig7.OPFStarts = 3
+				cfg.Fig7.DeltaGrid = gammaGrid(0.1, 0.9, 0.2)
+			}
+			rows, err := RunFig8(cfg)
+			if err != nil {
+				return err
+			}
+			return FormatFig8(w, cfg, rows)
+		},
+	})
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"gridmtd/internal/core"
+	"gridmtd/internal/grid"
+	"gridmtd/internal/loadprofile"
+	"gridmtd/internal/opf"
+)
+
+// Fig9Config controls the cost-benefit tradeoff experiment at a single
+// hour of the dynamic-load day.
+type Fig9Config struct {
+	// Hour indexes the load profile (paper: 6 PM, index 17).
+	Hour int
+	// PeakLoadMW scales the profile (paper's trace swings the 14-bus
+	// system up to ~220 MW).
+	PeakLoadMW float64
+	// GammaGrid are the sweep's γ_th values.
+	GammaGrid []float64
+	// Effectiveness configures the η' evaluations.
+	Effectiveness core.EffectivenessConfig
+	// SelectStarts is the per-point problem-(4) budget.
+	SelectStarts int
+	// Seed seeds the solvers.
+	Seed int64
+}
+
+// DefaultFig9Config returns the paper's Fig. 9 protocol: 6 PM load, the
+// attacker's knowledge one hour stale (5 PM configuration).
+func DefaultFig9Config() Fig9Config {
+	return Fig9Config{
+		Hour:         17,
+		PeakLoadMW:   220,
+		GammaGrid:    gammaGrid(0.05, 0.40, 0.05),
+		SelectStarts: 8,
+		Seed:         91,
+	}
+}
+
+// Fig9Row is one tradeoff point.
+type Fig9Row struct {
+	GammaTarget  float64
+	Gamma        float64
+	Deltas       []float64
+	Eta          []float64
+	CostIncrease float64
+}
+
+// RunFig9 reproduces Fig. 9: the tradeoff between η'(δ) and the MTD
+// operational cost at the 6 PM operating point. The attacker's knowledge
+// H_t is the 5 PM no-MTD configuration; cost is measured against the 6 PM
+// no-MTD OPF (problem (1)).
+func RunFig9(cfg Fig9Config) ([]Fig9Row, error) {
+	base := grid.CaseIEEE14()
+	factors, err := loadprofile.ScaleToPeak(loadprofile.NYWinterWeekday(), base.TotalLoadMW(), cfg.PeakLoadMW)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Hour <= 0 || cfg.Hour >= len(factors) {
+		return nil, fmt.Errorf("experiments: fig9 hour %d out of range", cfg.Hour)
+	}
+
+	// Attacker knowledge: previous hour's no-MTD configuration.
+	prevNet := base.Clone()
+	prevNet.ScaleLoads(factors[cfg.Hour-1])
+	prev, err := opf.SolveDFACTS(prevNet, opf.DFACTSConfig{Starts: cfg.SelectStarts, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig9 previous-hour OPF: %w", err)
+	}
+	zOld, err := core.OperatingMeasurements(prevNet, prev.Reactances)
+	if err != nil {
+		return nil, err
+	}
+
+	// Current hour.
+	net := base.Clone()
+	net.ScaleLoads(factors[cfg.Hour])
+	noMTD, err := opf.SolveDFACTS(net, opf.DFACTSConfig{Starts: cfg.SelectStarts, Seed: cfg.Seed + 1})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig9 current-hour OPF: %w", err)
+	}
+
+	effCfg := cfg.Effectiveness
+	effCfg.Seed = cfg.Seed
+	attacks, err := core.SampleAttacks(net, prev.Reactances, zOld, effCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]Fig9Row, 0, len(cfg.GammaGrid)+1)
+	var warm [][]float64
+	appendPoint := func(sel *core.Selection, target float64) error {
+		eff, err := core.EvaluateAttacks(net, attacks, sel.Reactances, effCfg)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, Fig9Row{
+			GammaTarget:  target,
+			Gamma:        eff.Gamma,
+			Deltas:       eff.Deltas,
+			Eta:          eff.Eta,
+			CostIncrease: sel.CostIncrease,
+		})
+		warm = [][]float64{net.DFACTSSetting(sel.Reactances)}
+		return nil
+	}
+
+	exhausted := false
+	for _, gth := range cfg.GammaGrid {
+		sel, err := core.SelectMTD(net, prev.Reactances, core.SelectConfig{
+			GammaThreshold: gth,
+			Starts:         cfg.SelectStarts,
+			Seed:           cfg.Seed,
+			BaselineCost:   noMTD.CostPerHour,
+			WarmStarts:     warm,
+		})
+		if errors.Is(err, core.ErrConstraintUnreachable) {
+			exhausted = true
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig9 γ_th=%.2f: %w", gth, err)
+		}
+		if err := appendPoint(sel, gth); err != nil {
+			return nil, err
+		}
+	}
+	if exhausted {
+		sel, err := core.MaxGamma(net, prev.Reactances, core.MaxGammaConfig{
+			Starts: cfg.SelectStarts, Seed: cfg.Seed, BaselineCost: noMTD.CostPerHour,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := appendPoint(sel, 0); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// FormatFig9 renders the tradeoff series (cost vs effectiveness).
+func FormatFig9(w io.Writer, rows []Fig9Row) error {
+	if len(rows) == 0 {
+		_, err := fmt.Fprintln(w, "Fig. 9: no feasible sweep points")
+		return err
+	}
+	headers := []string{"γ_target", "γ(Ht,H't')"}
+	for _, d := range rows[0].Deltas {
+		headers = append(headers, fmt.Sprintf("η'(δ=%.2f)", d))
+	}
+	headers = append(headers, "OPF cost increase")
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		target := f2(r.GammaTarget)
+		if r.GammaTarget == 0 {
+			target = "max"
+		}
+		cells := []string{target, f3(r.Gamma)}
+		for _, e := range r.Eta {
+			cells = append(cells, f3(e))
+		}
+		cells = append(cells, fmt.Sprintf("%.2f%%", 100*r.CostIncrease))
+		out = append(out, cells)
+	}
+	return renderTable(w,
+		"Fig. 9: tradeoff between MTD effectiveness and operational cost, IEEE 14-bus, 6 PM load",
+		headers, out)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Fig. 9: effectiveness vs operational cost tradeoff at 6 PM (IEEE 14-bus)",
+		Run: func(w io.Writer, q Quality) error {
+			cfg := DefaultFig9Config()
+			if q == Quick {
+				cfg.GammaGrid = []float64{0.1, 0.25, 0.4}
+				cfg.Effectiveness.NumAttacks = 100
+				cfg.SelectStarts = 2
+			}
+			rows, err := RunFig9(cfg)
+			if err != nil {
+				return err
+			}
+			return FormatFig9(w, rows)
+		},
+	})
+}

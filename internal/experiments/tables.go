@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gridmtd/internal/attack"
+	"gridmtd/internal/grid"
+	"gridmtd/internal/opf"
+	"gridmtd/internal/se"
+)
+
+// motivatingPerturbations returns the four single-line +20% reactance
+// vectors of the paper's Section IV-B example.
+func motivatingPerturbations(n *grid.Network) [][]float64 {
+	out := make([][]float64, n.L())
+	for line := 0; line < n.L(); line++ {
+		x := n.Reactances()
+		x[line] *= 1.2
+		out[line] = x
+	}
+	return out
+}
+
+// Table1Row holds one attack's BDD residuals under the four MTDs.
+type Table1Row struct {
+	// Attack labels the injected vector.
+	Attack string
+	// C is the state perturbation (over all four buses; slack first).
+	C []float64
+	// Residuals are the noiseless BDD residuals r'(1..4) under the four
+	// single-line perturbations.
+	Residuals []float64
+}
+
+// RunTable1 reproduces Table I: the residuals of two attacks crafted on the
+// pre-perturbation 4-bus matrix, evaluated (noiselessly) under each of the
+// four single-line +20% MTD perturbations. The zero pattern — attack 1
+// exposed only by perturbing lines 1-2, attack 2 only by lines 3-4 — is the
+// paper's motivating observation.
+func RunTable1() ([]Table1Row, error) {
+	n := grid.Case4GS()
+	h := n.MeasurementMatrix(n.Reactances())
+	// Reduced state space drops the slack (bus 1) entry.
+	attacks := []struct {
+		label string
+		cFull []float64
+		cRed  []float64
+	}{
+		{"attack 1", []float64{0, 1, 1, 1}, []float64{1, 1, 1}},
+		{"attack 2", []float64{0, 0, 0, 1}, []float64{0, 0, 1}},
+	}
+	rows := make([]Table1Row, 0, len(attacks))
+	for _, a := range attacks {
+		av := attack.Craft(h, a.cRed)
+		res := make([]float64, 0, n.L())
+		for _, x := range motivatingPerturbations(n) {
+			est, err := se.NewEstimator(n.MeasurementMatrix(x))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table1 estimator: %w", err)
+			}
+			res = append(res, est.ResidualComponent(av.A))
+		}
+		rows = append(rows, Table1Row{Attack: a.label, C: a.cFull, Residuals: res})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders Table I.
+func FormatTable1(w io.Writer, rows []Table1Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells := []string{r.Attack}
+		for _, v := range r.Residuals {
+			cells = append(cells, f2(v))
+		}
+		out = append(out, cells)
+	}
+	return renderTable(w,
+		"Table I: BDD residual values (noiseless) under MTD Δx(1..4), 4-bus system",
+		[]string{"", "r'(1)", "r'(2)", "r'(3)", "r'(4)"}, out)
+}
+
+// Table2Result holds the pre-perturbation operating point of the 4-bus
+// system (paper Table II).
+type Table2Result struct {
+	FlowsMW     []float64
+	DispatchMW  []float64
+	CostPerHour float64
+}
+
+// RunTable2 reproduces Table II: the pre-perturbation OPF of the 4-bus
+// system (flows, dispatch, cost).
+func RunTable2() (*Table2Result, error) {
+	n := grid.Case4GS()
+	res, err := opf.SolveDispatch(n, n.Reactances())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table2 OPF: %w", err)
+	}
+	return &Table2Result{
+		FlowsMW:     res.FlowsMW,
+		DispatchMW:  res.DispatchMW,
+		CostPerHour: res.CostPerHour,
+	}, nil
+}
+
+// FormatTable2 renders Table II.
+func FormatTable2(w io.Writer, r *Table2Result) error {
+	row := []string{}
+	for _, f := range r.FlowsMW {
+		row = append(row, f2(f))
+	}
+	for _, g := range r.DispatchMW {
+		row = append(row, f2(g))
+	}
+	row = append(row, fmt.Sprintf("%.4g", r.CostPerHour))
+	return renderTable(w,
+		"Table II: pre-perturbation power flows, generator dispatch and OPF cost, 4-bus system",
+		[]string{"Line1 (MW)", "Line2 (MW)", "Line3 (MW)", "Line4 (MW)", "Gen1 (MW)", "Gen2 (MW)", "Cost ($)"},
+		[][]string{row})
+}
+
+// Table3Row holds the post-perturbation dispatch and cost for one MTD.
+type Table3Row struct {
+	MTD         string
+	DispatchMW  []float64
+	CostPerHour float64
+}
+
+// RunTable3 reproduces Table III: generator dispatch and OPF cost after
+// each of the four single-line +20% perturbations.
+func RunTable3() ([]Table3Row, error) {
+	n := grid.Case4GS()
+	rows := make([]Table3Row, 0, n.L())
+	for line, x := range motivatingPerturbations(n) {
+		res, err := opf.SolveDispatch(n.WithReactances(x), x)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table3 OPF for Δx%d: %w", line+1, err)
+		}
+		rows = append(rows, Table3Row{
+			MTD:         fmt.Sprintf("Δx%d", line+1),
+			DispatchMW:  res.DispatchMW,
+			CostPerHour: res.CostPerHour,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders Table III.
+func FormatTable3(w io.Writer, rows []Table3Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.MTD, f2(r.DispatchMW[0]), f2(r.DispatchMW[1]),
+			fmt.Sprintf("%.5g", r.CostPerHour),
+		})
+	}
+	return renderTable(w,
+		"Table III: post-perturbation generator dispatch and OPF cost, 4-bus system",
+		[]string{"MTD", "Gen1 (MW)", "Gen2 (MW)", "Cost ($)"}, out)
+}
+
+// Table4Row echoes one generator's parameters (paper Table IV is an input
+// table; reproducing it verifies the embedded configuration).
+type Table4Row struct {
+	Bus        int
+	PmaxMW     float64
+	CostPerMWh float64
+}
+
+// RunTable4 returns the 14-bus generator parameters.
+func RunTable4() []Table4Row {
+	n := grid.CaseIEEE14()
+	rows := make([]Table4Row, 0, len(n.Gens))
+	for _, g := range n.Gens {
+		rows = append(rows, Table4Row{Bus: g.Bus, PmaxMW: g.MaxMW, CostPerMWh: g.CostPerMWh})
+	}
+	return rows
+}
+
+// FormatTable4 renders Table IV.
+func FormatTable4(w io.Writer, rows []Table4Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Bus), f2(r.PmaxMW), f2(r.CostPerMWh),
+		})
+	}
+	return renderTable(w,
+		"Table IV: generator parameters, IEEE 14-bus system",
+		[]string{"Gen. bus", "Pmax (MW)", "ci ($/MWh)"}, out)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Table I: BDD residuals of prior attacks under four single-line MTDs (4-bus)",
+		Run: func(w io.Writer, _ Quality) error {
+			rows, err := RunTable1()
+			if err != nil {
+				return err
+			}
+			return FormatTable1(w, rows)
+		},
+	})
+	register(Experiment{
+		ID:    "table2",
+		Title: "Table II: pre-perturbation flows, dispatch and OPF cost (4-bus)",
+		Run: func(w io.Writer, _ Quality) error {
+			r, err := RunTable2()
+			if err != nil {
+				return err
+			}
+			return FormatTable2(w, r)
+		},
+	})
+	register(Experiment{
+		ID:    "table3",
+		Title: "Table III: post-perturbation dispatch and OPF cost (4-bus)",
+		Run: func(w io.Writer, _ Quality) error {
+			rows, err := RunTable3()
+			if err != nil {
+				return err
+			}
+			return FormatTable3(w, rows)
+		},
+	})
+	register(Experiment{
+		ID:    "table4",
+		Title: "Table IV: generator parameters (IEEE 14-bus)",
+		Run: func(w io.Writer, _ Quality) error {
+			return FormatTable4(w, RunTable4())
+		},
+	})
+}

@@ -1,0 +1,80 @@
+package grid
+
+// CaseIEEE14 returns the IEEE 14-bus system configured exactly as in the
+// paper's evaluation (Section VII-A):
+//
+//   - topology, branch reactances and bus loads from the MATPOWER case14
+//     file;
+//   - generators at buses 1, 2, 3, 6, 8 with the paper's Table-IV limits
+//     (300, 50, 30, 50, 20) MW and linear costs (20, 30, 40, 50, 35) $/MWh;
+//   - D-FACTS devices on branches L_D = {1, 5, 9, 11, 17, 19} with a ±50%
+//     reactance range (ηmax = 0.5);
+//   - branch flow limits of 160 MW on branch 1 and 60 MW elsewhere.
+//
+// Bus 1 is the angle reference.
+func CaseIEEE14() *Network {
+	const etaMax = 0.5
+	dfacts := map[int]bool{1: true, 5: true, 9: true, 11: true, 17: true, 19: true}
+
+	type bdata struct {
+		from, to int
+		x        float64
+	}
+	branches := []bdata{
+		{1, 2, 0.05917},   // 1
+		{1, 5, 0.22304},   // 2
+		{2, 3, 0.19797},   // 3
+		{2, 4, 0.17632},   // 4
+		{2, 5, 0.17388},   // 5
+		{3, 4, 0.17103},   // 6
+		{4, 5, 0.04211},   // 7
+		{4, 7, 0.20912},   // 8
+		{4, 9, 0.55618},   // 9
+		{5, 6, 0.25202},   // 10
+		{6, 11, 0.19890},  // 11
+		{6, 12, 0.25581},  // 12
+		{6, 13, 0.13027},  // 13
+		{7, 8, 0.17615},   // 14
+		{7, 9, 0.11001},   // 15
+		{9, 10, 0.08450},  // 16
+		{9, 14, 0.27038},  // 17
+		{10, 11, 0.19207}, // 18
+		{12, 13, 0.19988}, // 19
+		{13, 14, 0.34802}, // 20
+	}
+	brs := make([]Branch, len(branches))
+	for i, b := range branches {
+		limit := 60.0
+		if i == 0 {
+			limit = 160.0
+		}
+		br := Branch{From: b.from, To: b.to, X: b.x, LimitMW: limit, XMin: b.x, XMax: b.x}
+		if dfacts[i+1] {
+			br.HasDFACTS = true
+			br.XMin = (1 - etaMax) * b.x
+			br.XMax = (1 + etaMax) * b.x
+		}
+		brs[i] = br
+	}
+
+	loads := []float64{0, 21.7, 94.2, 47.8, 7.6, 11.2, 0, 0, 29.5, 9.0, 3.5, 6.1, 13.5, 14.9}
+	buses := make([]Bus, len(loads))
+	for i, l := range loads {
+		buses[i] = Bus{Index: i + 1, LoadMW: l}
+	}
+
+	return &Network{
+		Name:     "ieee14",
+		BaseMVA:  100,
+		SlackBus: 1,
+		Buses:    buses,
+		Branches: brs,
+		Gens: []Generator{
+			{Bus: 1, CostPerMWh: 20, MinMW: 0, MaxMW: 300},
+			{Bus: 2, CostPerMWh: 30, MinMW: 0, MaxMW: 50},
+			{Bus: 3, CostPerMWh: 40, MinMW: 0, MaxMW: 30},
+			{Bus: 6, CostPerMWh: 50, MinMW: 0, MaxMW: 50},
+			{Bus: 8, CostPerMWh: 35, MinMW: 0, MaxMW: 20},
+		},
+	}
+}

@@ -1,0 +1,211 @@
+package grid
+
+import (
+	"gridmtd/internal/mat"
+)
+
+// Incidence returns the N×L branch-bus incidence matrix A with
+// A[i][l] = +1 if branch l starts at bus i+1, -1 if it ends there.
+func (n *Network) Incidence() *mat.Dense {
+	a := mat.NewDense(n.N(), n.L())
+	for l, br := range n.Branches {
+		a.Set(br.From-1, l, 1)
+		a.Set(br.To-1, l, -1)
+	}
+	return a
+}
+
+// SusceptanceDiag returns the L×L diagonal matrix D = diag(1/x_l) for the
+// given reactance vector (per-unit).
+func (n *Network) SusceptanceDiag(x []float64) *mat.Dense {
+	if len(x) != n.L() {
+		panic("grid: reactance vector length mismatch")
+	}
+	d := make([]float64, len(x))
+	for i, v := range x {
+		d[i] = 1 / v
+	}
+	return mat.Diagonal(d)
+}
+
+// BMatrix returns the N×N nodal susceptance matrix B = A·D·Aᵀ for the
+// given reactance vector.
+func (n *Network) BMatrix(x []float64) *mat.Dense {
+	if len(x) != n.L() {
+		panic("grid: reactance vector length mismatch")
+	}
+	b := mat.NewDense(n.N(), n.N())
+	for l, br := range n.Branches {
+		y := 1 / x[l]
+		i, j := br.From-1, br.To-1
+		b.Add(i, i, y)
+		b.Add(j, j, y)
+		b.Add(i, j, -y)
+		b.Add(j, i, -y)
+	}
+	return b
+}
+
+// ReducedB returns B with the slack bus row and column removed; it is
+// invertible for connected networks.
+func (n *Network) ReducedB(x []float64) *mat.Dense {
+	b := n.BMatrix(x)
+	s := n.SlackBus - 1
+	out := mat.NewDense(n.N()-1, n.N()-1)
+	ri := 0
+	for i := 0; i < n.N(); i++ {
+		if i == s {
+			continue
+		}
+		rj := 0
+		for j := 0; j < n.N(); j++ {
+			if j == s {
+				continue
+			}
+			out.Set(ri, rj, b.At(i, j))
+			rj++
+		}
+		ri++
+	}
+	return out
+}
+
+// MeasurementMatrix returns the slack-reduced measurement matrix
+// H ∈ R^{M×(N-1)} that maps the non-slack voltage angles θ to the
+// measurement vector z = [p; f; −f] (bus injections, forward branch flows,
+// reverse branch flows), all in per-unit. Removing the slack column makes H
+// full column rank for connected networks, matching the estimator's and
+// the paper's full-rank assumption.
+func (n *Network) MeasurementMatrix(x []float64) *mat.Dense {
+	if len(x) != n.L() {
+		panic("grid: reactance vector length mismatch")
+	}
+	nb, nl := n.N(), n.L()
+	s := n.SlackBus - 1
+	h := mat.NewDense(nb+2*nl, nb-1)
+
+	// colOf maps a bus (0-based) to its reduced state column, or -1 for the
+	// slack bus.
+	colOf := func(bus int) int {
+		switch {
+		case bus == s:
+			return -1
+		case bus < s:
+			return bus
+		default:
+			return bus - 1
+		}
+	}
+
+	// Injection rows: p = B θ.
+	b := n.BMatrix(x)
+	for i := 0; i < nb; i++ {
+		for j := 0; j < nb; j++ {
+			if c := colOf(j); c >= 0 {
+				h.Set(i, c, b.At(i, j))
+			}
+		}
+	}
+	// Flow rows: f_l = (θ_from − θ_to)/x_l ; reverse flows are negated.
+	for l, br := range n.Branches {
+		y := 1 / x[l]
+		if c := colOf(br.From - 1); c >= 0 {
+			h.Set(nb+l, c, y)
+			h.Set(nb+nl+l, c, -y)
+		}
+		if c := colOf(br.To - 1); c >= 0 {
+			h.Set(nb+l, c, -y)
+			h.Set(nb+nl+l, c, y)
+		}
+	}
+	return h
+}
+
+// PTDF returns the L×(N-1) power transfer distribution factor matrix
+// D·Arᵀ·Br⁻¹ mapping net injections at non-slack buses (per-unit) to branch
+// flows (per-unit), where Ar is the incidence matrix without the slack row
+// and Br the reduced susceptance matrix.
+func (n *Network) PTDF(x []float64) (*mat.Dense, error) {
+	if len(x) != n.L() {
+		panic("grid: reactance vector length mismatch")
+	}
+	br, err := mat.Inverse(n.ReducedB(x))
+	if err != nil {
+		return nil, err
+	}
+	s := n.SlackBus - 1
+	// Build D·Arᵀ directly: row l has +1/x at the from-bus column and -1/x
+	// at the to-bus column (skipping the slack).
+	dat := mat.NewDense(n.L(), n.N()-1)
+	colOf := func(bus int) int {
+		switch {
+		case bus == s:
+			return -1
+		case bus < s:
+			return bus
+		default:
+			return bus - 1
+		}
+	}
+	for l, b := range n.Branches {
+		y := 1 / x[l]
+		if c := colOf(b.From - 1); c >= 0 {
+			dat.Set(l, c, y)
+		}
+		if c := colOf(b.To - 1); c >= 0 {
+			dat.Set(l, c, -y)
+		}
+	}
+	return mat.Mul(dat, br), nil
+}
+
+// ReduceVec removes the slack-bus entry from a length-N bus vector,
+// returning the length-(N-1) reduced vector used with ReducedB and PTDF.
+func (n *Network) ReduceVec(v []float64) []float64 {
+	if len(v) != n.N() {
+		panic("grid: bus vector length mismatch")
+	}
+	out := make([]float64, 0, n.N()-1)
+	for i, x := range v {
+		if i == n.SlackBus-1 {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// ExpandVec is the inverse of ReduceVec: it inserts value at the slack
+// position of a reduced vector.
+func (n *Network) ExpandVec(v []float64, slackValue float64) []float64 {
+	if len(v) != n.N()-1 {
+		panic("grid: reduced vector length mismatch")
+	}
+	out := make([]float64, 0, n.N())
+	j := 0
+	for i := 0; i < n.N(); i++ {
+		if i == n.SlackBus-1 {
+			out = append(out, slackValue)
+			continue
+		}
+		out = append(out, v[j])
+		j++
+	}
+	return out
+}
+
+// InjectionsMW returns the net bus injection vector (generation − load) in
+// MW for a given dispatch (ordered as n.Gens).
+func (n *Network) InjectionsMW(dispatchMW []float64) []float64 {
+	if len(dispatchMW) != len(n.Gens) {
+		panic("grid: dispatch vector length mismatch")
+	}
+	p := make([]float64, n.N())
+	for i, b := range n.Buses {
+		p[i] = -b.LoadMW
+	}
+	for i, g := range n.Gens {
+		p[g.Bus-1] += dispatchMW[i]
+	}
+	return p
+}

@@ -1,0 +1,203 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gridmtd/internal/mat"
+)
+
+func TestIncidence(t *testing.T) {
+	n := Case4GS()
+	a := n.Incidence()
+	if a.Rows() != 4 || a.Cols() != 4 {
+		t.Fatalf("shape %dx%d", a.Rows(), a.Cols())
+	}
+	// Branch 1 is 1->2.
+	if a.At(0, 0) != 1 || a.At(1, 0) != -1 {
+		t.Error("branch 1 incidence wrong")
+	}
+	// Every column sums to zero.
+	for l := 0; l < a.Cols(); l++ {
+		var s float64
+		for i := 0; i < a.Rows(); i++ {
+			s += a.At(i, l)
+		}
+		if s != 0 {
+			t.Errorf("column %d sums to %v", l, s)
+		}
+	}
+}
+
+func TestBMatrixAgainstIncidenceProduct(t *testing.T) {
+	// The fast assembly must agree with the definition B = A·D·Aᵀ.
+	for _, n := range []*Network{Case4GS(), CaseIEEE14(), CaseIEEE30()} {
+		x := n.Reactances()
+		direct := n.BMatrix(x)
+		a := n.Incidence()
+		viaDef := mat.Mul(a, mat.Mul(n.SusceptanceDiag(x), a.T()))
+		if !mat.Equal(direct, viaDef, 1e-9) {
+			t.Errorf("%s: BMatrix disagrees with A·D·Aᵀ", n.Name)
+		}
+	}
+}
+
+func TestBMatrixRowSumsZero(t *testing.T) {
+	n := CaseIEEE14()
+	b := n.BMatrix(n.Reactances())
+	for i := 0; i < b.Rows(); i++ {
+		var s float64
+		for j := 0; j < b.Cols(); j++ {
+			s += b.At(i, j)
+		}
+		if math.Abs(s) > 1e-9 {
+			t.Errorf("row %d sums to %v, want 0", i, s)
+		}
+	}
+}
+
+func TestReducedBInvertible(t *testing.T) {
+	for _, n := range []*Network{Case4GS(), CaseIEEE14(), CaseIEEE30()} {
+		rb := n.ReducedB(n.Reactances())
+		if rb.Rows() != n.N()-1 {
+			t.Fatalf("%s: reduced B is %dx%d", n.Name, rb.Rows(), rb.Cols())
+		}
+		if _, err := mat.Inverse(rb); err != nil {
+			t.Errorf("%s: reduced B is singular: %v", n.Name, err)
+		}
+	}
+}
+
+func TestMeasurementMatrixShapeAndRank(t *testing.T) {
+	for _, n := range []*Network{Case4GS(), CaseIEEE14(), CaseIEEE30()} {
+		h := n.MeasurementMatrix(n.Reactances())
+		if h.Rows() != n.M() || h.Cols() != n.N()-1 {
+			t.Fatalf("%s: H is %dx%d, want %dx%d", n.Name, h.Rows(), h.Cols(), n.M(), n.N()-1)
+		}
+		if r := mat.Rank(h, 0); r != n.N()-1 {
+			t.Errorf("%s: rank(H) = %d, want %d", n.Name, r, n.N()-1)
+		}
+	}
+}
+
+func TestMeasurementMatrixConsistentWithFlows(t *testing.T) {
+	// H must map angles to [p; f; -f]: verify against a manual DC solution.
+	n := Case4GS()
+	x := n.Reactances()
+	rb := n.ReducedB(x)
+	pMW := n.InjectionsMW([]float64{350, 150})
+	pPU := n.ReduceVec(mat.ScaleVec(1/n.BaseMVA, pMW))
+	thetaRed, err := mat.Solve(rb, pPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := mat.MulVec(n.MeasurementMatrix(x), thetaRed)
+	// First N entries are injections (per-unit).
+	for i := 0; i < n.N(); i++ {
+		if math.Abs(z[i]-pMW[i]/n.BaseMVA) > 1e-9 {
+			t.Errorf("injection %d: z = %v, want %v", i, z[i], pMW[i]/n.BaseMVA)
+		}
+	}
+	// Forward and reverse flow blocks must be negatives of each other.
+	for l := 0; l < n.L(); l++ {
+		if math.Abs(z[n.N()+l]+z[n.N()+n.L()+l]) > 1e-12 {
+			t.Errorf("flow block mismatch at branch %d", l)
+		}
+	}
+}
+
+func TestPTDFReproducesFlows(t *testing.T) {
+	// PTDF · p must equal the flows from the angle-based solution.
+	for _, n := range []*Network{Case4GS(), CaseIEEE14()} {
+		x := n.Reactances()
+		ptdf, err := n.PTDF(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random balanced injection.
+		rng := rand.New(rand.NewSource(42))
+		p := make([]float64, n.N())
+		var sum float64
+		for i := 0; i < n.N()-1; i++ {
+			p[i] = rng.NormFloat64()
+			sum += p[i]
+		}
+		p[n.N()-1] = -sum
+
+		red := n.ReduceVec(p)
+		flowsPTDF := mat.MulVec(ptdf, red)
+
+		thetaRed, err := mat.Solve(n.ReducedB(x), red)
+		if err != nil {
+			t.Fatal(err)
+		}
+		theta := n.ExpandVec(thetaRed, 0)
+		for l, br := range n.Branches {
+			want := (theta[br.From-1] - theta[br.To-1]) / x[l]
+			if math.Abs(flowsPTDF[l]-want) > 1e-9 {
+				t.Errorf("%s: branch %d PTDF flow %v, want %v", n.Name, l, flowsPTDF[l], want)
+			}
+		}
+	}
+}
+
+func TestReduceExpandVec(t *testing.T) {
+	n := CaseIEEE14()
+	v := make([]float64, n.N())
+	for i := range v {
+		v[i] = float64(i + 1)
+	}
+	red := n.ReduceVec(v)
+	if len(red) != n.N()-1 {
+		t.Fatalf("reduced length %d", len(red))
+	}
+	back := n.ExpandVec(red, v[n.SlackBus-1])
+	for i := range v {
+		if back[i] != v[i] {
+			t.Fatalf("round trip failed at %d: %v != %v", i, back[i], v[i])
+		}
+	}
+}
+
+func TestReduceVecNonFirstSlack(t *testing.T) {
+	n := validNet()
+	n.SlackBus = 2
+	red := n.ReduceVec([]float64{10, 20})
+	if len(red) != 1 || red[0] != 10 {
+		t.Fatalf("ReduceVec = %v, want [10]", red)
+	}
+	back := n.ExpandVec(red, 99)
+	if back[0] != 10 || back[1] != 99 {
+		t.Fatalf("ExpandVec = %v", back)
+	}
+}
+
+// Property: for random reactance settings within D-FACTS bounds, H keeps
+// full column rank and B stays symmetric.
+func TestQuickMatrixInvariants(t *testing.T) {
+	n := CaseIEEE14()
+	lo, hi := n.DFACTSBounds()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xd := make([]float64, len(lo))
+		for i := range xd {
+			xd[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+		}
+		x := n.ExpandDFACTS(xd)
+		b := n.BMatrix(x)
+		for i := 0; i < b.Rows(); i++ {
+			for j := i + 1; j < b.Cols(); j++ {
+				if math.Abs(b.At(i, j)-b.At(j, i)) > 1e-12 {
+					return false
+				}
+			}
+		}
+		h := n.MeasurementMatrix(x)
+		return mat.Rank(h, 0) == n.N()-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+package grid
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func validNet() *Network {
+	return &Network{
+		Name:     "test2",
+		BaseMVA:  100,
+		SlackBus: 1,
+		Buses:    []Bus{{Index: 1, LoadMW: 0}, {Index: 2, LoadMW: 50}},
+		Branches: []Branch{{From: 1, To: 2, X: 0.1, LimitMW: 100, XMin: 0.1, XMax: 0.1}},
+		Gens:     []Generator{{Bus: 1, CostPerMWh: 10, MinMW: 0, MaxMW: 100}},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	for _, n := range []*Network{validNet(), Case4GS(), CaseIEEE14(), CaseIEEE30()} {
+		if err := n.Validate(); err != nil {
+			t.Errorf("%s: Validate = %v", n.Name, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Network)
+		substr string
+	}{
+		{"zero base", func(n *Network) { n.BaseMVA = 0 }, "BaseMVA"},
+		{"bad bus numbering", func(n *Network) { n.Buses[1].Index = 5 }, "numbered"},
+		{"slack out of range", func(n *Network) { n.SlackBus = 9 }, "slack"},
+		{"no branches", func(n *Network) { n.Branches = nil }, "no branches"},
+		{"branch endpoint", func(n *Network) { n.Branches[0].To = 7 }, "out of range"},
+		{"self loop", func(n *Network) { n.Branches[0].To = 1 }, "self-loop"},
+		{"bad reactance", func(n *Network) { n.Branches[0].X = 0 }, "reactance"},
+		{"bad limit", func(n *Network) { n.Branches[0].LimitMW = -1 }, "flow limit"},
+		{"bad range", func(n *Network) { n.Branches[0].XMin = 0.3; n.Branches[0].XMax = 0.2 }, "range"},
+		{"x outside range", func(n *Network) {
+			n.Branches[0].XMin = 0.2
+			n.Branches[0].XMax = 0.3
+			n.Branches[0].HasDFACTS = true
+		}, "outside range"},
+		{"range without dfacts", func(n *Network) {
+			n.Branches[0].XMin = 0.05
+			n.Branches[0].XMax = 0.2
+		}, "no D-FACTS"},
+		{"gen bus", func(n *Network) { n.Gens[0].Bus = 9 }, "generator"},
+		{"gen bounds", func(n *Network) { n.Gens[0].MinMW = 5; n.Gens[0].MaxMW = 1 }, "dispatch range"},
+	}
+	for _, c := range cases {
+		n := validNet()
+		c.mutate(n)
+		err := n.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.substr)
+		}
+	}
+}
+
+func TestValidateDisconnected(t *testing.T) {
+	n := &Network{
+		Name:     "disc",
+		BaseMVA:  100,
+		SlackBus: 1,
+		Buses:    []Bus{{Index: 1}, {Index: 2}, {Index: 3}, {Index: 4}},
+		Branches: []Branch{
+			{From: 1, To: 2, X: 0.1, LimitMW: 10, XMin: 0.1, XMax: 0.1},
+			{From: 3, To: 4, X: 0.1, LimitMW: 10, XMin: 0.1, XMax: 0.1},
+		},
+	}
+	if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "connected") {
+		t.Fatalf("err = %v, want connectivity error", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	n := Case4GS()
+	c := n.Clone()
+	c.Buses[0].LoadMW = 999
+	c.Branches[0].X = 9
+	c.Gens[0].CostPerMWh = 9
+	if n.Buses[0].LoadMW == 999 || n.Branches[0].X == 9 || n.Gens[0].CostPerMWh == 9 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestReactanceHelpers(t *testing.T) {
+	n := Case4GS()
+	x := n.Reactances()
+	if len(x) != 4 || x[0] != 0.0504 {
+		t.Fatalf("Reactances = %v", x)
+	}
+	x2 := append([]float64(nil), x...)
+	x2[1] *= 1.2
+	m := n.WithReactances(x2)
+	if m.Branches[1].X != x[1]*1.2 {
+		t.Error("WithReactances did not apply")
+	}
+	if n.Branches[1].X != x[1] {
+		t.Error("WithReactances mutated the original")
+	}
+}
+
+func TestLoadHelpers(t *testing.T) {
+	n := Case4GS()
+	if got := n.TotalLoadMW(); got != 500 {
+		t.Fatalf("TotalLoadMW = %v, want 500", got)
+	}
+	n.ScaleLoads(0.5)
+	if got := n.TotalLoadMW(); got != 250 {
+		t.Fatalf("after ScaleLoads: %v, want 250", got)
+	}
+	n.SetLoadsMW([]float64{1, 2, 3, 4})
+	if got := n.LoadsMW(); got[3] != 4 || n.TotalLoadMW() != 10 {
+		t.Fatalf("SetLoadsMW wrong: %v", got)
+	}
+}
+
+func TestDFACTSHelpers(t *testing.T) {
+	n := CaseIEEE14()
+	idx := n.DFACTSIndices()
+	want := []int{0, 4, 8, 10, 16, 18} // paper's L_D = {1,5,9,11,17,19}, 1-based
+	if len(idx) != len(want) {
+		t.Fatalf("DFACTSIndices = %v, want %v", idx, want)
+	}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("DFACTSIndices = %v, want %v", idx, want)
+		}
+	}
+	lo, hi := n.DFACTSBounds()
+	for k, i := range idx {
+		if math.Abs(lo[k]-0.5*n.Branches[i].X) > 1e-12 || math.Abs(hi[k]-1.5*n.Branches[i].X) > 1e-12 {
+			t.Errorf("bounds for branch %d = [%v, %v], want ±50%%", i, lo[k], hi[k])
+		}
+	}
+	// Round trip: extract and expand.
+	x := n.Reactances()
+	setting := n.DFACTSSetting(x)
+	full := n.ExpandDFACTS(setting)
+	for i := range x {
+		if x[i] != full[i] {
+			t.Fatalf("ExpandDFACTS round trip failed at %d", i)
+		}
+	}
+	// Expansion applies overrides at the right slots.
+	setting[0] = 99
+	full = n.ExpandDFACTS(setting)
+	if full[0] != 99 {
+		t.Error("ExpandDFACTS did not apply override")
+	}
+}
+
+func TestGenHelpers(t *testing.T) {
+	n := CaseIEEE14()
+	c := n.GenCosts()
+	if len(c) != 5 || c[0] != 20 || c[4] != 35 {
+		t.Fatalf("GenCosts = %v", c)
+	}
+	lo, hi := n.GenBounds()
+	if lo[0] != 0 || hi[0] != 300 || hi[4] != 20 {
+		t.Fatalf("GenBounds = %v %v", lo, hi)
+	}
+	if got := n.TotalGenCapacityMW(); got != 450 {
+		t.Fatalf("TotalGenCapacityMW = %v, want 450", got)
+	}
+}
+
+func TestInjectionsMW(t *testing.T) {
+	n := Case4GS()
+	p := n.InjectionsMW([]float64{350, 150})
+	want := []float64{300, -170, -200, 70}
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-12 {
+			t.Fatalf("InjectionsMW = %v, want %v", p, want)
+		}
+	}
+}

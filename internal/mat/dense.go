@@ -1,0 +1,361 @@
+// Package mat implements the dense linear algebra needed by the MTD
+// reproduction: matrices, Householder QR, one-sided Jacobi SVD, LU solves,
+// rank computation and vector helpers.
+//
+// The package is deliberately small and dependency-free. All matrices are
+// dense and row-major; the sizes in this project are tiny (at most a few
+// hundred rows), so simplicity and numerical robustness are preferred over
+// blocked/SIMD performance.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrShape is returned when matrix dimensions are incompatible with the
+// requested operation.
+var ErrShape = errors.New("mat: dimension mismatch")
+
+// ErrSingular is returned when a factorization or solve encounters a
+// (numerically) singular matrix.
+var ErrSingular = errors.New("mat: matrix is singular")
+
+// Dense is a dense row-major matrix of float64 values.
+//
+// The zero value is an empty (0×0) matrix. Use NewDense or NewDenseFrom to
+// construct matrices with a shape.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns a zero-initialized r×c matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic("mat: negative dimension")
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewDenseFrom returns an r×c matrix backed by a copy of data, which must
+// have length r*c and be laid out row-major.
+func NewDenseFrom(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: data length %d does not match %d x %d", len(data), r, c))
+	}
+	d := make([]float64, len(data))
+	copy(d, data)
+	return &Dense{rows: r, cols: c, data: d}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Diagonal returns a square matrix with d on its diagonal.
+func Diagonal(d []float64) *Dense {
+	n := len(d)
+	m := NewDense(n, n)
+	for i, v := range d {
+		m.data[i*n+i] = v
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 {
+	m.boundsCheck(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns v to the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) {
+	m.boundsCheck(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// Add adds v to the element at row i, column j.
+func (m *Dense) Add(i, j int, v float64) {
+	m.boundsCheck(i, j)
+	m.data[i*m.cols+j] += v
+}
+
+func (m *Dense) boundsCheck(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d, %d) out of range for %d x %d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	return NewDenseFrom(m.rows, m.cols, m.data)
+}
+
+// Row returns a copy of row i.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic("mat: row index out of range")
+	}
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic("mat: column index out of range")
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// SetRow copies v into row i. len(v) must equal Cols.
+func (m *Dense) SetRow(i int, v []float64) {
+	if len(v) != m.cols {
+		panic(ErrShape)
+	}
+	copy(m.data[i*m.cols:(i+1)*m.cols], v)
+}
+
+// SetCol copies v into column j. len(v) must equal Rows.
+func (m *Dense) SetCol(j int, v []float64) {
+	if len(v) != m.rows {
+		panic(ErrShape)
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+j] = v[i]
+	}
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product a*b.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(ErrShape)
+	}
+	out := NewDense(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product a*x.
+func MulVec(a *Dense, x []float64) []float64 {
+	if a.cols != len(x) {
+		panic(ErrShape)
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulVecT returns aᵀ*x without forming the transpose.
+func MulVecT(a *Dense, x []float64) []float64 {
+	if a.rows != len(x) {
+		panic(ErrShape)
+	}
+	out := make([]float64, a.cols)
+	for i := 0; i < a.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		for j, v := range row {
+			out[j] += v * xi
+		}
+	}
+	return out
+}
+
+// AddMat returns a+b.
+func AddMat(a, b *Dense) *Dense {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(ErrShape)
+	}
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] += v
+	}
+	return out
+}
+
+// SubMat returns a-b.
+func SubMat(a, b *Dense) *Dense {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(ErrShape)
+	}
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] -= v
+	}
+	return out
+}
+
+// ScaleMat returns s*a.
+func ScaleMat(s float64, a *Dense) *Dense {
+	out := a.Clone()
+	for i := range out.data {
+		out.data[i] *= s
+	}
+	return out
+}
+
+// HStack returns the horizontal concatenation [a b].
+func HStack(a, b *Dense) *Dense {
+	if a.rows != b.rows {
+		panic(ErrShape)
+	}
+	out := NewDense(a.rows, a.cols+b.cols)
+	for i := 0; i < a.rows; i++ {
+		copy(out.data[i*out.cols:], a.data[i*a.cols:(i+1)*a.cols])
+		copy(out.data[i*out.cols+a.cols:], b.data[i*b.cols:(i+1)*b.cols])
+	}
+	return out
+}
+
+// VStack returns the vertical concatenation [a; b].
+func VStack(a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic(ErrShape)
+	}
+	out := NewDense(a.rows+b.rows, a.cols)
+	copy(out.data, a.data)
+	copy(out.data[a.rows*a.cols:], b.data)
+	return out
+}
+
+// HStackVec returns [a v] where v is appended as one extra column.
+func HStackVec(a *Dense, v []float64) *Dense {
+	if a.rows != len(v) {
+		panic(ErrShape)
+	}
+	out := NewDense(a.rows, a.cols+1)
+	for i := 0; i < a.rows; i++ {
+		copy(out.data[i*out.cols:], a.data[i*a.cols:(i+1)*a.cols])
+		out.data[i*out.cols+a.cols] = v[i]
+	}
+	return out
+}
+
+// Submatrix returns the block of m with rows [r0, r1) and columns [c0, c1).
+func (m *Dense) Submatrix(r0, r1, c0, c1 int) *Dense {
+	if r0 < 0 || r1 > m.rows || c0 < 0 || c1 > m.cols || r0 > r1 || c0 > c1 {
+		panic("mat: submatrix bounds out of range")
+	}
+	out := NewDense(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(out.data[(i-r0)*out.cols:], m.data[i*m.cols+c0:i*m.cols+c1])
+	}
+	return out
+}
+
+// DropCol returns a copy of m with column j removed.
+func (m *Dense) DropCol(j int) *Dense {
+	if j < 0 || j >= m.cols {
+		panic("mat: column index out of range")
+	}
+	out := NewDense(m.rows, m.cols-1)
+	for i := 0; i < m.rows; i++ {
+		src := m.data[i*m.cols : (i+1)*m.cols]
+		dst := out.data[i*out.cols : (i+1)*out.cols]
+		copy(dst, src[:j])
+		copy(dst[j:], src[j+1:])
+	}
+	return out
+}
+
+// FrobNorm returns the Frobenius norm of m.
+func (m *Dense) FrobNorm() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute entry of m (0 for an empty matrix).
+func (m *Dense) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Equal reports whether a and b have the same shape and all entries agree
+// within tol.
+func Equal(a, b *Dense, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i := range a.data {
+		if math.Abs(a.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%10.5g", m.data[i*m.cols+j])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,275 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDense(t *testing.T) {
+	m := NewDense(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("got shape %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewDenseFrom(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m := NewDenseFrom(2, 3, data)
+	if m.At(0, 0) != 1 || m.At(0, 2) != 3 || m.At(1, 0) != 4 || m.At(1, 2) != 6 {
+		t.Fatalf("row-major layout wrong: %v", m)
+	}
+	// The matrix must not alias the input slice.
+	data[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Error("NewDenseFrom aliases caller data")
+	}
+}
+
+func TestNewDenseFromPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched data length")
+		}
+	}()
+	NewDenseFrom(2, 2, []float64{1, 2, 3})
+}
+
+func TestSetAtAdd(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2)
+	if got := m.At(0, 1); got != 7 {
+		t.Fatalf("At(0,1) = %v, want 7", got)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	m := NewDense(2, 2)
+	for _, idx := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d,%d) did not panic", idx[0], idx[1])
+				}
+			}()
+			m.At(idx[0], idx[1])
+		}()
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Errorf("Identity(3)[%d][%d] = %v, want %v", i, j, id.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestDiagonal(t *testing.T) {
+	d := Diagonal([]float64{2, 3})
+	want := NewDenseFrom(2, 2, []float64{2, 0, 0, 3})
+	if !Equal(d, want, 0) {
+		t.Fatalf("Diagonal = %v, want %v", d, want)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	mt := m.T()
+	want := NewDenseFrom(3, 2, []float64{1, 4, 2, 5, 3, 6})
+	if !Equal(mt, want, 0) {
+		t.Fatalf("T = %v, want %v", mt, want)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewDenseFrom(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := Mul(a, b)
+	want := NewDenseFrom(2, 2, []float64{58, 64, 139, 154})
+	if !Equal(got, want, 1e-14) {
+		t.Fatalf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	Mul(NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got := MulVec(a, []float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MulVec = %v, want [-2 -2]", got)
+	}
+}
+
+func TestMulVecT(t *testing.T) {
+	a := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got := MulVecT(a, []float64{1, 1})
+	want := []float64{5, 7, 9}
+	if !VecEqual(got, want, 1e-14) {
+		t.Fatalf("MulVecT = %v, want %v", got, want)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{1, 2, 3, 4})
+	b := NewDenseFrom(2, 2, []float64{4, 3, 2, 1})
+	if got := AddMat(a, b); !Equal(got, NewDenseFrom(2, 2, []float64{5, 5, 5, 5}), 0) {
+		t.Errorf("AddMat wrong: %v", got)
+	}
+	if got := SubMat(a, b); !Equal(got, NewDenseFrom(2, 2, []float64{-3, -1, 1, 3}), 0) {
+		t.Errorf("SubMat wrong: %v", got)
+	}
+	if got := ScaleMat(2, a); !Equal(got, NewDenseFrom(2, 2, []float64{2, 4, 6, 8}), 0) {
+		t.Errorf("ScaleMat wrong: %v", got)
+	}
+}
+
+func TestRowColAccessors(t *testing.T) {
+	m := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if got := m.Row(1); !VecEqual(got, []float64{4, 5, 6}, 0) {
+		t.Errorf("Row(1) = %v", got)
+	}
+	if got := m.Col(2); !VecEqual(got, []float64{3, 6}, 0) {
+		t.Errorf("Col(2) = %v", got)
+	}
+	m.SetRow(0, []float64{9, 9, 9})
+	if got := m.Row(0); !VecEqual(got, []float64{9, 9, 9}, 0) {
+		t.Errorf("SetRow failed: %v", got)
+	}
+	m.SetCol(0, []float64{7, 8})
+	if m.At(0, 0) != 7 || m.At(1, 0) != 8 {
+		t.Error("SetCol failed")
+	}
+	// Row returns a copy, not an alias.
+	r := m.Row(0)
+	r[0] = -1
+	if m.At(0, 0) == -1 {
+		t.Error("Row aliases the matrix")
+	}
+}
+
+func TestStacking(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{1, 2, 3, 4})
+	b := NewDenseFrom(2, 1, []float64{5, 6})
+	h := HStack(a, b)
+	if h.Rows() != 2 || h.Cols() != 3 || h.At(0, 2) != 5 || h.At(1, 2) != 6 {
+		t.Errorf("HStack wrong: %v", h)
+	}
+	c := NewDenseFrom(1, 2, []float64{7, 8})
+	v := VStack(a, c)
+	if v.Rows() != 3 || v.At(2, 0) != 7 || v.At(2, 1) != 8 {
+		t.Errorf("VStack wrong: %v", v)
+	}
+	hv := HStackVec(a, []float64{9, 10})
+	if hv.Cols() != 3 || hv.At(0, 2) != 9 || hv.At(1, 2) != 10 {
+		t.Errorf("HStackVec wrong: %v", hv)
+	}
+}
+
+func TestSubmatrixAndDropCol(t *testing.T) {
+	m := NewDenseFrom(3, 3, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	s := m.Submatrix(1, 3, 0, 2)
+	want := NewDenseFrom(2, 2, []float64{4, 5, 7, 8})
+	if !Equal(s, want, 0) {
+		t.Errorf("Submatrix = %v, want %v", s, want)
+	}
+	d := m.DropCol(1)
+	wantD := NewDenseFrom(3, 2, []float64{1, 3, 4, 6, 7, 9})
+	if !Equal(d, wantD, 0) {
+		t.Errorf("DropCol = %v, want %v", d, wantD)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	m := NewDenseFrom(2, 2, []float64{3, 0, 0, 4})
+	if got := m.FrobNorm(); math.Abs(got-5) > 1e-14 {
+		t.Errorf("FrobNorm = %v, want 5", got)
+	}
+	if got := m.MaxAbs(); got != 4 {
+		t.Errorf("MaxAbs = %v, want 4", got)
+	}
+}
+
+func TestEqualShapes(t *testing.T) {
+	if Equal(NewDense(2, 2), NewDense(2, 3), 1) {
+		t.Error("Equal must be false for different shapes")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := NewDenseFrom(1, 2, []float64{1, 2})
+	b := a.Clone()
+	b.Set(0, 0, 42)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func randomDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ for random matrices.
+func TestQuickTransposeProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a := randomDense(rng, m, k)
+		b := randomDense(rng, k, n)
+		left := Mul(a, b).T()
+		right := Mul(b.T(), a.T())
+		return Equal(left, right, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: matrix multiplication distributes over addition.
+func TestQuickDistributive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		a := randomDense(rng, m, k)
+		b := randomDense(rng, k, n)
+		c := randomDense(rng, k, n)
+		left := Mul(a, AddMat(b, c))
+		right := AddMat(Mul(a, b), Mul(a, c))
+		return Equal(left, right, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package mat
+
+import "math"
+
+// LU holds an LU factorization with partial pivoting of a square matrix:
+// P*A = L*U. It supports repeated solves against the same matrix.
+type LU struct {
+	lu   *Dense // combined L (unit lower) and U factors
+	piv  []int  // row permutation
+	sign int    // permutation parity (for determinants)
+}
+
+// ComputeLU factors the square matrix a. It returns ErrSingular when a
+// pivot is exactly zero (the matrix is singular to working precision).
+func ComputeLU(a *Dense) (*LU, error) {
+	if a.rows != a.cols {
+		panic("mat: ComputeLU requires a square matrix")
+	}
+	n := a.rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Partial pivoting: find the largest entry in column k at/below row k.
+		p := k
+		maxAbs := math.Abs(lu.data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.data[i*n+k]); a > maxAbs {
+				maxAbs = a
+				p = i
+			}
+		}
+		if maxAbs == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu.data[k*n+j], lu.data[p*n+j] = lu.data[p*n+j], lu.data[k*n+j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivVal := lu.data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu.data[i*n+k] / pivVal
+			lu.data[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.data[i*n+j] -= m * lu.data[k*n+j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve returns x such that A*x = b for the factored matrix.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.lu.rows
+	if len(b) != n {
+		panic(ErrShape)
+	}
+	x := make([]float64, n)
+	// Apply permutation.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		var s float64
+		row := f.lu.data[i*n : i*n+i]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution with upper triangle.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += f.lu.data[i*n+j] * x[j]
+		}
+		x[i] = (x[i] - s) / f.lu.data[i*n+i]
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	n := f.lu.rows
+	d := float64(f.sign)
+	for i := 0; i < n; i++ {
+		d *= f.lu.data[i*n+i]
+	}
+	return d
+}
+
+// Solve returns x with a*x = b for square a, factoring a once.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	f, err := ComputeLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// SolveMat returns X with a*X = B for square a, factoring a once and
+// solving column by column.
+func SolveMat(a, b *Dense) (*Dense, error) {
+	if a.rows != b.rows {
+		panic(ErrShape)
+	}
+	f, err := ComputeLU(a)
+	if err != nil {
+		return nil, err
+	}
+	out := NewDense(a.rows, b.cols)
+	for j := 0; j < b.cols; j++ {
+		x := f.Solve(b.Col(j))
+		out.SetCol(j, x)
+	}
+	return out, nil
+}
+
+// Inverse returns the inverse of square a.
+func Inverse(a *Dense) (*Dense, error) {
+	return SolveMat(a, Identity(a.rows))
+}

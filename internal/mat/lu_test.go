@@ -1,0 +1,147 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+	a := NewDenseFrom(2, 2, []float64{2, 1, 1, 3})
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VecEqual(x, []float64{1, 3}, 1e-12) {
+		t.Fatalf("Solve = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{1, 2, 2, 4})
+	_, err := Solve(a, []float64{1, 2})
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUNeedsPivoting(t *testing.T) {
+	// Zero in the (0,0) position requires a row swap.
+	a := NewDenseFrom(2, 2, []float64{0, 1, 1, 0})
+	x, err := Solve(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VecEqual(x, []float64{3, 2}, 1e-14) {
+		t.Fatalf("Solve = %v, want [3 2]", x)
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{1, 2, 3, 4})
+	f, err := ComputeLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Det(); math.Abs(got+2) > 1e-12 {
+		t.Fatalf("Det = %v, want -2", got)
+	}
+	// Determinant of a permutation-needing matrix.
+	b := NewDenseFrom(2, 2, []float64{0, 1, 1, 0})
+	fb, err := ComputeLU(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fb.Det(); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("Det(swap) = %v, want -1", got)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := randomDense(rng, 5, 5)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(Mul(a, inv), Identity(5), 1e-9) {
+		t.Error("A * A^-1 != I")
+	}
+	if !Equal(Mul(inv, a), Identity(5), 1e-9) {
+		t.Error("A^-1 * A != I")
+	}
+}
+
+func TestSolveMat(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{2, 0, 0, 4})
+	b := NewDenseFrom(2, 2, []float64{2, 4, 8, 12})
+	x, err := SolveMat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewDenseFrom(2, 2, []float64{1, 2, 2, 3})
+	if !Equal(x, want, 1e-12) {
+		t.Fatalf("SolveMat = %v, want %v", x, want)
+	}
+}
+
+func TestComputeLUPanicsNonSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	if _, err := ComputeLU(NewDense(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for random well-conditioned systems, the solve residual is tiny.
+func TestQuickSolveResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		a := randomDense(r, n, n)
+		// Diagonal dominance guarantees invertibility and conditioning.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		res := SubVec(MulVec(a, x), b)
+		return Norm2(res) < 1e-10*(1+Norm2(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: det(AB) = det(A)det(B).
+func TestQuickDetProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		a := randomDense(r, n, n)
+		b := randomDense(r, n, n)
+		fa, errA := ComputeLU(a)
+		fb, errB := ComputeLU(b)
+		fab, errAB := ComputeLU(Mul(a, b))
+		if errA != nil || errB != nil || errAB != nil {
+			return true // singular draws are skipped
+		}
+		da, db, dab := fa.Det(), fb.Det(), fab.Det()
+		return math.Abs(dab-da*db) < 1e-8*(1+math.Abs(da*db))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

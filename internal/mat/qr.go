@@ -1,0 +1,197 @@
+package mat
+
+import "math"
+
+// QR holds the thin QR factorization of an m×n matrix A with m >= n:
+// A = Q*R where Q is m×n with orthonormal columns and R is n×n upper
+// triangular.
+type QR struct {
+	Q *Dense
+	R *Dense
+}
+
+// ComputeQR computes the thin QR factorization of a using Householder
+// reflections. It requires Rows >= Cols.
+func ComputeQR(a *Dense) *QR {
+	m, n := a.rows, a.cols
+	if m < n {
+		panic("mat: ComputeQR requires rows >= cols")
+	}
+	// Work on a copy; accumulate the Householder vectors in-place below the
+	// diagonal and the R factor on and above it.
+	r := a.Clone()
+	betas := make([]float64, n)
+	vs := make([][]float64, n)
+
+	for k := 0; k < n; k++ {
+		// Build the Householder vector for column k.
+		x := make([]float64, m-k)
+		for i := k; i < m; i++ {
+			x[i-k] = r.data[i*n+k]
+		}
+		alpha := Norm2(x)
+		if x[0] > 0 {
+			alpha = -alpha
+		}
+		v := CopyVec(x)
+		v[0] -= alpha
+		vnorm := Norm2(v)
+		var beta float64
+		if vnorm > 0 {
+			for i := range v {
+				v[i] /= vnorm
+			}
+			beta = 2
+		}
+		betas[k] = beta
+		vs[k] = v
+
+		if beta != 0 {
+			// Apply the reflector to the trailing block r[k:m, k:n].
+			for j := k; j < n; j++ {
+				var s float64
+				for i := k; i < m; i++ {
+					s += v[i-k] * r.data[i*n+j]
+				}
+				s *= beta
+				for i := k; i < m; i++ {
+					r.data[i*n+j] -= s * v[i-k]
+				}
+			}
+		}
+	}
+
+	// Extract R (upper triangular n×n).
+	rr := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			rr.data[i*n+j] = r.data[i*n+j]
+		}
+	}
+
+	// Form thin Q by applying the reflectors to the first n columns of I.
+	q := NewDense(m, n)
+	for j := 0; j < n; j++ {
+		q.data[j*n+j] = 1
+	}
+	for k := n - 1; k >= 0; k-- {
+		v, beta := vs[k], betas[k]
+		if beta == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += v[i-k] * q.data[i*n+j]
+			}
+			s *= beta
+			for i := k; i < m; i++ {
+				q.data[i*n+j] -= s * v[i-k]
+			}
+		}
+	}
+	return &QR{Q: q, R: rr}
+}
+
+// OrthonormalBasis returns an orthonormal basis for the column space of a,
+// as the columns of the returned matrix. Columns of a whose residual after
+// projection is below tol times the largest column norm are dropped, so the
+// result has exactly rank(a) columns. If tol <= 0 a default of 1e-12 is
+// used.
+func OrthonormalBasis(a *Dense, tol float64) *Dense {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	m := a.rows
+	var basis [][]float64
+	// Scale detection threshold by the largest column norm.
+	var maxNorm float64
+	for j := 0; j < a.cols; j++ {
+		if n := Norm2(a.Col(j)); n > maxNorm {
+			maxNorm = n
+		}
+	}
+	if maxNorm == 0 {
+		return NewDense(m, 0)
+	}
+	thresh := tol * maxNorm
+	for j := 0; j < a.cols; j++ {
+		v := a.Col(j)
+		// Twice-applied modified Gram-Schmidt for robustness.
+		for pass := 0; pass < 2; pass++ {
+			for _, b := range basis {
+				AxpyVec(-Dot(b, v), b, v)
+			}
+		}
+		if n := Norm2(v); n > thresh {
+			for i := range v {
+				v[i] /= n
+			}
+			basis = append(basis, v)
+		}
+	}
+	out := NewDense(m, len(basis))
+	for j, b := range basis {
+		out.SetCol(j, b)
+	}
+	return out
+}
+
+// Rank returns the numerical rank of a: the number of singular values
+// exceeding tol times the largest singular value. If tol <= 0 a default of
+// 1e-10 is used.
+func Rank(a *Dense, tol float64) int {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	work := a
+	if a.rows < a.cols {
+		work = a.T()
+	}
+	sv := SingularValues(work)
+	if len(sv) == 0 {
+		return 0
+	}
+	smax := sv[0]
+	for _, s := range sv[1:] {
+		if s > smax {
+			smax = s
+		}
+	}
+	if smax == 0 {
+		return 0
+	}
+	r := 0
+	for _, s := range sv {
+		if s > tol*smax {
+			r++
+		}
+	}
+	return r
+}
+
+// Cond2 returns the 2-norm condition number of a (ratio of extreme singular
+// values). It returns +Inf for a rank-deficient matrix.
+func Cond2(a *Dense) float64 {
+	work := a
+	if a.rows < a.cols {
+		work = a.T()
+	}
+	sv := SingularValues(work)
+	if len(sv) == 0 {
+		return 0
+	}
+	mx, mn := sv[0], sv[0]
+	for _, s := range sv {
+		if s > mx {
+			mx = s
+		}
+		if s < mn {
+			mn = s
+		}
+	}
+	if mn == 0 {
+		return math.Inf(1)
+	}
+	return mx / mn
+}

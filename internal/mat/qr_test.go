@@ -1,0 +1,135 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, shape := range [][2]int{{3, 3}, {5, 3}, {10, 4}, {54, 13}, {1, 1}} {
+		a := randomDense(rng, shape[0], shape[1])
+		qr := ComputeQR(a)
+		back := Mul(qr.Q, qr.R)
+		if !Equal(back, a, 1e-10) {
+			t.Errorf("QR reconstruction failed for %dx%d: max err %g",
+				shape[0], shape[1], SubMat(back, a).MaxAbs())
+		}
+		// Q must have orthonormal columns.
+		qtq := Mul(qr.Q.T(), qr.Q)
+		if !Equal(qtq, Identity(shape[1]), 1e-10) {
+			t.Errorf("QᵀQ != I for %dx%d", shape[0], shape[1])
+		}
+		// R must be upper triangular.
+		for i := 0; i < qr.R.Rows(); i++ {
+			for j := 0; j < i; j++ {
+				if math.Abs(qr.R.At(i, j)) > 1e-12 {
+					t.Errorf("R not upper triangular at (%d,%d): %g", i, j, qr.R.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestComputeQRPanicsForWide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wide matrix")
+		}
+	}()
+	ComputeQR(NewDense(2, 3))
+}
+
+func TestOrthonormalBasisFullRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomDense(rng, 8, 3)
+	q := OrthonormalBasis(a, 0)
+	if q.Cols() != 3 {
+		t.Fatalf("basis has %d columns, want 3", q.Cols())
+	}
+	if !Equal(Mul(q.T(), q), Identity(3), 1e-10) {
+		t.Error("basis not orthonormal")
+	}
+	// Every column of a must be reproducible from the basis: a = Q Qᵀ a.
+	proj := Mul(q, Mul(q.T(), a))
+	if !Equal(proj, a, 1e-10) {
+		t.Error("basis does not span Col(a)")
+	}
+}
+
+func TestOrthonormalBasisRankDeficient(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	// Build a 6x4 matrix of rank 2: two independent columns duplicated.
+	base := randomDense(rng, 6, 2)
+	a := NewDense(6, 4)
+	for i := 0; i < 6; i++ {
+		a.Set(i, 0, base.At(i, 0))
+		a.Set(i, 1, base.At(i, 1))
+		a.Set(i, 2, base.At(i, 0)+base.At(i, 1))
+		a.Set(i, 3, 2*base.At(i, 0)-base.At(i, 1))
+	}
+	q := OrthonormalBasis(a, 0)
+	if q.Cols() != 2 {
+		t.Fatalf("basis has %d columns, want 2", q.Cols())
+	}
+}
+
+func TestOrthonormalBasisZeroMatrix(t *testing.T) {
+	q := OrthonormalBasis(NewDense(4, 3), 0)
+	if q.Cols() != 0 {
+		t.Fatalf("zero matrix should have empty basis, got %d columns", q.Cols())
+	}
+}
+
+func TestRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := randomDense(rng, 6, 4)
+	if got := Rank(a, 0); got != 4 {
+		t.Errorf("random 6x4 rank = %d, want 4", got)
+	}
+	// Make column 3 a combination of columns 0 and 1.
+	for i := 0; i < 6; i++ {
+		a.Set(i, 3, a.At(i, 0)-2*a.At(i, 1))
+	}
+	if got := Rank(a, 0); got != 3 {
+		t.Errorf("rank after dependency = %d, want 3", got)
+	}
+	if got := Rank(NewDense(3, 3), 0); got != 0 {
+		t.Errorf("rank of zero matrix = %d, want 0", got)
+	}
+	// Wide matrices are handled via transpose.
+	if got := Rank(randomDense(rng, 2, 5), 0); got != 2 {
+		t.Errorf("rank of wide 2x5 = %d, want 2", got)
+	}
+}
+
+func TestCond2(t *testing.T) {
+	d := Diagonal([]float64{10, 1, 0.1})
+	if got := Cond2(d); math.Abs(got-100) > 1e-8 {
+		t.Errorf("Cond2 = %v, want 100", got)
+	}
+	if got := Cond2(Identity(4)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Cond2(I) = %v, want 1", got)
+	}
+	if got := Cond2(NewDense(3, 2)); !math.IsInf(got, 1) {
+		t.Errorf("Cond2(0) = %v, want +Inf", got)
+	}
+}
+
+// Property: QR of a random tall matrix always satisfies A = QR and QᵀQ = I.
+func TestQuickQR(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		m := n + r.Intn(10)
+		a := randomDense(r, m, n)
+		qr := ComputeQR(a)
+		return Equal(Mul(qr.Q, qr.R), a, 1e-9) &&
+			Equal(Mul(qr.Q.T(), qr.Q), Identity(n), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package mat
+
+import (
+	"math"
+	"sort"
+)
+
+// SVD holds a (thin) singular value decomposition A = U * diag(S) * Vᵀ,
+// where A is m×n with m >= n, U is m×n with orthonormal columns, S holds
+// the n singular values in descending order and V is n×n orthogonal.
+type SVD struct {
+	U *Dense
+	S []float64
+	V *Dense
+}
+
+// ComputeSVD computes the thin SVD of a (rows >= cols required) using
+// one-sided Jacobi rotations. The method is slow relative to bidiagonal
+// approaches but is simple, backward-stable and highly accurate, which is
+// exactly the tradeoff wanted for the small matrices (≤ a few hundred rows)
+// in this project.
+func ComputeSVD(a *Dense) *SVD {
+	m, n := a.rows, a.cols
+	if m < n {
+		panic("mat: ComputeSVD requires rows >= cols")
+	}
+	u := a.Clone()
+	v := Identity(n)
+
+	// One-sided Jacobi: repeatedly orthogonalize pairs of columns of U.
+	const maxSweeps = 60
+	eps := 1e-15
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// Compute the 2x2 Gram matrix entries for columns p, q.
+				var app, aqq, apq float64
+				for i := 0; i < m; i++ {
+					up := u.data[i*n+p]
+					uq := u.data[i*n+q]
+					app += up * up
+					aqq += uq * uq
+					apq += up * uq
+				}
+				if math.Abs(apq) <= eps*math.Sqrt(app*aqq) {
+					continue
+				}
+				off += apq * apq
+				// Jacobi rotation that annihilates apq.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					up := u.data[i*n+p]
+					uq := u.data[i*n+q]
+					u.data[i*n+p] = c*up - s*uq
+					u.data[i*n+q] = s*up + c*uq
+				}
+				for i := 0; i < n; i++ {
+					vp := v.data[i*n+p]
+					vq := v.data[i*n+q]
+					v.data[i*n+p] = c*vp - s*vq
+					v.data[i*n+q] = s*vp + c*vq
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+
+	// Column norms of U are the singular values.
+	type colSV struct {
+		sv  float64
+		idx int
+	}
+	svs := make([]colSV, n)
+	for j := 0; j < n; j++ {
+		var s float64
+		for i := 0; i < m; i++ {
+			s += u.data[i*n+j] * u.data[i*n+j]
+		}
+		svs[j] = colSV{sv: math.Sqrt(s), idx: j}
+	}
+	sort.Slice(svs, func(i, j int) bool { return svs[i].sv > svs[j].sv })
+
+	outU := NewDense(m, n)
+	outV := NewDense(n, n)
+	s := make([]float64, n)
+	for jj, cs := range svs {
+		s[jj] = cs.sv
+		j := cs.idx
+		if cs.sv > 0 {
+			inv := 1 / cs.sv
+			for i := 0; i < m; i++ {
+				outU.data[i*n+jj] = u.data[i*n+j] * inv
+			}
+		}
+		for i := 0; i < n; i++ {
+			outV.data[i*n+jj] = v.data[i*n+j]
+		}
+	}
+	return &SVD{U: outU, S: s, V: outV}
+}
+
+// SingularValues returns the singular values of a (rows >= cols required)
+// in descending order.
+func SingularValues(a *Dense) []float64 {
+	if a.cols == 0 {
+		return nil
+	}
+	return ComputeSVD(a).S
+}

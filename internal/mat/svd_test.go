@@ -1,0 +1,126 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeSVDKnown(t *testing.T) {
+	// diag(3, 2, 1) has singular values 3, 2, 1.
+	a := Diagonal([]float64{1, 3, 2})
+	sv := SingularValues(a)
+	want := []float64{3, 2, 1}
+	if !VecEqual(sv, want, 1e-12) {
+		t.Fatalf("singular values = %v, want %v", sv, want)
+	}
+}
+
+func TestComputeSVDReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, shape := range [][2]int{{4, 4}, {6, 3}, {20, 13}, {54, 13}} {
+		a := randomDense(rng, shape[0], shape[1])
+		svd := ComputeSVD(a)
+		// A = U S Vᵀ
+		back := Mul(svd.U, Mul(Diagonal(svd.S), svd.V.T()))
+		if !Equal(back, a, 1e-9) {
+			t.Errorf("SVD reconstruction failed for %dx%d: err %g",
+				shape[0], shape[1], SubMat(back, a).MaxAbs())
+		}
+		// Orthonormality.
+		if !Equal(Mul(svd.U.T(), svd.U), Identity(shape[1]), 1e-9) {
+			t.Errorf("UᵀU != I for %dx%d", shape[0], shape[1])
+		}
+		if !Equal(Mul(svd.V.T(), svd.V), Identity(shape[1]), 1e-9) {
+			t.Errorf("VᵀV != I for %dx%d", shape[0], shape[1])
+		}
+		// Descending order, nonnegative.
+		if !sort.IsSorted(sort.Reverse(sort.Float64Slice(svd.S))) {
+			t.Errorf("singular values not sorted: %v", svd.S)
+		}
+		for _, s := range svd.S {
+			if s < 0 {
+				t.Errorf("negative singular value %v", s)
+			}
+		}
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	base := randomDense(rng, 8, 2)
+	a := NewDense(8, 3)
+	for i := 0; i < 8; i++ {
+		a.Set(i, 0, base.At(i, 0))
+		a.Set(i, 1, base.At(i, 1))
+		a.Set(i, 2, base.At(i, 0)-base.At(i, 1))
+	}
+	sv := SingularValues(a)
+	if sv[2] > 1e-10*sv[0] {
+		t.Errorf("expected third singular value ~0, got %v (largest %v)", sv[2], sv[0])
+	}
+}
+
+func TestSVDSingularValuesMatchEigenvalues(t *testing.T) {
+	// For A = [[2, 0], [0, -5]], singular values are 5 and 2.
+	a := NewDenseFrom(2, 2, []float64{2, 0, 0, -5})
+	sv := SingularValues(a)
+	if !VecEqual(sv, []float64{5, 2}, 1e-12) {
+		t.Fatalf("singular values = %v, want [5 2]", sv)
+	}
+}
+
+func TestSingularValuesEmpty(t *testing.T) {
+	if sv := SingularValues(NewDense(3, 0)); len(sv) != 0 {
+		t.Fatalf("expected no singular values, got %v", sv)
+	}
+}
+
+func TestSVDPanicsForWide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wide matrix")
+		}
+	}()
+	ComputeSVD(NewDense(2, 5))
+}
+
+// Property: the Frobenius norm equals the root-sum-square of singular values.
+func TestQuickSVDFrobenius(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		m := n + r.Intn(8)
+		a := randomDense(r, m, n)
+		sv := SingularValues(a)
+		var ss float64
+		for _, s := range sv {
+			ss += s * s
+		}
+		return math.Abs(math.Sqrt(ss)-a.FrobNorm()) < 1e-9*(1+a.FrobNorm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: singular values are invariant under orthogonal column mixing
+// (multiplying on the right by a rotation).
+func TestQuickSVDRotationInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 4 + r.Intn(6)
+		a := randomDense(r, m, 2)
+		theta := r.Float64() * 2 * math.Pi
+		c, s := math.Cos(theta), math.Sin(theta)
+		rot := NewDenseFrom(2, 2, []float64{c, -s, s, c})
+		sv1 := SingularValues(a)
+		sv2 := SingularValues(Mul(a, rot))
+		return VecEqual(sv1, sv2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+package opf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gridmtd/internal/grid"
+	"gridmtd/internal/lp"
+	"gridmtd/internal/mat"
+)
+
+// SolveDispatchAngles solves the same dispatch-only DC OPF as
+// SolveDispatch but in the paper's original variables (g, θ):
+//
+//	min  Σ c_i g_i
+//	s.t. g − l = B·θ           (nodal balance, equation (1b))
+//	     |D·Aᵀ·θ| <= fmax       (branch limits, (1c))
+//	     gmin <= g <= gmax      ((1d))
+//	     θ_slack = 0
+//
+// It exists as a cross-check and ablation for the PTDF formulation: both
+// must find the same optimal cost (they are the same LP after eliminating
+// θ), but this variant carries N−1 extra free variables and N equality
+// rows. The equivalence is asserted by tests and its cost measured by the
+// repository benchmarks.
+func SolveDispatchAngles(n *grid.Network, x []float64) (*Result, error) {
+	if len(n.Gens) == 0 {
+		return nil, errors.New("opf: network has no generators")
+	}
+	nG := len(n.Gens)
+	nb := n.N()
+	nTheta := nb - 1 // reduced angles
+	nv := nG + nTheta
+
+	// Variable layout: [g_0..g_{nG-1}, θ_red...]. Angles are free; use wide
+	// artificial bounds to keep the standard-form conversion compact.
+	lower := make([]float64, nv)
+	upper := make([]float64, nv)
+	lo, hi := n.GenBounds()
+	copy(lower, lo)
+	copy(upper, hi)
+	for j := nG; j < nv; j++ {
+		lower[j] = math.Inf(-1)
+		upper[j] = math.Inf(1)
+	}
+
+	c := make([]float64, nv)
+	copy(c, n.GenCosts())
+
+	// Equality rows: for each bus i, Σ_{g at i} g − Σ_j B_ij θ_j = l_i.
+	// B in per-unit acting on θ gives per-unit injections; convert to MW.
+	b := n.BMatrix(x)
+	aeq := mat.NewDense(nb, nv)
+	beq := make([]float64, nb)
+	colOf := func(bus int) int { // reduced angle column for 0-based bus
+		s := n.SlackBus - 1
+		switch {
+		case bus == s:
+			return -1
+		case bus < s:
+			return nG + bus
+		default:
+			return nG + bus - 1
+		}
+	}
+	for i := 0; i < nb; i++ {
+		for gi, g := range n.Gens {
+			if g.Bus-1 == i {
+				aeq.Add(i, gi, 1)
+			}
+		}
+		for j := 0; j < nb; j++ {
+			if cj := colOf(j); cj >= 0 {
+				aeq.Add(i, cj, -b.At(i, j)*n.BaseMVA)
+			}
+		}
+		beq[i] = n.Buses[i].LoadMW
+	}
+
+	// Inequality rows: ±flow_l = ±(θ_from − θ_to)/x_l · base <= fmax_l.
+	var rows []int
+	for l, br := range n.Branches {
+		if !math.IsInf(br.LimitMW, 1) {
+			rows = append(rows, l)
+		}
+	}
+	var aub *mat.Dense
+	var bub []float64
+	if len(rows) > 0 {
+		aub = mat.NewDense(2*len(rows), nv)
+		bub = make([]float64, 2*len(rows))
+		for k, l := range rows {
+			br := n.Branches[l]
+			coef := n.BaseMVA / x[l]
+			if cj := colOf(br.From - 1); cj >= 0 {
+				aub.Add(k, cj, coef)
+				aub.Add(len(rows)+k, cj, -coef)
+			}
+			if cj := colOf(br.To - 1); cj >= 0 {
+				aub.Add(k, cj, -coef)
+				aub.Add(len(rows)+k, cj, coef)
+			}
+			bub[k] = br.LimitMW
+			bub[len(rows)+k] = br.LimitMW
+		}
+	}
+
+	sol, err := lp.Solve(&lp.Problem{
+		C: c, Aeq: aeq, Beq: beq, Aub: aub, Bub: bub,
+		Lower: lower, Upper: upper,
+	})
+	if err != nil {
+		if errors.Is(err, lp.ErrInfeasible) {
+			return nil, ErrInfeasible
+		}
+		return nil, fmt.Errorf("opf: angle formulation: %w", err)
+	}
+
+	dispatch := sol.X[:nG]
+	thetaRed := sol.X[nG:]
+	theta := n.ExpandVec(thetaRed, 0)
+	flows := make([]float64, n.L())
+	for l, br := range n.Branches {
+		flows[l] = (theta[br.From-1] - theta[br.To-1]) / x[l] * n.BaseMVA
+	}
+	return &Result{
+		DispatchMW:  mat.CopyVec(dispatch),
+		FlowsMW:     flows,
+		ThetaRad:    theta,
+		CostPerHour: sol.Objective,
+		Reactances:  mat.CopyVec(x),
+	}, nil
+}

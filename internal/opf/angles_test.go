@@ -1,0 +1,98 @@
+package opf
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gridmtd/internal/grid"
+	"gridmtd/internal/mat"
+)
+
+func TestAnglesMatchesPTDFOn4Bus(t *testing.T) {
+	n := grid.Case4GS()
+	a, err := SolveDispatchAngles(n, n.Reactances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := SolveDispatch(n, n.Reactances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.CostPerHour-p.CostPerHour) > 1e-5 {
+		t.Fatalf("angle cost %v != PTDF cost %v", a.CostPerHour, p.CostPerHour)
+	}
+	if !mat.VecEqual(a.DispatchMW, p.DispatchMW, 1e-4) {
+		t.Fatalf("dispatch mismatch: %v vs %v", a.DispatchMW, p.DispatchMW)
+	}
+}
+
+func TestAnglesMatchesPTDFOn14And30Bus(t *testing.T) {
+	for _, n := range []*grid.Network{grid.CaseIEEE14(), grid.CaseIEEE30()} {
+		a, err := SolveDispatchAngles(n, n.Reactances())
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		p, err := SolveDispatch(n, n.Reactances())
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		if math.Abs(a.CostPerHour-p.CostPerHour) > 1e-4*(1+p.CostPerHour) {
+			t.Errorf("%s: angle cost %v != PTDF cost %v", n.Name, a.CostPerHour, p.CostPerHour)
+		}
+		// The angle solution must be physically consistent and feasible.
+		for l, br := range n.Branches {
+			if math.Abs(a.FlowsMW[l]) > br.LimitMW+1e-5 {
+				t.Errorf("%s: branch %d flow %v exceeds %v", n.Name, l, a.FlowsMW[l], br.LimitMW)
+			}
+		}
+		if math.Abs(mat.SumVec(a.DispatchMW)-n.TotalLoadMW()) > 1e-5 {
+			t.Errorf("%s: dispatch does not balance load", n.Name)
+		}
+	}
+}
+
+func TestAnglesInfeasible(t *testing.T) {
+	n := grid.Case4GS()
+	n.ScaleLoads(2)
+	if _, err := SolveDispatchAngles(n, n.Reactances()); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestAnglesNoGenerators(t *testing.T) {
+	n := grid.Case4GS()
+	n.Gens = nil
+	if _, err := SolveDispatchAngles(n, n.Reactances()); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// Property: the two LP formulations agree at random D-FACTS settings and
+// load scalings (the formulations are algebraically equivalent).
+func TestQuickFormulationEquivalence(t *testing.T) {
+	base := grid.CaseIEEE14()
+	lo, hi := base.DFACTSBounds()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := base.Clone()
+		n.ScaleLoads(0.6 + 0.5*rng.Float64())
+		xd := make([]float64, len(lo))
+		for i := range xd {
+			xd[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+		}
+		x := n.ExpandDFACTS(xd)
+		a, errA := SolveDispatchAngles(n, x)
+		p, errP := SolveDispatch(n, x)
+		if errA != nil || errP != nil {
+			// Both must agree on infeasibility too.
+			return errors.Is(errA, ErrInfeasible) == errors.Is(errP, ErrInfeasible)
+		}
+		return math.Abs(a.CostPerHour-p.CostPerHour) < 1e-4*(1+p.CostPerHour)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package opf solves the paper's optimal power flow problems. With linear
+// generation costs and the DC model, OPF over the generator dispatch
+// (problem (1) with fixed reactances) is a linear program, formulated here
+// over PTDF sensitivities and solved with the internal simplex. OPF over
+// dispatch AND D-FACTS reactance settings (problem (1) in full) is
+// non-convex in the reactances; it is solved by derivative-free multi-start
+// search over the D-FACTS box with the dispatch LP nested inside — the same
+// decomposition MATLAB's fmincon+MultiStart effectively performs in the
+// paper's simulations.
+package opf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gridmtd/internal/dcflow"
+	"gridmtd/internal/grid"
+	"gridmtd/internal/lp"
+	"gridmtd/internal/mat"
+	"gridmtd/internal/optimize"
+)
+
+// ErrInfeasible is returned when no dispatch satisfies the generation,
+// balance and flow constraints.
+var ErrInfeasible = errors.New("opf: problem is infeasible")
+
+// Result is a solved OPF.
+type Result struct {
+	// DispatchMW is the generator dispatch (ordered as Network.Gens).
+	DispatchMW []float64
+	// FlowsMW are branch flows at the optimum.
+	FlowsMW []float64
+	// ThetaRad are bus voltage angles at the optimum (slack = 0).
+	ThetaRad []float64
+	// CostPerHour is the generation cost Σ c_i g_i in $/h.
+	CostPerHour float64
+	// Reactances is the branch reactance vector the OPF was solved for.
+	Reactances []float64
+}
+
+// SolveDispatch solves the dispatch-only OPF for fixed branch reactances x:
+//
+//	min  Σ c_i g_i
+//	s.t. Σ g = Σ load, |PTDF·(g − load)| <= fmax, gmin <= g <= gmax.
+func SolveDispatch(n *grid.Network, x []float64) (*Result, error) {
+	if len(n.Gens) == 0 {
+		return nil, errors.New("opf: network has no generators")
+	}
+	nG := len(n.Gens)
+	ptdf, err := n.PTDF(x)
+	if err != nil {
+		return nil, fmt.Errorf("opf: PTDF: %w", err)
+	}
+
+	// Reduced load vector (MW) and its flow contribution.
+	loadRed := n.ReduceVec(n.LoadsMW())
+	f0 := mat.MulVec(ptdf, loadRed) // flow produced by -load alone, negated below
+
+	// S maps dispatch to flows: column g is PTDF applied to the unit
+	// injection at the generator's bus (zero column if it sits at slack).
+	s := mat.NewDense(n.L(), nG)
+	for gi, g := range n.Gens {
+		if g.Bus == n.SlackBus {
+			continue
+		}
+		unit := make([]float64, n.N())
+		unit[g.Bus-1] = 1
+		col := mat.MulVec(ptdf, n.ReduceVec(unit))
+		s.SetCol(gi, col)
+	}
+
+	// Inequalities: S·g − f0 <= fmax and −S·g + f0 <= fmax, skipping
+	// unlimited branches.
+	var rows []int
+	for l, br := range n.Branches {
+		if !math.IsInf(br.LimitMW, 1) {
+			rows = append(rows, l)
+		}
+	}
+	var aub *mat.Dense
+	var bub []float64
+	if len(rows) > 0 {
+		aub = mat.NewDense(2*len(rows), nG)
+		bub = make([]float64, 2*len(rows))
+		for k, l := range rows {
+			for gi := 0; gi < nG; gi++ {
+				aub.Set(k, gi, s.At(l, gi))
+				aub.Set(len(rows)+k, gi, -s.At(l, gi))
+			}
+			bub[k] = n.Branches[l].LimitMW + f0[l]
+			bub[len(rows)+k] = n.Branches[l].LimitMW - f0[l]
+		}
+	}
+
+	lo, hi := n.GenBounds()
+	prob := &lp.Problem{
+		C:     n.GenCosts(),
+		Aeq:   mat.NewDenseFrom(1, nG, mat.Ones(nG)),
+		Beq:   []float64{n.TotalLoadMW()},
+		Aub:   aub,
+		Bub:   bub,
+		Lower: lo,
+		Upper: hi,
+	}
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		if errors.Is(err, lp.ErrInfeasible) {
+			return nil, ErrInfeasible
+		}
+		return nil, fmt.Errorf("opf: %w", err)
+	}
+
+	flow, err := dcflow.SolveDispatch(n, x, sol.X)
+	if err != nil {
+		return nil, fmt.Errorf("opf: verifying dispatch: %w", err)
+	}
+	return &Result{
+		DispatchMW:  sol.X,
+		FlowsMW:     flow.FlowsMW,
+		ThetaRad:    flow.ThetaRad,
+		CostPerHour: sol.Objective,
+		Reactances:  mat.CopyVec(x),
+	}, nil
+}
+
+// DFACTSConfig tunes the outer reactance search of SolveDFACTS.
+type DFACTSConfig struct {
+	// Starts is the number of random multi-start points in addition to the
+	// current reactance setting (default 8).
+	Starts int
+	// Seed seeds the multi-start sampler.
+	Seed int64
+	// MaxEvals bounds objective evaluations per local search (default
+	// 60 × #D-FACTS branches).
+	MaxEvals int
+}
+
+func (c DFACTSConfig) withDefaults(dim int) DFACTSConfig {
+	if c.Starts <= 0 {
+		c.Starts = 8
+	}
+	if c.MaxEvals <= 0 {
+		c.MaxEvals = 60 * dim
+	}
+	return c
+}
+
+// SolveDFACTS solves the full problem (1): minimize generation cost over
+// both the dispatch and the D-FACTS reactance settings. Networks without
+// D-FACTS devices reduce to SolveDispatch at the current reactances
+// (paper footnote 1).
+func SolveDFACTS(n *grid.Network, cfg DFACTSConfig) (*Result, error) {
+	idx := n.DFACTSIndices()
+	if len(idx) == 0 {
+		return SolveDispatch(n, n.Reactances())
+	}
+	cfg = cfg.withDefaults(len(idx))
+	lo, hi := n.DFACTSBounds()
+	box := optimize.Bounds{Lower: lo, Upper: hi}
+
+	obj := func(xd []float64) float64 {
+		res, err := SolveDispatch(n, n.ExpandDFACTS(xd))
+		if err != nil {
+			return optimize.InfeasibleObjective
+		}
+		return res.CostPerHour
+	}
+	local := func(f optimize.Objective, x0 []float64) (*optimize.Result, error) {
+		return optimize.NelderMead(f, x0, optimize.NMConfig{MaxEvals: cfg.MaxEvals})
+	}
+	best, err := optimize.MultiStart(obj, box, local, optimize.MSConfig{
+		Starts:        cfg.Starts,
+		Seed:          cfg.Seed,
+		InitialPoints: [][]float64{n.DFACTSSetting(n.Reactances())},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("opf: D-FACTS search: %w", err)
+	}
+	if best.F >= optimize.InfeasibleObjective {
+		return nil, ErrInfeasible
+	}
+	return SolveDispatch(n, n.ExpandDFACTS(best.X))
+}

@@ -1,0 +1,250 @@
+package opf
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gridmtd/internal/grid"
+	"gridmtd/internal/mat"
+)
+
+func TestCase4GSPreTableII(t *testing.T) {
+	// Paper Table II: dispatch (350, 150) MW, cost 1.15e4 $/h, flows
+	// (126.56, 173.44, -43.44, -26.56) MW.
+	n := grid.Case4GS()
+	res, err := SolveDispatch(n, n.Reactances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.VecEqual(res.DispatchMW, []float64{350, 150}, 1e-4) {
+		t.Fatalf("dispatch = %v, want [350 150]", res.DispatchMW)
+	}
+	if math.Abs(res.CostPerHour-11500) > 0.1 {
+		t.Fatalf("cost = %v, want 11500", res.CostPerHour)
+	}
+	want := []float64{126.56, 173.44, -43.44, -26.56}
+	for l := range want {
+		if math.Abs(res.FlowsMW[l]-want[l]) > 0.05 {
+			t.Errorf("flow %d = %.2f, want %.2f", l+1, res.FlowsMW[l], want[l])
+		}
+	}
+}
+
+func TestCase4GSPerturbedTableIII(t *testing.T) {
+	// Paper Table III: generator dispatch and OPF cost after +20%
+	// single-line reactance perturbations (Δx2's published cost 1.595e4 is
+	// a typo for 1.1595e4 — c·g of its own dispatch column).
+	n := grid.Case4GS()
+	cases := []struct {
+		line   int
+		g1, g2 float64
+		cost   float64
+	}{
+		{0, 337.37, 162.62, 11626},
+		{1, 340.51, 159.48, 11595},
+		{2, 348.62, 151.37, 11514},
+		{3, 345.95, 154.02, 11540},
+	}
+	for _, c := range cases {
+		x := n.Reactances()
+		x[c.line] *= 1.2
+		res, err := SolveDispatch(n.WithReactances(x), x)
+		if err != nil {
+			t.Fatalf("line %d: %v", c.line+1, err)
+		}
+		// Calibrated limits reproduce the paper within 0.5 MW / 15 $/h.
+		if math.Abs(res.DispatchMW[0]-c.g1) > 0.5 || math.Abs(res.DispatchMW[1]-c.g2) > 0.5 {
+			t.Errorf("Δx%d: dispatch = (%.2f, %.2f), paper (%.2f, %.2f)",
+				c.line+1, res.DispatchMW[0], res.DispatchMW[1], c.g1, c.g2)
+		}
+		if math.Abs(res.CostPerHour-c.cost) > 15 {
+			t.Errorf("Δx%d: cost = %.1f, paper %.0f", c.line+1, res.CostPerHour, c.cost)
+		}
+		// The qualitative claim: every perturbation raises the cost.
+		if res.CostPerHour <= 11500 {
+			t.Errorf("Δx%d: cost %.1f did not increase over 11500", c.line+1, res.CostPerHour)
+		}
+	}
+}
+
+func TestCase4GSCheapestPerturbationIsLine3(t *testing.T) {
+	// Paper Section IV-B: Δx3 incurs the least cost among the four.
+	n := grid.Case4GS()
+	costs := make([]float64, 4)
+	for line := 0; line < 4; line++ {
+		x := n.Reactances()
+		x[line] *= 1.2
+		res, err := SolveDispatch(n.WithReactances(x), x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs[line] = res.CostPerHour
+	}
+	for line, c := range costs {
+		if line != 2 && c <= costs[2] {
+			t.Errorf("cost(Δx%d) = %.1f not greater than cost(Δx3) = %.1f", line+1, c, costs[2])
+		}
+	}
+}
+
+func TestIEEE14Feasible(t *testing.T) {
+	n := grid.CaseIEEE14()
+	res, err := SolveDispatch(n, n.Reactances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Balance.
+	if math.Abs(mat.SumVec(res.DispatchMW)-n.TotalLoadMW()) > 1e-6 {
+		t.Error("dispatch does not balance load")
+	}
+	// Bounds.
+	lo, hi := n.GenBounds()
+	for i := range res.DispatchMW {
+		if res.DispatchMW[i] < lo[i]-1e-7 || res.DispatchMW[i] > hi[i]+1e-7 {
+			t.Errorf("gen %d dispatch %v outside [%v, %v]", i, res.DispatchMW[i], lo[i], hi[i])
+		}
+	}
+	// Flow limits.
+	for l, br := range n.Branches {
+		if math.Abs(res.FlowsMW[l]) > br.LimitMW+1e-6 {
+			t.Errorf("branch %d flow %v exceeds limit %v", l+1, res.FlowsMW[l], br.LimitMW)
+		}
+	}
+	// Merit order sanity: cheapest generator (bus 1, 20 $/MWh) is fully
+	// used up to its binding constraint; cost must be below naive upper
+	// bound of running everything at the most expensive price.
+	if res.CostPerHour >= 50*n.TotalLoadMW() {
+		t.Errorf("cost %v implausibly high", res.CostPerHour)
+	}
+}
+
+func TestIEEE30Feasible(t *testing.T) {
+	n := grid.CaseIEEE30()
+	res, err := SolveDispatch(n, n.Reactances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mat.SumVec(res.DispatchMW)-n.TotalLoadMW()) > 1e-6 {
+		t.Error("dispatch does not balance load")
+	}
+	for l, br := range n.Branches {
+		if math.Abs(res.FlowsMW[l]) > br.LimitMW+1e-6 {
+			t.Errorf("branch %d flow %v exceeds limit %v", l+1, res.FlowsMW[l], br.LimitMW)
+		}
+	}
+}
+
+func TestInfeasibleWhenOverloaded(t *testing.T) {
+	n := grid.Case4GS()
+	n.ScaleLoads(2) // 1000 MW demand vs 668 MW capacity
+	_, err := SolveDispatch(n, n.Reactances())
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestNoGenerators(t *testing.T) {
+	n := grid.Case4GS()
+	n.Gens = nil
+	if _, err := SolveDispatch(n, n.Reactances()); err == nil {
+		t.Fatal("expected error for generator-free network")
+	}
+}
+
+func TestSolveDFACTSNoWorseThanFixed(t *testing.T) {
+	// Optimizing reactances can only help (the fixed setting is in the
+	// feasible set of the D-FACTS search).
+	n := grid.CaseIEEE14()
+	fixed, err := SolveDispatch(n, n.Reactances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := SolveDFACTS(n, DFACTSConfig{Starts: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.CostPerHour > fixed.CostPerHour+1e-6 {
+		t.Errorf("D-FACTS OPF cost %v worse than fixed-x cost %v", opt.CostPerHour, fixed.CostPerHour)
+	}
+	// The chosen reactances must respect the device limits.
+	lo, hi := n.DFACTSBounds()
+	xd := n.DFACTSSetting(opt.Reactances)
+	for i := range xd {
+		if xd[i] < lo[i]-1e-9 || xd[i] > hi[i]+1e-9 {
+			t.Errorf("reactance %d = %v outside [%v, %v]", i, xd[i], lo[i], hi[i])
+		}
+	}
+}
+
+func TestSolveDFACTSWithoutDevices(t *testing.T) {
+	n := grid.Case4GS()
+	for i := range n.Branches {
+		n.Branches[i].HasDFACTS = false
+		n.Branches[i].XMin = n.Branches[i].X
+		n.Branches[i].XMax = n.Branches[i].X
+	}
+	res, err := SolveDFACTS(n, DFACTSConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.VecEqual(res.DispatchMW, []float64{350, 150}, 1e-4) {
+		t.Fatalf("dispatch = %v, want [350 150]", res.DispatchMW)
+	}
+}
+
+// Property: OPF cost is monotone nondecreasing in the total load (for
+// uniform scaling within the feasible region).
+func TestQuickCostMonotoneInLoad(t *testing.T) {
+	base := grid.CaseIEEE14()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s1 := 0.5 + rng.Float64()*0.4
+		s2 := s1 + rng.Float64()*0.3
+		n1 := base.Clone()
+		n1.ScaleLoads(s1)
+		n2 := base.Clone()
+		n2.ScaleLoads(s2)
+		r1, err1 := SolveDispatch(n1, n1.Reactances())
+		r2, err2 := SolveDispatch(n2, n2.Reactances())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r2.CostPerHour >= r1.CostPerHour-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the LP solution is physically consistent — the reported flows
+// come from an exact DC power flow of the reported dispatch.
+func TestQuickFlowsConsistent(t *testing.T) {
+	n := grid.CaseIEEE14()
+	lo, hi := n.DFACTSBounds()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xd := make([]float64, len(lo))
+		for i := range xd {
+			xd[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+		}
+		x := n.ExpandDFACTS(xd)
+		res, err := SolveDispatch(n, x)
+		if err != nil {
+			return true // some random settings may congest to infeasibility
+		}
+		// Angles must reproduce the flows through the branch equations.
+		for l, br := range n.Branches {
+			want := (res.ThetaRad[br.From-1] - res.ThetaRad[br.To-1]) / x[l] * n.BaseMVA
+			if math.Abs(res.FlowsMW[l]-want) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

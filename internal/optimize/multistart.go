@@ -1,0 +1,133 @@
+package optimize
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// Bounds is a per-dimension box used to draw multi-start points.
+type Bounds struct {
+	Lower []float64
+	Upper []float64
+}
+
+// Dim returns the dimensionality of the box.
+func (b Bounds) Dim() int { return len(b.Lower) }
+
+// Validate checks the box for consistency.
+func (b Bounds) Validate() error {
+	if len(b.Lower) == 0 || len(b.Lower) != len(b.Upper) {
+		return errors.New("optimize: invalid bounds")
+	}
+	for i := range b.Lower {
+		if b.Lower[i] > b.Upper[i] {
+			return errors.New("optimize: lower bound exceeds upper bound")
+		}
+	}
+	return nil
+}
+
+// Sample draws a uniform point inside the box.
+func (b Bounds) Sample(rng *rand.Rand) []float64 {
+	x := make([]float64, len(b.Lower))
+	for i := range x {
+		x[i] = b.Lower[i] + rng.Float64()*(b.Upper[i]-b.Lower[i])
+	}
+	return x
+}
+
+// Clamp projects x into the box in place and returns it.
+func (b Bounds) Clamp(x []float64) []float64 {
+	for i := range x {
+		if x[i] < b.Lower[i] {
+			x[i] = b.Lower[i]
+		}
+		if x[i] > b.Upper[i] {
+			x[i] = b.Upper[i]
+		}
+	}
+	return x
+}
+
+// Contains reports whether x lies inside the box (within tol).
+func (b Bounds) Contains(x []float64, tol float64) bool {
+	if len(x) != len(b.Lower) {
+		return false
+	}
+	for i := range x {
+		if x[i] < b.Lower[i]-tol || x[i] > b.Upper[i]+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Local is a local minimizer signature usable with MultiStart.
+type Local func(f Objective, x0 []float64) (*Result, error)
+
+// MSConfig configures the multi-start driver.
+type MSConfig struct {
+	// Starts is the number of random restarts in addition to the provided
+	// initial points (default 10).
+	Starts int
+	// Seed seeds the restart sampler.
+	Seed int64
+	// InitialPoints are deterministic starting points tried before random
+	// ones (e.g. the current operating point).
+	InitialPoints [][]float64
+}
+
+// MultiStart minimizes f over the box by running the local solver from
+// several starting points (deterministic ones first, then Starts uniform
+// random draws) and returning the best local optimum. Candidate points are
+// clamped to the box before each local run, and returned points are clamped
+// too, so the result always lies inside the box.
+func MultiStart(f Objective, box Bounds, local Local, cfg MSConfig) (*Result, error) {
+	if err := box.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Starts <= 0 {
+		cfg.Starts = 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Evaluate through a box projection so local solvers cannot leave it.
+	proj := func(x []float64) float64 {
+		clamped := box.Clamp(append([]float64(nil), x...))
+		return f(clamped)
+	}
+
+	var best *Result
+	totalEvals := 0
+	try := func(x0 []float64) error {
+		x0 = box.Clamp(append([]float64(nil), x0...))
+		res, err := local(proj, x0)
+		if err != nil {
+			return err
+		}
+		totalEvals += res.Evals
+		res.X = box.Clamp(res.X)
+		res.F = f(res.X)
+		totalEvals++
+		if best == nil || res.F < best.F {
+			best = res
+		}
+		return nil
+	}
+
+	for _, p := range cfg.InitialPoints {
+		if err := try(p); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Starts; i++ {
+		if err := try(box.Sample(rng)); err != nil {
+			return nil, err
+		}
+	}
+	if best == nil {
+		return nil, errors.New("optimize: no starting points")
+	}
+	best.Evals = totalEvals
+	return best, nil
+}

@@ -1,0 +1,69 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+)
+
+// PSConfig configures compass pattern search. The zero value selects
+// sensible defaults.
+type PSConfig struct {
+	// InitialStep is the starting mesh size (default 0.1).
+	InitialStep float64
+	// MinStep is the mesh size at which the search stops (default 1e-8).
+	MinStep float64
+	// MaxEvals bounds objective evaluations (default 500 * dim).
+	MaxEvals int
+}
+
+func (c PSConfig) withDefaults(dim int) PSConfig {
+	if c.InitialStep <= 0 {
+		c.InitialStep = 0.1
+	}
+	if c.MinStep <= 0 {
+		c.MinStep = 1e-8
+	}
+	if c.MaxEvals <= 0 {
+		c.MaxEvals = 500 * dim
+	}
+	return c
+}
+
+// PatternSearch minimizes f by compass (coordinate) search: poll the 2n
+// axis directions at the current mesh size, move to any improvement,
+// otherwise halve the mesh. Simple, derivative-free and robust to the mild
+// non-smoothness introduced by inner LP solves.
+func PatternSearch(f Objective, x0 []float64, cfg PSConfig) (*Result, error) {
+	n := len(x0)
+	if n == 0 {
+		return nil, errors.New("optimize: empty starting point")
+	}
+	cfg = cfg.withDefaults(n)
+
+	x := append([]float64(nil), x0...)
+	evals := 0
+	fx := f(x)
+	evals++
+	step := cfg.InitialStep
+
+	for step > cfg.MinStep && evals < cfg.MaxEvals {
+		improved := false
+		for j := 0; j < n && evals < cfg.MaxEvals; j++ {
+			for _, dir := range []float64{1, -1} {
+				cand := append([]float64(nil), x...)
+				cand[j] += dir * step
+				fc := f(cand)
+				evals++
+				if fc < fx-1e-15*math.Abs(fx) {
+					x, fx = cand, fc
+					improved = true
+					break
+				}
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	return &Result{X: x, F: fx, Evals: evals, Converged: step <= cfg.MinStep}, nil
+}

@@ -1,0 +1,54 @@
+package optimize
+
+import "math"
+
+// Constraint represents an inequality constraint g(x) <= 0.
+type Constraint func(x []float64) float64
+
+// Penalized wraps an objective with quadratic penalties for violated
+// constraints: f(x) + mu * Σ max(0, g_i(x))². With a sufficiently large mu
+// the unconstrained minimum of the wrapped function approaches the
+// constrained minimum; the MTD selection uses it to enforce the
+// γ(H, H') >= γ_th effectiveness constraint inside derivative-free search.
+func Penalized(f Objective, cons []Constraint, mu float64) Objective {
+	return func(x []float64) float64 {
+		v := f(x)
+		for _, g := range cons {
+			if viol := g(x); viol > 0 {
+				v += mu * viol * viol
+			}
+		}
+		return v
+	}
+}
+
+// MaxViolation returns the largest constraint violation at x (0 if all
+// constraints hold).
+func MaxViolation(cons []Constraint, x []float64) float64 {
+	var worst float64
+	for _, g := range cons {
+		if v := g(x); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Feasible reports whether all constraints hold at x within tol.
+func Feasible(cons []Constraint, x []float64, tol float64) bool {
+	return MaxViolation(cons, x) <= tol
+}
+
+// InfeasibleObjective is a large sentinel value local solvers can use for
+// points where the objective itself is undefined (e.g. the inner OPF is
+// infeasible). It is finite so simplex arithmetic stays well-behaved.
+const InfeasibleObjective = 1e12
+
+// SoftMax returns max(v, floor), useful to keep penalized objectives away
+// from -Inf/NaN propagation.
+func SoftMax(v, floor float64) float64 {
+	if math.IsNaN(v) {
+		return InfeasibleObjective
+	}
+	return math.Max(v, floor)
+}

@@ -1,0 +1,47 @@
+package se
+
+import (
+	"fmt"
+	"math"
+
+	"gridmtd/internal/stat"
+)
+
+// BDD is a bad data detector with a χ²-calibrated threshold: it raises an
+// alarm when the estimation residual r = ‖z − Hθ̂‖ meets or exceeds τ.
+type BDD struct {
+	// Tau is the residual alarm threshold.
+	Tau float64
+	// Alpha is the configured false-positive rate.
+	Alpha float64
+	// Sigma is the per-measurement noise standard deviation.
+	Sigma float64
+	// DOF is the residual degrees of freedom M − (N−1).
+	DOF int
+}
+
+// NewBDD calibrates a detector for an estimator with the given noise level
+// and target false-positive rate alpha: under H0 the squared residual
+// satisfies r²/σ² ~ χ²(DOF), so τ = σ·sqrt(χ²_inv(1−alpha, DOF)).
+func NewBDD(e *Estimator, sigma, alpha float64) (*BDD, error) {
+	if sigma <= 0 {
+		return nil, fmt.Errorf("se: noise sigma must be positive, got %g", sigma)
+	}
+	dof := e.DOF()
+	if dof <= 0 {
+		return nil, fmt.Errorf("se: no residual degrees of freedom (M = %d, states = %d)", e.NumMeasurements(), e.NumStates())
+	}
+	q, err := stat.ChiSquareQuantileUpper(float64(dof), alpha)
+	if err != nil {
+		return nil, fmt.Errorf("se: calibrating threshold: %w", err)
+	}
+	return &BDD{
+		Tau:   sigma * math.Sqrt(q),
+		Alpha: alpha,
+		Sigma: sigma,
+		DOF:   dof,
+	}, nil
+}
+
+// Detect reports whether the residual triggers the alarm.
+func (b *BDD) Detect(residual float64) bool { return residual >= b.Tau }

@@ -1,0 +1,70 @@
+package se
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gridmtd/internal/mat"
+	"gridmtd/internal/stat"
+)
+
+// ResidualComponent returns ‖(I − Γ)a‖, the deterministic attack component
+// of the residual that an attack vector a contributes under this
+// estimator's measurement matrix (the quantity the paper calls ‖r'_a‖).
+// It is zero exactly when a lies in Col(H), i.e. the attack is stealthy.
+func (e *Estimator) ResidualComponent(a []float64) float64 {
+	return e.Residual(a)
+}
+
+// DetectionProbability returns the analytic probability that the BDD alarm
+// fires for measurements z = Hθ + n + a with n ~ N(0, σ²I): the residual
+// satisfies r²/σ² ~ noncentral χ²(DOF, λ) with λ = ‖(I−Γ)a‖²/σ², so
+// P_D = SF(τ²/σ²). Passing a zero attack returns the false-positive rate.
+func (e *Estimator) DetectionProbability(b *BDD, a []float64) (float64, error) {
+	ra := e.ResidualComponent(a)
+	lambda := (ra / b.Sigma) * (ra / b.Sigma)
+	x := (b.Tau / b.Sigma) * (b.Tau / b.Sigma)
+	pd, err := stat.NoncentralChiSquareSF(float64(b.DOF), lambda, x)
+	if err != nil {
+		return 0, fmt.Errorf("se: detection probability: %w", err)
+	}
+	return pd, nil
+}
+
+// DetectionProbabilityMC estimates the detection probability by Monte
+// Carlo, drawing `trials` noise vectors (the paper's protocol with 1000
+// instantiations). Because the residual of z = Hθ + n + a equals the
+// residual of n + a, the true state does not need to be simulated.
+func (e *Estimator) DetectionProbabilityMC(b *BDD, a []float64, trials int, rng *rand.Rand) float64 {
+	if trials <= 0 {
+		return 0
+	}
+	m := e.NumMeasurements()
+	hits := 0
+	buf := make([]float64, m)
+	for t := 0; t < trials; t++ {
+		for i := 0; i < m; i++ {
+			buf[i] = a[i] + rng.NormFloat64()*b.Sigma
+		}
+		if b.Detect(e.Residual(buf)) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials)
+}
+
+// IsStealthy reports whether attack vector a is undetectable under this
+// estimator's measurement matrix: its residual component vanishes, i.e. a
+// lies in Col(H). tol is relative to ‖a‖ (default 1e-8 if tol <= 0). This
+// is the operational form of the paper's Proposition 1 rank condition
+// rank([H' a]) = rank(H').
+func (e *Estimator) IsStealthy(a []float64, tol float64) bool {
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	na := mat.Norm2(a)
+	if na == 0 {
+		return true
+	}
+	return e.ResidualComponent(a) <= tol*na
+}
