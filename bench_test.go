@@ -99,9 +99,26 @@ func BenchmarkOPF14(b *testing.B) {
 	}
 }
 
-// BenchmarkGamma measures one subspace-separation evaluation (QR of the
-// 54×13 measurement matrices plus a 13×13 SVD).
+// BenchmarkGamma measures one candidate γ evaluation through the cached
+// engine — the form the problem-(4) search and the η' sweeps execute
+// thousands of times per selection: H(x_old) is orthonormalized once at
+// evaluator construction, so each iteration performs only the
+// candidate-side work (building H(x'), one Gram-Schmidt pass, the
+// cross-Gram matrix and a 13×13 singular-value computation).
 func BenchmarkGamma(b *testing.B) {
+	s := setupBench(b)
+	ev := gridmtd.NewGammaEvaluator(s.n, s.xt)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.Gamma(s.sel.Reactances)
+	}
+}
+
+// BenchmarkGammaUncached measures the one-shot path that rebuilds and
+// orthonormalizes both measurement matrices per call (the ablation the
+// cached engine replaces).
+func BenchmarkGammaUncached(b *testing.B) {
 	s := setupBench(b)
 	b.ResetTimer()
 	b.ReportAllocs()

@@ -7,6 +7,7 @@
 //	mtdexp -exp table1
 //	mtdexp -exp fig6a -quick
 //	mtdexp -exp all -out results.txt
+//	mtdexp -exp table1 -parallel 8 -cpuprofile cpu.prof
 //
 // Experiment IDs follow the paper's numbering: table1..table4, fig6a,
 // fig6b, fig7, fig8, fig9, fig10, fig11. The -quick flag shrinks sampling
@@ -19,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,13 +39,33 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mtdexp", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		list  = fs.Bool("list", false, "list available experiments and exit")
-		exp   = fs.String("exp", "all", "experiment id to run, or 'all'")
-		quick = fs.Bool("quick", false, "use reduced sampling budgets")
-		out   = fs.String("out", "", "also write the output to this file")
+		list     = fs.Bool("list", false, "list available experiments and exit")
+		exp      = fs.String("exp", "all", "experiment id to run, or 'all'")
+		quick    = fs.Bool("quick", false, "use reduced sampling budgets")
+		out      = fs.String("out", "", "also write the output to this file")
+		parallel = fs.Int("parallel", 0, "worker parallelism for the multi-start searches and η' sweeps (0 = all cores, 1 = serial); results are identical for any setting")
+		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *parallel > 0 {
+		// The engine parallelism knobs default to GOMAXPROCS, so capping
+		// it caps every parallel path at once. Outputs do not depend on
+		// the setting (see optimize.MSConfig.Parallelism).
+		runtime.GOMAXPROCS(*parallel)
+	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	if *list {

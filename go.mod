@@ -1,0 +1,3 @@
+module gridmtd
+
+go 1.24

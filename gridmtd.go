@@ -224,6 +224,20 @@ func Gamma(n *Network, xOld, xNew []float64) float64 {
 	return core.Gamma(n, xOld, xNew)
 }
 
+// GammaEvaluator evaluates γ(H(xOld), H(x')) for many candidate
+// perturbations against one fixed pre-perturbation configuration. It
+// orthonormalizes H(xOld) once at construction and reuses per-goroutine
+// workspaces, so each evaluation costs only the candidate-side work; the
+// values are bitwise identical to Gamma. It is safe for concurrent use —
+// the parallel multi-start selection shares one evaluator across workers.
+type GammaEvaluator = core.GammaEvaluator
+
+// NewGammaEvaluator builds a cached γ evaluator for the pre-perturbation
+// reactance vector xOld.
+func NewGammaEvaluator(n *Network, xOld []float64) *GammaEvaluator {
+	return core.NewGammaEvaluator(n, xOld)
+}
+
 // PrincipalAngles returns all principal angles between the column spaces
 // of the measurement matrices at the two settings (ascending, radians).
 func PrincipalAngles(n *Network, xOld, xNew []float64) []float64 {

@@ -10,6 +10,7 @@ package attack
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 
 	"gridmtd/internal/mat"
@@ -39,24 +40,84 @@ func Craft(h *mat.Dense, c []float64) *Vector {
 // measurements). It returns an error if z or the drawn direction is
 // degenerate.
 func Random(rng *rand.Rand, h *mat.Dense, z []float64, ratio float64) (*Vector, error) {
+	c := make([]float64, h.Cols())
+	a := make([]float64, h.Rows())
+	if err := randomInto(rng, h, z, ratio, c, a); err != nil {
+		return nil, err
+	}
+	return &Vector{C: c, A: a}, nil
+}
+
+// randomInto draws one random attack into the provided state and
+// measurement slices, consuming the generator exactly as Random does.
+func randomInto(rng *rand.Rand, h *mat.Dense, z []float64, ratio float64, c, a []float64) error {
 	if ratio <= 0 {
-		return nil, errors.New("attack: ratio must be positive")
+		return errors.New("attack: ratio must be positive")
 	}
 	zNorm := mat.Norm1(z)
 	if zNorm == 0 {
-		return nil, errors.New("attack: zero measurement vector")
+		return errors.New("attack: zero measurement vector")
 	}
-	c := make([]float64, h.Cols())
 	for i := range c {
 		c[i] = rng.NormFloat64()
 	}
-	a := mat.MulVec(h, c)
+	mat.MulVecInto(a, h, c)
 	aNorm := mat.Norm1(a)
 	if aNorm == 0 {
-		return nil, errors.New("attack: degenerate attack direction")
+		return errors.New("attack: degenerate attack direction")
 	}
 	scale := ratio * zNorm / aNorm
-	return &Vector{C: mat.ScaleVec(scale, c), A: mat.ScaleVec(scale, a)}, nil
+	for i, v := range c {
+		c[i] = scale * v
+	}
+	for i, v := range a {
+		a[i] = scale * v
+	}
+	return nil
+}
+
+// Batch is a set of attacks packed into two contiguous matrices — one row
+// per attack. Compared to a slice of individual Vectors this is a single
+// pair of allocations, and the evaluation loop that scans every attack's
+// measurement injection walks memory sequentially instead of chasing a
+// thousand heap pointers.
+type Batch struct {
+	c *mat.Dense // k×(N-1) state perturbations, one per row
+	a *mat.Dense // k×M measurement injections, one per row
+}
+
+// NewBatch returns an empty batch with capacity for count attacks on a
+// system with the given state and measurement dimensions.
+func NewBatch(count, states, measurements int) *Batch {
+	return &Batch{c: mat.NewDense(count, states), a: mat.NewDense(count, measurements)}
+}
+
+// RandomBatch draws count random attacks (see Random) into a packed batch.
+// The generator is consumed exactly as count sequential Random calls
+// would, so the attacks are bitwise identical to the unpacked path.
+func RandomBatch(rng *rand.Rand, h *mat.Dense, z []float64, ratio float64, count int) (*Batch, error) {
+	b := NewBatch(count, h.Cols(), h.Rows())
+	for k := 0; k < count; k++ {
+		if err := randomInto(rng, h, z, ratio, b.c.RowView(k), b.a.RowView(k)); err != nil {
+			return nil, fmt.Errorf("attack: sampling attack %d: %w", k, err)
+		}
+	}
+	return b, nil
+}
+
+// Len returns the number of attacks in the batch.
+func (b *Batch) Len() int { return b.a.Rows() }
+
+// C returns attack i's state perturbation as a view into the batch.
+func (b *Batch) C(i int) []float64 { return b.c.RowView(i) }
+
+// A returns attack i's measurement injection a = H·c as a view into the
+// batch.
+func (b *Batch) A(i int) []float64 { return b.a.RowView(i) }
+
+// At materializes attack i as a standalone Vector (copies).
+func (b *Batch) At(i int) *Vector {
+	return &Vector{C: mat.CopyVec(b.C(i)), A: mat.CopyVec(b.A(i))}
 }
 
 // IsUndetectable implements the paper's Proposition 1: attack a (crafted

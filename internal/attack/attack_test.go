@@ -189,3 +189,70 @@ func TestQuickRankTestAgreesWithResidual(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRandomBatchMatchesRandom: the packed sampler must consume the
+// generator exactly as sequential Random calls and produce bitwise
+// identical attacks.
+func TestRandomBatchMatchesRandom(t *testing.T) {
+	h := testH(t)
+	z := testZ(h.Rows())
+	const k = 25
+
+	single := make([]*Vector, k)
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < k; i++ {
+		v, err := Random(rng, h, z, 0.08)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single[i] = v
+	}
+
+	rng = rand.New(rand.NewSource(77))
+	batch, err := RandomBatch(rng, h, z, 0.08, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Len() != k {
+		t.Fatalf("Len = %d, want %d", batch.Len(), k)
+	}
+	for i := 0; i < k; i++ {
+		for j, v := range single[i].A {
+			if batch.A(i)[j] != v {
+				t.Fatalf("attack %d: A[%d] = %v, want %v", i, j, batch.A(i)[j], v)
+			}
+		}
+		for j, v := range single[i].C {
+			if batch.C(i)[j] != v {
+				t.Fatalf("attack %d: C[%d] = %v, want %v", i, j, batch.C(i)[j], v)
+			}
+		}
+	}
+	// At copies.
+	v := batch.At(2)
+	v.A[0]++
+	if batch.A(2)[0] == v.A[0] {
+		t.Fatal("At returned a view, want a copy")
+	}
+}
+
+// testH builds a small full-rank measurement-like matrix.
+func testH(t *testing.T) *mat.Dense {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	h := mat.NewDense(12, 4)
+	for i := 0; i < h.Rows(); i++ {
+		for j := 0; j < h.Cols(); j++ {
+			h.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return h
+}
+
+func testZ(m int) []float64 {
+	z := make([]float64, m)
+	for i := range z {
+		z[i] = 1 + float64(i%5)
+	}
+	return z
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"gridmtd/internal/attack"
 	"gridmtd/internal/dcflow"
@@ -56,6 +58,11 @@ type EffectivenessConfig struct {
 	// probabilities, so reporting them costs extra; sweeps that only need
 	// η' leave this false. Monte Carlo always reports them.
 	ReportProbs bool
+	// Parallelism bounds the number of workers the analytic per-attack
+	// loop fans out over (0 = GOMAXPROCS, 1 = serial). Results are
+	// identical for every setting. The Monte Carlo path is inherently
+	// sequential (one noise stream) and ignores it.
+	Parallelism int
 }
 
 func (c EffectivenessConfig) withDefaults() EffectivenessConfig {
@@ -112,12 +119,45 @@ func (r *EffectivenessResult) EtaAt(delta float64) (float64, error) {
 
 // AttackSet is a batch of pre-crafted stealthy attacks, reusable across
 // many candidate perturbations (the paper's Figs. 6-8 evaluate the same
-// 1000-attack set against every MTD).
+// 1000-attack set against every MTD). The attacks are packed into one
+// contiguous backing array (see attack.Batch), and the orthonormal basis
+// of the crafting matrix H_old — which every γ evaluation against the set
+// needs — is computed once on first use and cached.
 type AttackSet struct {
-	// Vectors are the crafted attacks a = H_old·c.
-	Vectors []*attack.Vector
+	// Batch holds the crafted attacks a = H_old·c, one per row.
+	Batch *attack.Batch
 	// HOld is the measurement matrix the attacks were crafted against.
 	HOld *mat.Dense
+
+	basisOnce sync.Once
+	basisOld  *subspace.Basis
+	pool      sync.Pool // *evalWorkspace, reused across EvaluateAttacks calls
+}
+
+// evalWorkspace carries the per-evaluation scratch of EvaluateAttacks.
+type evalWorkspace struct {
+	ht *mat.Dense // candidate Hᵀ for the γ computation
+	ws subspace.Workspace
+}
+
+// Len returns the number of attacks in the set.
+func (s *AttackSet) Len() int {
+	if s.Batch == nil {
+		return 0
+	}
+	return s.Batch.Len()
+}
+
+// At materializes attack i as a standalone vector (copies).
+func (s *AttackSet) At(i int) *attack.Vector { return s.Batch.At(i) }
+
+// oldBasis returns the cached orthonormal basis of Col(HOld).
+func (s *AttackSet) oldBasis() *subspace.Basis {
+	s.basisOnce.Do(func() {
+		ht := mat.TransposeInto(mat.NewDense(s.HOld.Cols(), s.HOld.Rows()), s.HOld)
+		s.basisOld = subspace.ComputeBasisT(ht, 0)
+	})
+	return s.basisOld
 }
 
 // SampleAttacks draws cfg.NumAttacks random stealthy attacks against the
@@ -129,22 +169,20 @@ func SampleAttacks(n *grid.Network, xOld, zOld []float64, cfg EffectivenessConfi
 	}
 	hOld := n.MeasurementMatrix(xOld)
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	vecs := make([]*attack.Vector, 0, cfg.NumAttacks)
-	for k := 0; k < cfg.NumAttacks; k++ {
-		av, err := attack.Random(rng, hOld, zOld, cfg.AttackRatio)
-		if err != nil {
-			return nil, fmt.Errorf("core: sampling attack %d: %w", k, err)
-		}
-		vecs = append(vecs, av)
+	batch, err := attack.RandomBatch(rng, hOld, zOld, cfg.AttackRatio, cfg.NumAttacks)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &AttackSet{Vectors: vecs, HOld: hOld}, nil
+	return &AttackSet{Batch: batch, HOld: hOld}, nil
 }
 
 // EvaluateAttacks computes the effectiveness of the perturbation xNew
-// against a pre-crafted attack set.
+// against a pre-crafted attack set. The analytic path scores the attacks
+// in parallel chunks (cfg.Parallelism workers); every number it produces
+// is bitwise identical to the historical sequential evaluation.
 func EvaluateAttacks(n *grid.Network, set *AttackSet, xNew []float64, cfg EffectivenessConfig) (*EffectivenessResult, error) {
 	cfg = cfg.withDefaults()
-	if len(set.Vectors) == 0 {
+	if set.Len() == 0 {
 		return nil, errors.New("core: empty attack set")
 	}
 	hNew := n.MeasurementMatrix(xNew)
@@ -157,7 +195,7 @@ func EvaluateAttacks(n *grid.Network, set *AttackSet, xNew []float64, cfg Effect
 		return nil, fmt.Errorf("core: post-MTD BDD: %w", err)
 	}
 
-	numAtt := len(set.Vectors)
+	numAtt := set.Len()
 	eta := make([]float64, len(cfg.Deltas))
 	var probs []float64
 	undetectable := 0
@@ -165,11 +203,12 @@ func EvaluateAttacks(n *grid.Network, set *AttackSet, xNew []float64, cfg Effect
 	if cfg.MonteCarlo {
 		rng := rand.New(rand.NewSource(cfg.Seed + 1))
 		probs = make([]float64, numAtt)
-		for k, av := range set.Vectors {
-			if est.IsStealthy(av.A, 0) {
+		for k := 0; k < numAtt; k++ {
+			a := set.Batch.A(k)
+			if est.IsStealthy(a, 0) {
 				undetectable++
 			}
-			probs[k] = est.DetectionProbabilityMC(bdd, av.A, cfg.NoiseTrials, rng)
+			probs[k] = est.DetectionProbabilityMC(bdd, a, cfg.NoiseTrials, rng)
 		}
 		for i, d := range cfg.Deltas {
 			eta[i] = stat.FractionAtLeast(probs, d)
@@ -185,19 +224,40 @@ func EvaluateAttacks(n *grid.Network, set *AttackSet, xNew []float64, cfg Effect
 				raThresh[i] = math.Inf(1)
 				continue
 			}
-			lambda, err := stat.NoncentralChiSquareLambdaForSF(dof, x, d)
+			lambda, err := lambdaForSFCached(dof, x, d)
 			if err != nil {
 				return nil, fmt.Errorf("core: inverting detection probability: %w", err)
 			}
 			raThresh[i] = bdd.Sigma * math.Sqrt(lambda)
 		}
 		ras := make([]float64, numAtt)
-		for k, av := range set.Vectors {
-			ra := est.ResidualComponent(av.A)
-			ras[k] = ra
-			if ra <= 1e-8*mat.Norm2(av.A) {
-				undetectable++
+		if cfg.ReportProbs {
+			probs = make([]float64, numAtt)
+		}
+		var firstErr error
+		undetectable, firstErr = forEachAttackChunk(numAtt, cfg.Parallelism, func(from, to int) (int, error) {
+			var ws se.ResidualWorkspace
+			undet := 0
+			for k := from; k < to; k++ {
+				a := set.Batch.A(k)
+				ra := est.ResidualWS(&ws, a)
+				ras[k] = ra
+				if ra <= 1e-8*mat.Norm2(a) {
+					undet++
+				}
+				if probs != nil {
+					lambda := (ra / bdd.Sigma) * (ra / bdd.Sigma)
+					pd, err := stat.NoncentralChiSquareSF(dof, lambda, x)
+					if err != nil {
+						return undet, fmt.Errorf("core: detection probability: %w", err)
+					}
+					probs[k] = pd
+				}
 			}
+			return undet, nil
+		})
+		if firstErr != nil {
+			return nil, firstErr
 		}
 		for i, thresh := range raThresh {
 			cnt := 0
@@ -208,26 +268,97 @@ func EvaluateAttacks(n *grid.Network, set *AttackSet, xNew []float64, cfg Effect
 			}
 			eta[i] = float64(cnt) / float64(numAtt)
 		}
-		if cfg.ReportProbs {
-			probs = make([]float64, numAtt)
-			for k, ra := range ras {
-				lambda := (ra / bdd.Sigma) * (ra / bdd.Sigma)
-				pd, err := stat.NoncentralChiSquareSF(dof, lambda, x)
-				if err != nil {
-					return nil, fmt.Errorf("core: detection probability: %w", err)
-				}
-				probs[k] = pd
-			}
-		}
 	}
 
+	// γ against the cached basis of H_old; the candidate side reuses the
+	// pooled workspace.
+	w, _ := set.pool.Get().(*evalWorkspace)
+	if w == nil {
+		w = &evalWorkspace{ht: mat.NewDense(hNew.Cols(), hNew.Rows())}
+	}
+	mat.TransposeInto(w.ht, hNew)
+	gamma := w.ws.GammaBases(set.oldBasis(), w.ws.BasisT(w.ht, 0))
+	set.pool.Put(w)
+
 	return &EffectivenessResult{
-		Gamma:                subspace.Gamma(set.HOld, hNew),
+		Gamma:                gamma,
 		Deltas:               mat.CopyVec(cfg.Deltas),
 		Eta:                  eta,
 		DetectionProbs:       probs,
 		UndetectableFraction: float64(undetectable) / float64(numAtt),
 	}, nil
+}
+
+// lambdaKey identifies one noncentrality inversion.
+type lambdaKey struct{ dof, x, delta float64 }
+
+// lambdaCache memoizes stat.NoncentralChiSquareLambdaForSF. The inversion
+// bisects the noncentral-χ² survival function (dozens of incomplete-gamma
+// evaluations) yet depends only on the detector geometry (DOF, τ²/σ²) and
+// the threshold δ — constants across an entire η′ sweep — so caching it
+// removes roughly half the analytic evaluation cost. Cached values are the
+// function's own outputs, so results are unchanged.
+var lambdaCache sync.Map // lambdaKey -> float64
+
+func lambdaForSFCached(dof, x, delta float64) (float64, error) {
+	key := lambdaKey{dof, x, delta}
+	if v, ok := lambdaCache.Load(key); ok {
+		return v.(float64), nil
+	}
+	lambda, err := stat.NoncentralChiSquareLambdaForSF(dof, x, delta)
+	if err != nil {
+		return 0, err
+	}
+	lambdaCache.Store(key, lambda)
+	return lambda, nil
+}
+
+// forEachAttackChunk splits [0, n) into contiguous chunks, runs fn on each
+// (concurrently when parallelism allows), and returns the summed int
+// results plus the error of the lowest-indexed failing chunk. With
+// contiguous ascending chunks and per-index output slots the combined
+// result is independent of the worker count.
+func forEachAttackChunk(n, parallelism int, fn func(from, to int) (int, error)) (int, error) {
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return fn(0, n)
+	}
+	counts := make([]int, workers)
+	errs := make([]error, workers)
+	per := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		from := w * per
+		to := from + per
+		if to > n {
+			to = n
+		}
+		if from >= to {
+			continue
+		}
+		wg.Add(1)
+		go func(w, from, to int) {
+			defer wg.Done()
+			counts[w], errs[w] = fn(from, to)
+		}(w, from, to)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	for _, err := range errs {
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // Effectiveness evaluates the MTD that changes the reactances from xOld

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sync"
+
+	"gridmtd/internal/grid"
+	"gridmtd/internal/mat"
+	"gridmtd/internal/subspace"
+)
+
+// GammaEvaluator evaluates γ(H(x_old), H(x')) for many candidates x'
+// against a fixed pre-perturbation configuration x_old. It orthonormalizes
+// H(x_old) exactly once at construction and keeps per-goroutine workspaces
+// (candidate-H buffer, Gram-Schmidt basis, cross-Gram matrix, SVD scratch)
+// in a pool, so each evaluation performs only the candidate-side work and
+// allocates nothing in steady state. Every floating-point operation matches
+// the uncached subspace.Gamma path, so results are bitwise identical.
+//
+// A GammaEvaluator is safe for concurrent use; the parallel multi-start
+// search shares one evaluator across all workers.
+type GammaEvaluator struct {
+	n    *grid.Network
+	qOld *subspace.Basis
+	pool sync.Pool // *gammaWorkspace
+}
+
+type gammaWorkspace struct {
+	ht    *mat.Dense // candidate Hᵀ, (N-1)×M
+	ws    subspace.Workspace
+	xFull []float64 // expanded reactance buffer, length L
+}
+
+// NewGammaEvaluator builds an evaluator for the pre-perturbation reactance
+// vector xOld (full length-L vector).
+func NewGammaEvaluator(n *grid.Network, xOld []float64) *GammaEvaluator {
+	ht := mat.NewDense(n.N()-1, n.M())
+	n.MeasurementMatrixTInto(xOld, ht)
+	e := &GammaEvaluator{n: n, qOld: subspace.ComputeBasisT(ht, 0)}
+	e.pool.New = func() any {
+		return &gammaWorkspace{
+			ht:    mat.NewDense(n.N()-1, n.M()),
+			xFull: make([]float64, n.L()),
+		}
+	}
+	return e
+}
+
+// Gamma returns γ(H(x_old), H(x)) for a full reactance vector x.
+func (e *GammaEvaluator) Gamma(x []float64) float64 {
+	w := e.pool.Get().(*gammaWorkspace)
+	g := e.gamma(w, x)
+	e.pool.Put(w)
+	return g
+}
+
+// GammaDFACTS returns γ(H(x_old), H(x')) where x' is the network's current
+// reactance vector with the D-FACTS branches set to xd (ordered as
+// DFACTSIndices). This is the inner-loop form used by the problem-(4)
+// search.
+func (e *GammaEvaluator) GammaDFACTS(xd []float64) float64 {
+	w := e.pool.Get().(*gammaWorkspace)
+	e.n.ExpandDFACTSInto(xd, w.xFull)
+	g := e.gamma(w, w.xFull)
+	e.pool.Put(w)
+	return g
+}
+
+func (e *GammaEvaluator) gamma(w *gammaWorkspace, x []float64) float64 {
+	e.n.MeasurementMatrixTInto(x, w.ht)
+	qNew := w.ws.BasisT(w.ht, 0)
+	return w.ws.GammaBases(e.qOld, qNew)
+}

@@ -3,12 +3,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"gridmtd/internal/grid"
 	"gridmtd/internal/opf"
 	"gridmtd/internal/optimize"
-	"gridmtd/internal/subspace"
 )
 
 // ErrNoDFACTS is returned when a selection routine runs on a network
@@ -61,6 +63,10 @@ type SelectConfig struct {
 	// WarmStarts are additional D-FACTS starting points for the search
 	// (e.g. the previous γ-threshold's solution during a sweep).
 	WarmStarts [][]float64
+	// Parallelism bounds the number of concurrent local searches (0 =
+	// GOMAXPROCS, 1 = serial). The selected MTD is identical for every
+	// setting; see optimize.MSConfig.Parallelism.
+	Parallelism int
 }
 
 func (c SelectConfig) withDefaults(dim int) SelectConfig {
@@ -97,6 +103,32 @@ func NoMTDCost(n *grid.Network, starts int, seed int64) (float64, error) {
 // hourly MTD it reflects loads one interval old, while cost is evaluated at
 // the current loads, exactly as in Section VI.
 func SelectMTD(n *grid.Network, xOld []float64, cfg SelectConfig) (*Selection, error) {
+	eng, err := newEngines(n, xOld)
+	if err != nil {
+		return nil, err
+	}
+	return selectMTD(n, xOld, cfg, eng)
+}
+
+// engines bundles the cached evaluators one pre-perturbation configuration
+// needs: the γ-evaluation engine keyed by x_old and the dispatch-OPF
+// engine. Callers running several searches against the same x_old (e.g.
+// the γ-threshold bisection) build them once.
+type engines struct {
+	gamma    *GammaEvaluator
+	dispatch *opf.DispatchEngine
+}
+
+func newEngines(n *grid.Network, xOld []float64) (*engines, error) {
+	de, err := opf.NewDispatchEngine(n)
+	if err != nil {
+		return nil, fmt.Errorf("core: dispatch engine: %w", err)
+	}
+	return &engines{gamma: NewGammaEvaluator(n, xOld), dispatch: de}, nil
+}
+
+// selectMTD is SelectMTD against pre-built engines.
+func selectMTD(n *grid.Network, xOld []float64, cfg SelectConfig, eng *engines) (*Selection, error) {
 	idx := n.DFACTSIndices()
 	if len(idx) == 0 {
 		return nil, ErrNoDFACTS
@@ -112,16 +144,13 @@ func SelectMTD(n *grid.Network, xOld []float64, cfg SelectConfig) (*Selection, e
 		}
 	}
 
-	hOld := n.MeasurementMatrix(xOld)
-	gammaOf := func(xd []float64) float64 {
-		return subspace.Gamma(hOld, n.MeasurementMatrix(n.ExpandDFACTS(xd)))
-	}
+	gammaOf := eng.gamma.GammaDFACTS
 	costOf := func(xd []float64) float64 {
-		res, err := opf.SolveDispatch(n, n.ExpandDFACTS(xd))
+		cost, err := eng.dispatch.Cost(n.ExpandDFACTS(xd))
 		if err != nil {
 			return optimize.InfeasibleObjective
 		}
-		return res.CostPerHour
+		return cost
 	}
 	cons := []optimize.Constraint{
 		func(xd []float64) float64 { return cfg.GammaThreshold - gammaOf(xd) },
@@ -142,6 +171,7 @@ func SelectMTD(n *grid.Network, xOld []float64, cfg SelectConfig) (*Selection, e
 		Starts:        cfg.Starts,
 		Seed:          cfg.Seed,
 		InitialPoints: initials,
+		Parallelism:   cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: problem (4) search: %w", err)
@@ -152,7 +182,7 @@ func SelectMTD(n *grid.Network, xOld []float64, cfg SelectConfig) (*Selection, e
 		return nil, fmt.Errorf("%w: best γ %.4f < threshold %.4f", ErrConstraintUnreachable, gamma, cfg.GammaThreshold)
 	}
 	xFull := n.ExpandDFACTS(best.X)
-	res, err := opf.SolveDispatch(n, xFull)
+	res, err := eng.dispatch.Solve(xFull)
 	if err != nil {
 		return nil, fmt.Errorf("core: OPF at selected reactances: %w", err)
 	}
@@ -174,6 +204,10 @@ type MaxGammaConfig struct {
 	// BaselineCost, when positive, is the no-MTD reference cost (see
 	// SelectConfig.BaselineCost).
 	BaselineCost float64
+	// Parallelism bounds the number of concurrent workers for the corner
+	// enumeration and the local searches (0 = GOMAXPROCS, 1 = serial).
+	// The result is identical for every setting.
+	Parallelism int
 }
 
 // MaxGamma finds the D-FACTS setting that maximizes γ(H(xOld), H(x'))
@@ -184,6 +218,15 @@ type MaxGammaConfig struct {
 // search polls all box corners (up to 2¹² of them) in addition to
 // multi-start Nelder-Mead.
 func MaxGamma(n *grid.Network, xOld []float64, cfg MaxGammaConfig) (*Selection, error) {
+	eng, err := newEngines(n, xOld)
+	if err != nil {
+		return nil, err
+	}
+	return maxGamma(n, cfg, eng)
+}
+
+// maxGamma is MaxGamma against pre-built engines.
+func maxGamma(n *grid.Network, cfg MaxGammaConfig, eng *engines) (*Selection, error) {
 	idx := n.DFACTSIndices()
 	if len(idx) == 0 {
 		return nil, ErrNoDFACTS
@@ -191,30 +234,27 @@ func MaxGamma(n *grid.Network, xOld []float64, cfg MaxGammaConfig) (*Selection, 
 	if cfg.Starts <= 0 {
 		cfg.Starts = 8
 	}
-	hOld := n.MeasurementMatrix(xOld)
-	gammaOf := func(xd []float64) float64 {
-		return subspace.Gamma(hOld, n.MeasurementMatrix(n.ExpandDFACTS(xd)))
-	}
+	gammaOf := eng.gamma.GammaDFACTS
 	lo, hi := n.DFACTSBounds()
 	box := optimize.Bounds{Lower: lo, Upper: hi}
 
 	// Corner enumeration (exact when the maximum sits at a vertex, which it
-	// empirically does for reactance perturbations).
+	// empirically does for reactance perturbations). The corners are fanned
+	// out across workers; the reduction keeps the highest γ and breaks ties
+	// toward the lowest corner index, which is exactly the corner a serial
+	// ascending scan with strict improvement would keep.
 	bestX := box.Sample(rand.New(rand.NewSource(cfg.Seed)))
 	bestG := gammaOf(bestX)
 	if d := len(idx); d <= 12 {
-		xd := make([]float64, d)
-		for mask := 0; mask < 1<<d; mask++ {
+		cornerG, cornerMask := bestCorner(gammaOf, lo, hi, d, cfg.Parallelism)
+		if cornerG > bestG {
+			bestG = cornerG
 			for i := 0; i < d; i++ {
-				if mask&(1<<i) != 0 {
-					xd[i] = hi[i]
+				if cornerMask&(1<<i) != 0 {
+					bestX[i] = hi[i]
 				} else {
-					xd[i] = lo[i]
+					bestX[i] = lo[i]
 				}
-			}
-			if g := gammaOf(xd); g > bestG {
-				bestG = g
-				copy(bestX, xd)
 			}
 		}
 	}
@@ -227,6 +267,7 @@ func MaxGamma(n *grid.Network, xOld []float64, cfg MaxGammaConfig) (*Selection, 
 		Starts:        cfg.Starts,
 		Seed:          cfg.Seed,
 		InitialPoints: [][]float64{bestX},
+		Parallelism:   cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -244,7 +285,7 @@ func MaxGamma(n *grid.Network, xOld []float64, cfg MaxGammaConfig) (*Selection, 
 		}
 	}
 	xFull := n.ExpandDFACTS(bestX)
-	opfRes, err := opf.SolveDispatch(n, xFull)
+	opfRes, err := eng.dispatch.Solve(xFull)
 	if err != nil {
 		return nil, fmt.Errorf("core: OPF at max-γ reactances: %w", err)
 	}
@@ -255,6 +296,75 @@ func MaxGamma(n *grid.Network, xOld []float64, cfg MaxGammaConfig) (*Selection, 
 		CostIncrease: OperationalCost(baselineCost, opfRes.CostPerHour),
 		BaselineCost: baselineCost,
 	}, nil
+}
+
+// bestCorner evaluates γ at all 2^d corners of the D-FACTS box, splitting
+// the masks across workers, and returns the best value with the lowest
+// achieving mask. The winner is independent of the worker count.
+func bestCorner(gammaOf func([]float64) float64, lo, hi []float64, d, parallelism int) (float64, int) {
+	total := 1 << d
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	type chunkBest struct {
+		g    float64
+		mask int
+	}
+	evalRange := func(fromMask, toMask int) chunkBest {
+		xd := make([]float64, d)
+		best := chunkBest{g: math.Inf(-1), mask: -1}
+		for mask := fromMask; mask < toMask; mask++ {
+			for i := 0; i < d; i++ {
+				if mask&(1<<i) != 0 {
+					xd[i] = hi[i]
+				} else {
+					xd[i] = lo[i]
+				}
+			}
+			if g := gammaOf(xd); g > best.g {
+				best = chunkBest{g: g, mask: mask}
+			}
+		}
+		return best
+	}
+	var bests []chunkBest
+	if workers <= 1 {
+		bests = []chunkBest{evalRange(0, total)}
+	} else {
+		bests = make([]chunkBest, workers)
+		var wg sync.WaitGroup
+		per := (total + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			from := w * per
+			to := from + per
+			if to > total {
+				to = total
+			}
+			if from >= to {
+				bests[w] = chunkBest{g: math.Inf(-1), mask: -1}
+				continue
+			}
+			wg.Add(1)
+			go func(w, from, to int) {
+				defer wg.Done()
+				bests[w] = evalRange(from, to)
+			}(w, from, to)
+		}
+		wg.Wait()
+	}
+	best := bests[0]
+	for _, cb := range bests[1:] {
+		// Chunks cover ascending mask ranges, so strict improvement keeps
+		// the lowest winning mask.
+		if cb.g > best.g {
+			best = cb
+		}
+	}
+	return best.g, best.mask
 }
 
 // RandomKeyWithinCost implements the random-keyspace MTD of prior work
@@ -275,18 +385,22 @@ func RandomKeyWithinCost(rng *rand.Rand, n *grid.Network, baselineCost, costFrac
 	if maxDraws <= 0 {
 		maxDraws = 1000
 	}
+	engine, err := opf.NewDispatchEngine(n)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("core: dispatch engine: %w", err)
+	}
 	lo, hi := n.DFACTSBounds()
 	box := optimize.Bounds{Lower: lo, Upper: hi}
 	budget := baselineCost * (1 + costFrac)
 	for draw := 1; draw <= maxDraws; draw++ {
 		xd := box.Sample(rng)
 		x := n.ExpandDFACTS(xd)
-		res, err := opf.SolveDispatch(n, x)
+		cost, err := engine.Cost(x)
 		if err != nil {
 			continue // infeasible draw: outside the keyspace
 		}
-		if res.CostPerHour <= budget {
-			return x, res.CostPerHour, draw, nil
+		if cost <= budget {
+			return x, cost, draw, nil
 		}
 	}
 	return nil, 0, maxDraws, fmt.Errorf("core: no random key within %.1f%% cost budget after %d draws", 100*costFrac, maxDraws)
@@ -307,6 +421,10 @@ func RandomPerturbation(rng *rand.Rand, n *grid.Network, maxFrac float64) ([]flo
 	if maxFrac <= 0 {
 		return nil, errors.New("core: maxFrac must be positive")
 	}
+	// Reactances() returns a fresh copy of the branch reactances, so the
+	// in-place clipping below never aliases the network's stored values
+	// (guarded by TestRandomPerturbationDoesNotMutateNetwork in
+	// engine_test.go).
 	x := n.Reactances()
 	for _, i := range idx {
 		factor := 1 + (2*rng.Float64()-1)*maxFrac

@@ -48,8 +48,21 @@ func TuneGammaThreshold(n *grid.Network, xOld, zOld []float64, cfg TuneConfig) (
 	cfg = cfg.withDefaults()
 	cfg.Effectiveness.Deltas = []float64{cfg.TargetDelta}
 
+	// Build the cached evaluators once: the γ engine (keyed by xOld), the
+	// dispatch engine, and the attack set. Every bisection iteration reuses
+	// them; the attack sampler is reseeded per Effectiveness call in the
+	// uncached path, so hoisting it out of the loop reproduces exactly the
+	// same attacks.
+	eng, err := newEngines(n, xOld)
+	if err != nil {
+		return nil, nil, err
+	}
+	attacks, err := SampleAttacks(n, xOld, zOld, cfg.Effectiveness)
+	if err != nil {
+		return nil, nil, err
+	}
 	evalEta := func(sel *Selection) (*EffectivenessResult, float64, error) {
-		eff, err := Effectiveness(n, xOld, sel.Reactances, zOld, cfg.Effectiveness)
+		eff, err := EvaluateAttacks(n, attacks, sel.Reactances, cfg.Effectiveness)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -67,11 +80,12 @@ func TuneGammaThreshold(n *grid.Network, xOld, zOld []float64, cfg TuneConfig) (
 	}
 
 	// Probe the achievable range.
-	maxSel, err := MaxGamma(n, xOld, MaxGammaConfig{
+	maxSel, err := maxGamma(n, MaxGammaConfig{
 		Starts:       cfg.Select.Starts,
 		Seed:         cfg.Select.Seed,
 		BaselineCost: cfg.Select.BaselineCost,
-	})
+		Parallelism:  cfg.Select.Parallelism,
+	}, eng)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: probing max gamma: %w", err)
 	}
@@ -93,7 +107,7 @@ func TuneGammaThreshold(n *grid.Network, xOld, zOld []float64, cfg TuneConfig) (
 		sCfg := cfg.Select
 		sCfg.GammaThreshold = mid
 		sCfg.WarmStarts = warm
-		sel, err := SelectMTD(n, xOld, sCfg)
+		sel, err := selectMTD(n, xOld, sCfg, eng)
 		if err != nil {
 			// Threshold unreachable at this level (or OPF infeasible):
 			// treat as "needs larger γ_th" being impossible — tighten from

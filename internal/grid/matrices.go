@@ -49,23 +49,35 @@ func (n *Network) BMatrix(x []float64) *mat.Dense {
 // ReducedB returns B with the slack bus row and column removed; it is
 // invertible for connected networks.
 func (n *Network) ReducedB(x []float64) *mat.Dense {
-	b := n.BMatrix(x)
-	s := n.SlackBus - 1
-	out := mat.NewDense(n.N()-1, n.N()-1)
-	ri := 0
-	for i := 0; i < n.N(); i++ {
-		if i == s {
-			continue
+	return n.ReducedBInto(x, mat.NewDense(n.N()-1, n.N()-1))
+}
+
+// ReducedBInto builds the slack-reduced susceptance matrix into the
+// preallocated (N-1)×(N-1) matrix out and returns it. It accumulates the
+// same per-branch additions as BMatrix (skipping the slack row/column), so
+// the entries are bitwise identical to ReducedB while allocating nothing.
+func (n *Network) ReducedBInto(x []float64, out *mat.Dense) *mat.Dense {
+	if len(x) != n.L() {
+		panic("grid: reactance vector length mismatch")
+	}
+	if out.Rows() != n.N()-1 || out.Cols() != n.N()-1 {
+		panic("grid: reduced susceptance buffer has wrong shape")
+	}
+	out.Zero()
+	for l, br := range n.Branches {
+		y := 1 / x[l]
+		i, j := br.From-1, br.To-1
+		ri, rj := n.reducedCol(i), n.reducedCol(j)
+		if ri >= 0 {
+			out.Add(ri, ri, y)
 		}
-		rj := 0
-		for j := 0; j < n.N(); j++ {
-			if j == s {
-				continue
-			}
-			out.Set(ri, rj, b.At(i, j))
-			rj++
+		if rj >= 0 {
+			out.Add(rj, rj, y)
 		}
-		ri++
+		if ri >= 0 && rj >= 0 {
+			out.Add(ri, rj, -y)
+			out.Add(rj, ri, -y)
+		}
 	}
 	return out
 }
@@ -77,48 +89,97 @@ func (n *Network) ReducedB(x []float64) *mat.Dense {
 // full column rank for connected networks, matching the estimator's and
 // the paper's full-rank assumption.
 func (n *Network) MeasurementMatrix(x []float64) *mat.Dense {
+	return n.MeasurementMatrixInto(x, mat.NewDense(n.M(), n.N()-1))
+}
+
+// reducedCol maps a 0-based bus index to its slack-reduced state column, or
+// -1 for the slack bus.
+func (n *Network) reducedCol(bus int) int {
+	s := n.SlackBus - 1
+	switch {
+	case bus == s:
+		return -1
+	case bus < s:
+		return bus
+	default:
+		return bus - 1
+	}
+}
+
+// MeasurementMatrixInto builds H into the preallocated M×(N-1) matrix h and
+// returns it. The injection block is accumulated branch by branch (the same
+// per-branch additions BMatrix performs, in the same order), so the entries
+// are bitwise identical to MeasurementMatrix while allocating nothing.
+func (n *Network) MeasurementMatrixInto(x []float64, h *mat.Dense) *mat.Dense {
 	if len(x) != n.L() {
 		panic("grid: reactance vector length mismatch")
 	}
 	nb, nl := n.N(), n.L()
-	s := n.SlackBus - 1
-	h := mat.NewDense(nb+2*nl, nb-1)
-
-	// colOf maps a bus (0-based) to its reduced state column, or -1 for the
-	// slack bus.
-	colOf := func(bus int) int {
-		switch {
-		case bus == s:
-			return -1
-		case bus < s:
-			return bus
-		default:
-			return bus - 1
-		}
+	if h.Rows() != nb+2*nl || h.Cols() != nb-1 {
+		panic("grid: measurement matrix buffer has wrong shape")
 	}
-
-	// Injection rows: p = B θ.
-	b := n.BMatrix(x)
-	for i := 0; i < nb; i++ {
-		for j := 0; j < nb; j++ {
-			if c := colOf(j); c >= 0 {
-				h.Set(i, c, b.At(i, j))
-			}
-		}
-	}
-	// Flow rows: f_l = (θ_from − θ_to)/x_l ; reverse flows are negated.
+	h.Zero()
 	for l, br := range n.Branches {
 		y := 1 / x[l]
-		if c := colOf(br.From - 1); c >= 0 {
-			h.Set(nb+l, c, y)
-			h.Set(nb+nl+l, c, -y)
+		i, j := br.From-1, br.To-1
+		ci, cj := n.reducedCol(i), n.reducedCol(j)
+		// Injection rows: p = B θ with B = A·D·Aᵀ accumulated per branch.
+		if ci >= 0 {
+			h.Add(i, ci, y)
+			h.Add(j, ci, -y)
 		}
-		if c := colOf(br.To - 1); c >= 0 {
-			h.Set(nb+l, c, -y)
-			h.Set(nb+nl+l, c, y)
+		if cj >= 0 {
+			h.Add(j, cj, y)
+			h.Add(i, cj, -y)
+		}
+		// Flow rows: f_l = (θ_from − θ_to)/x_l ; reverse flows are negated.
+		if ci >= 0 {
+			h.Set(nb+l, ci, y)
+			h.Set(nb+nl+l, ci, -y)
+		}
+		if cj >= 0 {
+			h.Set(nb+l, cj, -y)
+			h.Set(nb+nl+l, cj, y)
 		}
 	}
 	return h
+}
+
+// MeasurementMatrixTInto builds Hᵀ ((N-1)×M, one state per row) into the
+// preallocated matrix ht and returns it. The transposed layout stores each
+// column of H contiguously, which is what the subspace engine's
+// Gram-Schmidt pass wants; entries equal MeasurementMatrix's bitwise.
+func (n *Network) MeasurementMatrixTInto(x []float64, ht *mat.Dense) *mat.Dense {
+	if len(x) != n.L() {
+		panic("grid: reactance vector length mismatch")
+	}
+	nb, nl := n.N(), n.L()
+	if ht.Rows() != nb-1 || ht.Cols() != nb+2*nl {
+		panic("grid: transposed measurement matrix buffer has wrong shape")
+	}
+	ht.Zero()
+	for l, br := range n.Branches {
+		y := 1 / x[l]
+		i, j := br.From-1, br.To-1
+		ci, cj := n.reducedCol(i), n.reducedCol(j)
+		if ci >= 0 {
+			ht.Add(ci, i, y)
+			ht.Add(ci, j, -y)
+		}
+		if cj >= 0 {
+			ht.Add(cj, j, y)
+			ht.Add(cj, i, -y)
+		}
+		if ci >= 0 {
+			ht.Set(ci, nb+l, y)
+			ht.Set(ci, nb+nl+l, -y)
+		}
+		if cj >= 0 {
+			ht.Set(cj, nb+l, -y)
+			ht.Set(cj, nb+nl+l, y)
+		}
+	}
+	return ht
 }
 
 // PTDF returns the L×(N-1) power transfer distribution factor matrix

@@ -201,3 +201,75 @@ func TestQuickMatrixInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestMeasurementMatrixIntoMatches: the buffered builders must reproduce
+// MeasurementMatrix bitwise (the injection block is accumulated per branch
+// in the same order BMatrix sums it).
+func TestMeasurementMatrixIntoMatches(t *testing.T) {
+	for _, n := range []*Network{Case4GS(), CaseIEEE14(), CaseIEEE30()} {
+		x := n.Reactances()
+		for _, i := range n.DFACTSIndices() {
+			x[i] = n.Branches[i].XMin // push devices off nominal
+		}
+		want := n.MeasurementMatrix(x)
+
+		got := mat.NewDense(n.M(), n.N()-1)
+		// Poison the buffer to catch missing zeroing.
+		for i := 0; i < got.Rows(); i++ {
+			for j := 0; j < got.Cols(); j++ {
+				got.Set(i, j, 999)
+			}
+		}
+		n.MeasurementMatrixInto(x, got)
+		for i := 0; i < want.Rows(); i++ {
+			for j := 0; j < want.Cols(); j++ {
+				if got.At(i, j) != want.At(i, j) {
+					t.Fatalf("%s: H[%d][%d] = %v, want %v", n.Name, i, j, got.At(i, j), want.At(i, j))
+				}
+			}
+		}
+
+		ht := mat.NewDense(n.N()-1, n.M())
+		n.MeasurementMatrixTInto(x, ht)
+		for i := 0; i < want.Rows(); i++ {
+			for j := 0; j < want.Cols(); j++ {
+				if ht.At(j, i) != want.At(i, j) {
+					t.Fatalf("%s: Hᵀ[%d][%d] = %v, want %v", n.Name, j, i, ht.At(j, i), want.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestReducedBIntoMatches checks the buffered reduced susceptance builder.
+func TestReducedBIntoMatches(t *testing.T) {
+	for _, n := range []*Network{Case4GS(), CaseIEEE14(), CaseIEEE30()} {
+		x := n.Reactances()
+		want := n.ReducedB(x)
+		got := mat.NewDense(n.N()-1, n.N()-1)
+		got.Set(0, 0, 123) // poison
+		n.ReducedBInto(x, got)
+		if !mat.Equal(want, got, 0) {
+			t.Fatalf("%s: ReducedBInto differs from ReducedB", n.Name)
+		}
+	}
+}
+
+// TestExpandDFACTSInto checks the buffered expansion against the
+// allocating form and the device ordering.
+func TestExpandDFACTSInto(t *testing.T) {
+	n := CaseIEEE14()
+	idx := n.DFACTSIndices()
+	xd := make([]float64, len(idx))
+	for k := range xd {
+		xd[k] = 0.01 * float64(k+1)
+	}
+	want := n.ExpandDFACTS(xd)
+	dst := make([]float64, n.L())
+	n.ExpandDFACTSInto(xd, dst)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("x[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}

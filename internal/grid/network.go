@@ -278,15 +278,31 @@ func (n *Network) DFACTSSetting(x []float64) []float64 {
 // reactances with the D-FACTS branches overridden by xD (ordered as
 // DFACTSIndices).
 func (n *Network) ExpandDFACTS(xD []float64) []float64 {
-	idx := n.DFACTSIndices()
-	if len(xD) != len(idx) {
+	return n.ExpandDFACTSInto(xD, make([]float64, len(n.Branches)))
+}
+
+// ExpandDFACTSInto is ExpandDFACTS writing into a caller-provided full
+// reactance vector, allocating nothing. dst must have length L.
+func (n *Network) ExpandDFACTSInto(xD, dst []float64) []float64 {
+	if len(dst) != len(n.Branches) {
+		panic("grid: reactance vector length mismatch")
+	}
+	k := 0
+	for i, br := range n.Branches {
+		if br.HasDFACTS {
+			if k >= len(xD) {
+				panic("grid: D-FACTS vector length mismatch")
+			}
+			dst[i] = xD[k]
+			k++
+		} else {
+			dst[i] = br.X
+		}
+	}
+	if k != len(xD) {
 		panic("grid: D-FACTS vector length mismatch")
 	}
-	x := n.Reactances()
-	for k, i := range idx {
-		x[i] = xD[k]
-	}
-	return x
+	return dst
 }
 
 // BranchLimitsMW returns the flow limit vector in MW.

@@ -131,22 +131,12 @@ func (p *Problem) bound(j int) (lo, up float64) {
 }
 
 // Solve solves the problem. On success Status is StatusOptimal; otherwise
-// the error is ErrInfeasible, ErrUnbounded or ErrMaxIterations.
+// the error is ErrInfeasible, ErrUnbounded or ErrMaxIterations. Callers
+// solving many LPs should hold a Solver and call its Solve method to reuse
+// the tableau buffers; this function is the one-shot convenience form.
 func Solve(p *Problem) (*Solution, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	sf := toStandardForm(p)
-	x, err := sf.simplex()
-	if err != nil {
-		return nil, err
-	}
-	orig := sf.recover(x)
-	obj := mat.Dot(p.C, orig)
-	return &Solution{X: orig, Objective: obj, Status: StatusOptimal}, nil
+	return NewSolver().Solve(p)
 }
-
-// --- standard form conversion -------------------------------------------
 
 // varMap records how original variable j maps onto standard-form variables.
 type varMap struct {
@@ -155,333 +145,8 @@ type varMap struct {
 	shift float64
 }
 
-type standardForm struct {
-	m, n int         // rows, columns of the standard-form system A y = b, y >= 0
-	a    [][]float64 // m x n
-	b    []float64   // length m, kept >= 0
-	c    []float64   // length n
-	vmap []varMap
-	orig int // number of original variables
-}
-
-// toStandardForm rewrites the problem as min cᵀy s.t. Ay = b, y >= 0.
-func toStandardForm(p *Problem) *standardForm {
-	n := len(p.C)
-
-	// Assign standard-form columns for the original variables.
-	vmap := make([]varMap, n)
-	cols := 0
-	type upperRow struct {
-		col int
-		rhs float64
-	}
-	var uppers []upperRow
-	for j := 0; j < n; j++ {
-		lo, up := p.bound(j)
-		switch {
-		case !math.IsInf(lo, -1):
-			vmap[j] = varMap{kind: 0, col: cols, shift: lo}
-			if !math.IsInf(up, 1) {
-				uppers = append(uppers, upperRow{col: cols, rhs: up - lo})
-			}
-			cols++
-		case !math.IsInf(up, 1):
-			vmap[j] = varMap{kind: 1, col: cols, shift: up}
-			cols++
-		default:
-			vmap[j] = varMap{kind: 2, col: cols}
-			cols += 2
-		}
-	}
-
-	nEq := 0
-	if p.Aeq != nil {
-		nEq = p.Aeq.Rows()
-	}
-	nUb := 0
-	if p.Aub != nil {
-		nUb = p.Aub.Rows()
-	}
-	mRows := nEq + nUb + len(uppers)
-	nCols := cols + nUb + len(uppers) // slacks for <= rows and upper-bound rows
-
-	a := make([][]float64, mRows)
-	for i := range a {
-		a[i] = make([]float64, nCols)
-	}
-	b := make([]float64, mRows)
-	c := make([]float64, nCols)
-
-	// Objective in terms of standard-form variables, dropping the constant
-	// from the shifts (added back in recover()).
-	for j := 0; j < n; j++ {
-		vm := vmap[j]
-		switch vm.kind {
-		case 0:
-			c[vm.col] += p.C[j]
-		case 1:
-			c[vm.col] -= p.C[j]
-		case 2:
-			c[vm.col] += p.C[j]
-			c[vm.col+1] -= p.C[j]
-		}
-	}
-
-	// setRow expands original-variable coefficients into standard form,
-	// returning the RHS adjustment caused by shifts.
-	setRow := func(row []float64, coeffs func(j int) float64) (rhsAdjust float64) {
-		for j := 0; j < n; j++ {
-			v := coeffs(j)
-			if v == 0 {
-				continue
-			}
-			vm := vmap[j]
-			switch vm.kind {
-			case 0: // x = lo + y
-				row[vm.col] += v
-				rhsAdjust += v * vm.shift
-			case 1: // x = up - y
-				row[vm.col] -= v
-				rhsAdjust += v * vm.shift
-			case 2: // x = y+ - y-
-				row[vm.col] += v
-				row[vm.col+1] -= v
-			}
-		}
-		return rhsAdjust
-	}
-
-	r := 0
-	for i := 0; i < nEq; i++ {
-		adj := setRow(a[r], func(j int) float64 { return p.Aeq.At(i, j) })
-		b[r] = p.Beq[i] - adj
-		r++
-	}
-	for i := 0; i < nUb; i++ {
-		adj := setRow(a[r], func(j int) float64 { return p.Aub.At(i, j) })
-		b[r] = p.Bub[i] - adj
-		a[r][cols+i] = 1 // slack
-		r++
-	}
-	for i, ur := range uppers {
-		a[r][ur.col] = 1
-		a[r][cols+nUb+i] = 1 // slack
-		b[r] = ur.rhs
-		r++
-	}
-
-	// Normalize to b >= 0.
-	for i := range b {
-		if b[i] < 0 {
-			b[i] = -b[i]
-			for j := range a[i] {
-				a[i][j] = -a[i][j]
-			}
-		}
-	}
-
-	return &standardForm{m: mRows, n: nCols, a: a, b: b, c: c, vmap: vmap, orig: n}
-}
-
-// recover maps a standard-form solution back to original variables.
-func (sf *standardForm) recover(y []float64) []float64 {
-	x := make([]float64, sf.orig)
-	for j := 0; j < sf.orig; j++ {
-		vm := sf.vmap[j]
-		switch vm.kind {
-		case 0:
-			x[j] = vm.shift + y[vm.col]
-		case 1:
-			x[j] = vm.shift - y[vm.col]
-		case 2:
-			x[j] = y[vm.col] - y[vm.col+1]
-		}
-	}
-	return x
-}
-
-// --- two-phase simplex ----------------------------------------------------
-
 const (
 	pivotTol   = 1e-9
 	feasTol    = 1e-7
 	maxSimplex = 20000
 )
-
-// simplex runs phase 1 (artificial variables) then phase 2, returning the
-// standard-form solution vector.
-func (sf *standardForm) simplex() ([]float64, error) {
-	m, n := sf.m, sf.n
-	if m == 0 {
-		// No constraints: minimum is at y = 0 unless some cost is negative,
-		// in which case the LP is unbounded.
-		for _, cj := range sf.c {
-			if cj < -pivotTol {
-				return nil, ErrUnbounded
-			}
-		}
-		return make([]float64, n), nil
-	}
-
-	// Tableau with artificial variables appended: columns [0,n) original,
-	// [n, n+m) artificial, last column RHS.
-	width := n + m + 1
-	tab := make([][]float64, m)
-	for i := 0; i < m; i++ {
-		tab[i] = make([]float64, width)
-		copy(tab[i], sf.a[i])
-		tab[i][n+i] = 1
-		tab[i][width-1] = sf.b[i]
-	}
-	basis := make([]int, m)
-	for i := range basis {
-		basis[i] = n + i
-	}
-
-	// Phase 1 objective: minimize the sum of artificials. Reduced-cost row.
-	z := make([]float64, width)
-	for j := 0; j < width; j++ {
-		var s float64
-		for i := 0; i < m; i++ {
-			s += tab[i][j]
-		}
-		z[j] = -s // reduced cost of artificial basis for cost e on artificials
-	}
-	for j := n; j < n+m; j++ {
-		z[j] += 1
-	}
-
-	if err := pivotLoop(tab, z, basis, n+m); err != nil {
-		return nil, err
-	}
-	if -z[width-1] > feasTol { // phase-1 objective value
-		return nil, ErrInfeasible
-	}
-
-	// Drive any artificial variables out of the basis.
-	for i := 0; i < m; i++ {
-		if basis[i] < n {
-			continue
-		}
-		pivoted := false
-		for j := 0; j < n; j++ {
-			if math.Abs(tab[i][j]) > pivotTol {
-				doPivot(tab, z, basis, i, j)
-				pivoted = true
-				break
-			}
-		}
-		if !pivoted {
-			// Redundant row: harmless, basis keeps a zero-valued artificial.
-			continue
-		}
-	}
-
-	// Phase 2: rebuild the reduced-cost row for the real objective and
-	// forbid artificial columns from entering.
-	for j := 0; j < n; j++ {
-		z[j] = sf.c[j]
-	}
-	for j := n; j < width; j++ {
-		z[j] = 0
-	}
-	for i := 0; i < m; i++ {
-		bi := basis[i]
-		var cb float64
-		if bi < n {
-			cb = sf.c[bi]
-		}
-		if cb == 0 {
-			continue
-		}
-		for j := 0; j < width; j++ {
-			z[j] -= cb * tab[i][j]
-		}
-	}
-	if err := pivotLoop(tab, z, basis, n); err != nil {
-		return nil, err
-	}
-
-	y := make([]float64, n)
-	for i, bi := range basis {
-		if bi < n {
-			y[bi] = tab[i][width-1]
-			if y[bi] < 0 && y[bi] > -feasTol {
-				y[bi] = 0
-			}
-		}
-	}
-	return y, nil
-}
-
-// pivotLoop runs simplex pivots with Bland's rule until no entering column
-// among [0, limit) has negative reduced cost.
-func pivotLoop(tab [][]float64, z []float64, basis []int, limit int) error {
-	m := len(tab)
-	width := len(z)
-	for iter := 0; iter < maxSimplex; iter++ {
-		// Bland's rule: smallest-index entering variable.
-		enter := -1
-		for j := 0; j < limit; j++ {
-			if z[j] < -pivotTol {
-				enter = j
-				break
-			}
-		}
-		if enter == -1 {
-			return nil // optimal
-		}
-		// Ratio test; ties broken by smallest basis index (Bland).
-		leave := -1
-		best := math.Inf(1)
-		for i := 0; i < m; i++ {
-			aij := tab[i][enter]
-			if aij <= pivotTol {
-				continue
-			}
-			ratio := tab[i][width-1] / aij
-			if ratio < best-1e-12 || (math.Abs(ratio-best) <= 1e-12 && (leave == -1 || basis[i] < basis[leave])) {
-				best = ratio
-				leave = i
-			}
-		}
-		if leave == -1 {
-			return ErrUnbounded
-		}
-		doPivot(tab, z, basis, leave, enter)
-	}
-	return ErrMaxIterations
-}
-
-// doPivot performs a Gauss-Jordan pivot on tab[row][col] and updates the
-// reduced-cost row and basis bookkeeping.
-func doPivot(tab [][]float64, z []float64, basis []int, row, col int) {
-	width := len(z)
-	pv := tab[row][col]
-	inv := 1 / pv
-	for j := 0; j < width; j++ {
-		tab[row][j] *= inv
-	}
-	tab[row][col] = 1 // exact
-	for i := range tab {
-		if i == row {
-			continue
-		}
-		f := tab[i][col]
-		if f == 0 {
-			continue
-		}
-		for j := 0; j < width; j++ {
-			tab[i][j] -= f * tab[row][j]
-		}
-		tab[i][col] = 0 // exact
-	}
-	f := z[col]
-	if f != 0 {
-		for j := 0; j < width; j++ {
-			z[j] -= f * tab[row][j]
-		}
-		z[col] = 0
-	}
-	basis[row] = col
-}

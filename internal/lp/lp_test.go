@@ -323,3 +323,77 @@ func TestQuickObjectiveConsistency(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSolverReuseMatchesOneShot solves a sequence of structurally varied
+// problems through one reused Solver and checks each solution is bitwise
+// identical to a fresh package-level Solve.
+func TestSolverReuseMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	s := NewSolver()
+	for trial := 0; trial < 50; trial++ {
+		nv := 2 + rng.Intn(4)
+		nub := rng.Intn(6)
+		prob := &Problem{C: make([]float64, nv)}
+		for j := range prob.C {
+			prob.C[j] = rng.NormFloat64()
+		}
+		lo := make([]float64, nv)
+		hi := make([]float64, nv)
+		for j := 0; j < nv; j++ {
+			lo[j] = -1 - rng.Float64()
+			hi[j] = 1 + rng.Float64()
+		}
+		prob.Lower, prob.Upper = lo, hi
+		aeq := mat.NewDense(1, nv)
+		for j := 0; j < nv; j++ {
+			aeq.Set(0, j, 1)
+		}
+		prob.Aeq = aeq
+		prob.Beq = []float64{rng.Float64()}
+		if nub > 0 {
+			aub := mat.NewDense(nub, nv)
+			bub := make([]float64, nub)
+			for i := 0; i < nub; i++ {
+				for j := 0; j < nv; j++ {
+					aub.Set(i, j, rng.NormFloat64())
+				}
+				bub[i] = 0.5 + rng.Float64()
+			}
+			prob.Aub = aub
+			prob.Bub = bub
+		}
+
+		fresh, errFresh := Solve(prob)
+		reused, errReused := s.Solve(prob)
+		if (errFresh == nil) != (errReused == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, errFresh, errReused)
+		}
+		if errFresh != nil {
+			continue
+		}
+		if fresh.Objective != reused.Objective {
+			t.Fatalf("trial %d: objective %v vs %v", trial, fresh.Objective, reused.Objective)
+		}
+		for j := range fresh.X {
+			if fresh.X[j] != reused.X[j] {
+				t.Fatalf("trial %d: x[%d] = %v vs %v", trial, j, fresh.X[j], reused.X[j])
+			}
+		}
+	}
+}
+
+// TestSolverInfeasibleFallback drives the optimistic phase 1 into its
+// exact-rerun fallback with an infeasible system and checks the verdict.
+func TestSolverInfeasibleFallback(t *testing.T) {
+	// x0 + x1 = 5 with 0 <= x <= 1 is infeasible.
+	prob := &Problem{
+		C:     []float64{1, 1},
+		Aeq:   mat.NewDenseFrom(1, 2, []float64{1, 1}),
+		Beq:   []float64{5},
+		Lower: []float64{0, 0},
+		Upper: []float64{1, 1},
+	}
+	if _, err := NewSolver().Solve(prob); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}

@@ -273,3 +273,55 @@ func TestQuickDistributive(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestIntoVariantsMatchAllocating checks the workspace variants against
+// their allocating counterparts bitwise.
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	a := NewDense(7, 5)
+	b := NewDense(5, 6)
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 5; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 6; j++ {
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	x5 := make([]float64, 5)
+	x7 := make([]float64, 7)
+	for i := range x5 {
+		x5[i] = rng.NormFloat64()
+	}
+	for i := range x7 {
+		x7[i] = rng.NormFloat64()
+	}
+
+	if got, want := MulInto(NewDense(7, 6), a, b), Mul(a, b); !Equal(got, want, 0) {
+		t.Fatal("MulInto differs from Mul")
+	}
+	gotV := MulVecInto(make([]float64, 7), a, x5)
+	for i, v := range MulVec(a, x5) {
+		if gotV[i] != v {
+			t.Fatal("MulVecInto differs from MulVec")
+		}
+	}
+	gotT := MulVecTInto(make([]float64, 5), a, x7)
+	for i, v := range MulVecT(a, x7) {
+		if gotT[i] != v {
+			t.Fatal("MulVecTInto differs from MulVecT")
+		}
+	}
+	if got := TransposeInto(NewDense(5, 7), a); !Equal(got, a.T(), 0) {
+		t.Fatal("TransposeInto differs from T")
+	}
+
+	// RowView shares backing storage.
+	rv := a.RowView(2)
+	rv[0] = 42
+	if a.At(2, 0) != 42 {
+		t.Fatal("RowView does not alias the matrix")
+	}
+}

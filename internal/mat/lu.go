@@ -13,12 +13,36 @@ type LU struct {
 // ComputeLU factors the square matrix a. It returns ErrSingular when a
 // pivot is exactly zero (the matrix is singular to working precision).
 func ComputeLU(a *Dense) (*LU, error) {
+	f := &LU{}
+	if err := f.Reset(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Reset refactors the receiver against a new matrix of the same (or a new)
+// size, reusing the existing buffers when possible. It performs exactly the
+// elimination ComputeLU performs, so the factors are bitwise identical; it
+// exists so hot loops can refactor a matrix per iteration without
+// allocating. On error the receiver must not be used for solves.
+func (f *LU) Reset(a *Dense) error {
 	if a.rows != a.cols {
 		panic("mat: ComputeLU requires a square matrix")
 	}
 	n := a.rows
-	lu := a.Clone()
-	piv := make([]int, n)
+	var lu *Dense
+	if f.lu != nil && f.lu.rows == n && f.lu.cols == n {
+		lu = f.lu
+		lu.CopyFrom(a)
+	} else {
+		lu = a.Clone()
+	}
+	var piv []int
+	if cap(f.piv) >= n {
+		piv = f.piv[:n]
+	} else {
+		piv = make([]int, n)
+	}
 	for i := range piv {
 		piv[i] = i
 	}
@@ -34,7 +58,7 @@ func ComputeLU(a *Dense) (*LU, error) {
 			}
 		}
 		if maxAbs == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			for j := 0; j < n; j++ {
@@ -55,16 +79,24 @@ func ComputeLU(a *Dense) (*LU, error) {
 			}
 		}
 	}
-	return &LU{lu: lu, piv: piv, sign: sign}, nil
+	f.lu, f.piv, f.sign = lu, piv, sign
+	return nil
 }
 
 // Solve returns x such that A*x = b for the factored matrix.
 func (f *LU) Solve(b []float64) []float64 {
+	return f.SolveInto(make([]float64, f.lu.rows), b)
+}
+
+// SolveInto writes the solution of A*x = b into dst and returns it. dst
+// must not alias b. The substitutions are those of Solve, so the result is
+// bitwise identical.
+func (f *LU) SolveInto(dst, b []float64) []float64 {
 	n := f.lu.rows
-	if len(b) != n {
+	if len(b) != n || len(dst) != n {
 		panic(ErrShape)
 	}
-	x := make([]float64, n)
+	x := dst
 	// Apply permutation.
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]

@@ -145,3 +145,38 @@ func TestQuickDetProduct(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestLUResetReuse refactors a sequence of matrices through one LU and
+// compares against fresh factorizations.
+func TestLUResetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var f LU
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(10)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		if err := f.Reset(a); err != nil {
+			continue // singular draw
+		}
+		fresh, err := ComputeLU(a)
+		if err != nil {
+			t.Fatalf("trial %d: fresh LU failed after Reset succeeded", trial)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want := fresh.Solve(b)
+		got := make([]float64, n)
+		f.SolveInto(got, b)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

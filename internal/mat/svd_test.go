@@ -124,3 +124,52 @@ func TestQuickSVDRotationInvariance(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSVDWorkspaceMatchesComputeSVD: the singular-value-only kernel must
+// reproduce ComputeSVD's values bitwise — it performs the same rotation
+// sequence, only skipping the V accumulation and output assembly.
+func TestSVDWorkspaceMatchesComputeSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var ws SVDWorkspace
+	for trial := 0; trial < 30; trial++ {
+		m := 1 + rng.Intn(20)
+		n := 1 + rng.Intn(m)
+		a := NewDense(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		want := ComputeSVD(a).S
+		got := ws.SingularValues(a)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d singular values, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: sv[%d] = %v, want %v (diff %g)", trial, i, got[i], want[i], got[i]-want[i])
+			}
+		}
+	}
+}
+
+// TestSVDWorkspaceNearOrthogonal exercises the kernel on the cross-Gram
+// shape the γ engine feeds it (near-orthogonal square matrices).
+func TestSVDWorkspaceNearOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := NewDense(13, 13)
+	for i := 0; i < 13; i++ {
+		for j := 0; j < 13; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	q := OrthonormalBasis(a, 0)
+	var ws SVDWorkspace
+	want := ComputeSVD(q).S
+	got := ws.SingularValues(q)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sv[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

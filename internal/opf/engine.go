@@ -1,0 +1,279 @@
+package opf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"gridmtd/internal/dcflow"
+	"gridmtd/internal/grid"
+	"gridmtd/internal/lp"
+	"gridmtd/internal/mat"
+)
+
+// DispatchEngine solves the dispatch-only OPF for many reactance vectors
+// against one network. It precomputes everything that does not depend on
+// the reactances (generator cost/bound vectors, the set of flow-limited
+// branches, the bus-to-reduced-column map) and keeps per-goroutine
+// workspaces for everything that does (the reduced susceptance matrix and
+// its LU factors, the PTDF, the LP tableau), so the per-candidate cost of
+// the problem-(4) search drops to the unavoidable factorization + simplex
+// work. All arithmetic matches SolveDispatch exactly, so costs and
+// dispatches are bitwise identical to the one-shot path.
+//
+// A DispatchEngine is safe for concurrent use.
+type DispatchEngine struct {
+	n      *grid.Network
+	nG     int
+	redIdx []int // reduced state column per generator bus, -1 at slack
+	limRow []int // branch indices with finite flow limits
+	cost   []float64
+	genLo  []float64
+	genHi  []float64
+	aeq    *mat.Dense
+	pool   sync.Pool // *dispatchWorkspace
+}
+
+type dispatchWorkspace struct {
+	br      *mat.Dense // reduced susceptance, (N-1)×(N-1)
+	lu      mat.LU
+	inv     *mat.Dense // Br⁻¹
+	dat     *mat.Dense // D·Arᵀ, L×(N-1)
+	ptdf    *mat.Dense // L×(N-1)
+	ecol    []float64  // identity column scratch for the inverse
+	icol    []float64  // solved inverse column
+	loads   []float64  // bus loads (MW)
+	redLoad []float64  // slack-reduced loads
+	f0      []float64  // PTDF·loadRed
+	s       *mat.Dense // dispatch-to-flow map, L×nG
+	aub     *mat.Dense
+	bub     []float64
+	solver  *lp.Solver
+	// Full-solve extras (power-flow verification).
+	inj      []float64
+	pRed     []float64
+	thetaRed []float64
+}
+
+// NewDispatchEngine prepares an engine for the network. The network's
+// topology, limits, costs and generator set must not change afterwards;
+// loads are read fresh on every solve.
+func NewDispatchEngine(n *grid.Network) (*DispatchEngine, error) {
+	if len(n.Gens) == 0 {
+		return nil, errors.New("opf: network has no generators")
+	}
+	e := &DispatchEngine{n: n, nG: len(n.Gens)}
+	e.redIdx = make([]int, e.nG)
+	for gi, g := range n.Gens {
+		e.redIdx[gi] = -1
+		if g.Bus != n.SlackBus {
+			idx := g.Bus - 1
+			if idx > n.SlackBus-1 {
+				idx--
+			}
+			e.redIdx[gi] = idx
+		}
+	}
+	for l, br := range n.Branches {
+		if !math.IsInf(br.LimitMW, 1) {
+			e.limRow = append(e.limRow, l)
+		}
+	}
+	e.cost = n.GenCosts()
+	e.genLo, e.genHi = n.GenBounds()
+	e.aeq = mat.NewDenseFrom(1, e.nG, mat.Ones(e.nG))
+	nb, nl := n.N(), n.L()
+	e.pool.New = func() any {
+		w := &dispatchWorkspace{
+			br:       mat.NewDense(nb-1, nb-1),
+			inv:      mat.NewDense(nb-1, nb-1),
+			dat:      mat.NewDense(nl, nb-1),
+			ptdf:     mat.NewDense(nl, nb-1),
+			ecol:     make([]float64, nb-1),
+			icol:     make([]float64, nb-1),
+			loads:    make([]float64, nb),
+			redLoad:  make([]float64, nb-1),
+			f0:       make([]float64, nl),
+			s:        mat.NewDense(nl, e.nG),
+			bub:      make([]float64, 2*len(e.limRow)),
+			solver:   lp.NewSolver(),
+			inj:      make([]float64, nb),
+			pRed:     make([]float64, nb-1),
+			thetaRed: make([]float64, nb-1),
+		}
+		if len(e.limRow) > 0 {
+			w.aub = mat.NewDense(2*len(e.limRow), e.nG)
+		}
+		return w
+	}
+	return e, nil
+}
+
+// prepare builds the dispatch LP for reactances x into the workspace and
+// solves it. It mirrors SolveDispatch step for step.
+func (e *DispatchEngine) prepare(w *dispatchWorkspace, x []float64) (*lp.Solution, error) {
+	n := e.n
+	// PTDF = D·Arᵀ·Br⁻¹ (same construction as Network.PTDF, buffered).
+	n.ReducedBInto(x, w.br)
+	if err := w.lu.Reset(w.br); err != nil {
+		return nil, fmt.Errorf("opf: PTDF: %w", err)
+	}
+	nb1 := n.N() - 1
+	for j := 0; j < nb1; j++ {
+		for i := range w.ecol {
+			w.ecol[i] = 0
+		}
+		w.ecol[j] = 1
+		w.lu.SolveInto(w.icol, w.ecol)
+		w.inv.SetCol(j, w.icol)
+	}
+	s := n.SlackBus - 1
+	w.dat.Zero()
+	for l, br := range n.Branches {
+		y := 1 / x[l]
+		if c := reducedColOf(br.From-1, s); c >= 0 {
+			w.dat.Set(l, c, y)
+		}
+		if c := reducedColOf(br.To-1, s); c >= 0 {
+			w.dat.Set(l, c, -y)
+		}
+	}
+	mat.MulInto(w.ptdf, w.dat, w.inv)
+
+	// Reduced load vector (MW) and its flow contribution.
+	for i, b := range n.Buses {
+		w.loads[i] = b.LoadMW
+	}
+	reduceInto(w.redLoad, w.loads, s)
+	mat.MulVecInto(w.f0, w.ptdf, w.redLoad)
+
+	// S maps dispatch to flows: column g is the PTDF column of the
+	// generator's reduced bus index (zero column if it sits at slack);
+	// identical to applying the PTDF to the unit injection.
+	w.s.Zero()
+	for gi := 0; gi < e.nG; gi++ {
+		ri := e.redIdx[gi]
+		if ri < 0 {
+			continue
+		}
+		for l := 0; l < n.L(); l++ {
+			w.s.Set(l, gi, w.ptdf.At(l, ri))
+		}
+	}
+
+	// Inequalities: S·g − f0 <= fmax and −S·g + f0 <= fmax, skipping
+	// unlimited branches.
+	nR := len(e.limRow)
+	if nR > 0 {
+		for k, l := range e.limRow {
+			for gi := 0; gi < e.nG; gi++ {
+				w.aub.Set(k, gi, w.s.At(l, gi))
+				w.aub.Set(nR+k, gi, -w.s.At(l, gi))
+			}
+			w.bub[k] = n.Branches[l].LimitMW + w.f0[l]
+			w.bub[nR+k] = n.Branches[l].LimitMW - w.f0[l]
+		}
+	}
+
+	prob := &lp.Problem{
+		C:     e.cost,
+		Aeq:   e.aeq,
+		Beq:   []float64{n.TotalLoadMW()},
+		Lower: e.genLo,
+		Upper: e.genHi,
+	}
+	if nR > 0 {
+		prob.Aub = w.aub
+		prob.Bub = w.bub
+	}
+	sol, err := w.solver.Solve(prob)
+	if err != nil {
+		if errors.Is(err, lp.ErrInfeasible) {
+			return nil, ErrInfeasible
+		}
+		return nil, fmt.Errorf("opf: %w", err)
+	}
+	return sol, nil
+}
+
+// Cost returns the optimal generation cost ($/h) for reactances x without
+// materializing flows and angles — the form the selection search's inner
+// loop wants. The value is bitwise identical to Solve(x).CostPerHour.
+func (e *DispatchEngine) Cost(x []float64) (float64, error) {
+	w := e.pool.Get().(*dispatchWorkspace)
+	sol, err := e.prepare(w, x)
+	e.pool.Put(w)
+	if err != nil {
+		return 0, err
+	}
+	return sol.Objective, nil
+}
+
+// Solve returns the full OPF result for reactances x, including the
+// verifying DC power flow, exactly as SolveDispatch does.
+func (e *DispatchEngine) Solve(x []float64) (*Result, error) {
+	w := e.pool.Get().(*dispatchWorkspace)
+	defer e.pool.Put(w)
+	sol, err := e.prepare(w, x)
+	if err != nil {
+		return nil, err
+	}
+	n := e.n
+
+	// Verifying power flow (dcflow.SolveDispatch, reusing the factors of
+	// the same reduced susceptance matrix).
+	for i, b := range n.Buses {
+		w.inj[i] = -b.LoadMW
+	}
+	for i, g := range n.Gens {
+		w.inj[g.Bus-1] += sol.X[i]
+	}
+	total := mat.SumVec(w.inj)
+	if math.Abs(total) > 1e-6*(1+mat.Norm1(w.inj)) {
+		return nil, fmt.Errorf("opf: verifying dispatch: %w: imbalance %.6g MW", dcflow.ErrUnbalanced, total)
+	}
+	slack := n.SlackBus - 1
+	invBase := 1 / n.BaseMVA // multiply, as dcflow's ScaleVec does
+	for i := range w.inj {
+		w.inj[i] *= invBase
+	}
+	reduceInto(w.pRed, w.inj, slack)
+	w.lu.SolveInto(w.thetaRed, w.pRed)
+	theta := n.ExpandVec(w.thetaRed, 0)
+	flows := make([]float64, n.L())
+	for l, br := range n.Branches {
+		flows[l] = (theta[br.From-1] - theta[br.To-1]) / x[l] * n.BaseMVA
+	}
+	return &Result{
+		DispatchMW:  sol.X,
+		FlowsMW:     flows,
+		ThetaRad:    theta,
+		CostPerHour: sol.Objective,
+		Reactances:  mat.CopyVec(x),
+	}, nil
+}
+
+// reducedColOf maps a 0-based bus to its slack-reduced column (-1 at slack).
+func reducedColOf(bus, slack int) int {
+	switch {
+	case bus == slack:
+		return -1
+	case bus < slack:
+		return bus
+	default:
+		return bus - 1
+	}
+}
+
+// reduceInto removes the slack entry of the length-N vector v into dst.
+func reduceInto(dst, v []float64, slack int) {
+	k := 0
+	for i, x := range v {
+		if i == slack {
+			continue
+		}
+		dst[k] = x
+		k++
+	}
+}

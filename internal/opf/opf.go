@@ -12,12 +12,8 @@ package opf
 import (
 	"errors"
 	"fmt"
-	"math"
 
-	"gridmtd/internal/dcflow"
 	"gridmtd/internal/grid"
-	"gridmtd/internal/lp"
-	"gridmtd/internal/mat"
 	"gridmtd/internal/optimize"
 )
 
@@ -44,84 +40,11 @@ type Result struct {
 //	min  Σ c_i g_i
 //	s.t. Σ g = Σ load, |PTDF·(g − load)| <= fmax, gmin <= g <= gmax.
 func SolveDispatch(n *grid.Network, x []float64) (*Result, error) {
-	if len(n.Gens) == 0 {
-		return nil, errors.New("opf: network has no generators")
-	}
-	nG := len(n.Gens)
-	ptdf, err := n.PTDF(x)
+	e, err := NewDispatchEngine(n)
 	if err != nil {
-		return nil, fmt.Errorf("opf: PTDF: %w", err)
+		return nil, err
 	}
-
-	// Reduced load vector (MW) and its flow contribution.
-	loadRed := n.ReduceVec(n.LoadsMW())
-	f0 := mat.MulVec(ptdf, loadRed) // flow produced by -load alone, negated below
-
-	// S maps dispatch to flows: column g is PTDF applied to the unit
-	// injection at the generator's bus (zero column if it sits at slack).
-	s := mat.NewDense(n.L(), nG)
-	for gi, g := range n.Gens {
-		if g.Bus == n.SlackBus {
-			continue
-		}
-		unit := make([]float64, n.N())
-		unit[g.Bus-1] = 1
-		col := mat.MulVec(ptdf, n.ReduceVec(unit))
-		s.SetCol(gi, col)
-	}
-
-	// Inequalities: S·g − f0 <= fmax and −S·g + f0 <= fmax, skipping
-	// unlimited branches.
-	var rows []int
-	for l, br := range n.Branches {
-		if !math.IsInf(br.LimitMW, 1) {
-			rows = append(rows, l)
-		}
-	}
-	var aub *mat.Dense
-	var bub []float64
-	if len(rows) > 0 {
-		aub = mat.NewDense(2*len(rows), nG)
-		bub = make([]float64, 2*len(rows))
-		for k, l := range rows {
-			for gi := 0; gi < nG; gi++ {
-				aub.Set(k, gi, s.At(l, gi))
-				aub.Set(len(rows)+k, gi, -s.At(l, gi))
-			}
-			bub[k] = n.Branches[l].LimitMW + f0[l]
-			bub[len(rows)+k] = n.Branches[l].LimitMW - f0[l]
-		}
-	}
-
-	lo, hi := n.GenBounds()
-	prob := &lp.Problem{
-		C:     n.GenCosts(),
-		Aeq:   mat.NewDenseFrom(1, nG, mat.Ones(nG)),
-		Beq:   []float64{n.TotalLoadMW()},
-		Aub:   aub,
-		Bub:   bub,
-		Lower: lo,
-		Upper: hi,
-	}
-	sol, err := lp.Solve(prob)
-	if err != nil {
-		if errors.Is(err, lp.ErrInfeasible) {
-			return nil, ErrInfeasible
-		}
-		return nil, fmt.Errorf("opf: %w", err)
-	}
-
-	flow, err := dcflow.SolveDispatch(n, x, sol.X)
-	if err != nil {
-		return nil, fmt.Errorf("opf: verifying dispatch: %w", err)
-	}
-	return &Result{
-		DispatchMW:  sol.X,
-		FlowsMW:     flow.FlowsMW,
-		ThetaRad:    flow.ThetaRad,
-		CostPerHour: sol.Objective,
-		Reactances:  mat.CopyVec(x),
-	}, nil
+	return e.Solve(x)
 }
 
 // DFACTSConfig tunes the outer reactance search of SolveDFACTS.
@@ -134,6 +57,9 @@ type DFACTSConfig struct {
 	// MaxEvals bounds objective evaluations per local search (default
 	// 60 × #D-FACTS branches).
 	MaxEvals int
+	// Parallelism bounds the number of concurrent local searches (0 =
+	// GOMAXPROCS). The result is identical for any setting.
+	Parallelism int
 }
 
 func (c DFACTSConfig) withDefaults(dim int) DFACTSConfig {
@@ -159,12 +85,16 @@ func SolveDFACTS(n *grid.Network, cfg DFACTSConfig) (*Result, error) {
 	lo, hi := n.DFACTSBounds()
 	box := optimize.Bounds{Lower: lo, Upper: hi}
 
+	engine, err := NewDispatchEngine(n)
+	if err != nil {
+		return nil, err
+	}
 	obj := func(xd []float64) float64 {
-		res, err := SolveDispatch(n, n.ExpandDFACTS(xd))
+		cost, err := engine.Cost(n.ExpandDFACTS(xd))
 		if err != nil {
 			return optimize.InfeasibleObjective
 		}
-		return res.CostPerHour
+		return cost
 	}
 	local := func(f optimize.Objective, x0 []float64) (*optimize.Result, error) {
 		return optimize.NelderMead(f, x0, optimize.NMConfig{MaxEvals: cfg.MaxEvals})
@@ -173,6 +103,7 @@ func SolveDFACTS(n *grid.Network, cfg DFACTSConfig) (*Result, error) {
 		Starts:        cfg.Starts,
 		Seed:          cfg.Seed,
 		InitialPoints: [][]float64{n.DFACTSSetting(n.Reactances())},
+		Parallelism:   cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("opf: D-FACTS search: %w", err)
@@ -180,5 +111,5 @@ func SolveDFACTS(n *grid.Network, cfg DFACTSConfig) (*Result, error) {
 	if best.F >= optimize.InfeasibleObjective {
 		return nil, ErrInfeasible
 	}
-	return SolveDispatch(n, n.ExpandDFACTS(best.X))
+	return engine.Solve(n.ExpandDFACTS(best.X))
 }

@@ -3,6 +3,8 @@ package optimize
 import (
 	"errors"
 	"math/rand"
+	"runtime"
+	"sync"
 )
 
 // Bounds is a per-dimension box used to draw multi-start points.
@@ -75,6 +77,14 @@ type MSConfig struct {
 	// InitialPoints are deterministic starting points tried before random
 	// ones (e.g. the current operating point).
 	InitialPoints [][]float64
+	// Parallelism bounds the number of concurrent local searches. 0 (or
+	// negative) uses GOMAXPROCS; 1 forces a serial run. The objective and
+	// local solver must be safe for concurrent calls whenever the effective
+	// parallelism exceeds 1. The returned Result is identical for every
+	// setting: all start points are drawn up front from one deterministic
+	// sequence, and the reduction picks the same winner a serial loop
+	// would.
+	Parallelism int
 }
 
 // MultiStart minimizes f over the box by running the local solver from
@@ -82,6 +92,14 @@ type MSConfig struct {
 // random draws) and returning the best local optimum. Candidate points are
 // clamped to the box before each local run, and returned points are clamped
 // too, so the result always lies inside the box.
+//
+// Local searches run on up to cfg.Parallelism goroutines. Determinism is
+// preserved by construction rather than by per-start reseeding: every start
+// point is pre-drawn from the single Seed-keyed sequence (bitwise the
+// points a serial run would draw), the local searches are independent, and
+// the best result is selected by (objective value, start index) — the exact
+// winner of the historical serial loop — so any worker count, including 1,
+// returns the same Result.
 func MultiStart(f Objective, box Bounds, local Local, cfg MSConfig) (*Result, error) {
 	if err := box.Validate(); err != nil {
 		return nil, err
@@ -91,42 +109,90 @@ func MultiStart(f Objective, box Bounds, local Local, cfg MSConfig) (*Result, er
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	// Assemble every start point up front, in the order the serial loop
+	// would try them.
+	points := make([][]float64, 0, len(cfg.InitialPoints)+cfg.Starts)
+	for _, p := range cfg.InitialPoints {
+		points = append(points, box.Clamp(append([]float64(nil), p...)))
+	}
+	for i := 0; i < cfg.Starts; i++ {
+		points = append(points, box.Sample(rng))
+	}
+	if len(points) == 0 {
+		return nil, errors.New("optimize: no starting points")
+	}
+
 	// Evaluate through a box projection so local solvers cannot leave it.
 	proj := func(x []float64) float64 {
 		clamped := box.Clamp(append([]float64(nil), x...))
 		return f(clamped)
 	}
 
-	var best *Result
-	totalEvals := 0
-	try := func(x0 []float64) error {
-		x0 = box.Clamp(append([]float64(nil), x0...))
-		res, err := local(proj, x0)
+	type outcome struct {
+		res   *Result
+		evals int
+		err   error
+	}
+	outs := make([]outcome, len(points))
+	runStart := func(i int) {
+		res, err := local(proj, points[i])
 		if err != nil {
-			return err
+			outs[i] = outcome{err: err}
+			return
 		}
-		totalEvals += res.Evals
+		evals := res.Evals
 		res.X = box.Clamp(res.X)
 		res.F = f(res.X)
-		totalEvals++
-		if best == nil || res.F < best.F {
-			best = res
-		}
-		return nil
+		evals++
+		outs[i] = outcome{res: res, evals: evals}
 	}
 
-	for _, p := range cfg.InitialPoints {
-		if err := try(p); err != nil {
-			return nil, err
-		}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	for i := 0; i < cfg.Starts; i++ {
-		if err := try(box.Sample(rng)); err != nil {
-			return nil, err
-		}
+	if workers > len(points) {
+		workers = len(points)
 	}
-	if best == nil {
-		return nil, errors.New("optimize: no starting points")
+	if workers <= 1 {
+		for i := range points {
+			runStart(i)
+			if outs[i].err != nil {
+				// Fail fast like the serial loop: later starts never run.
+				return nil, outs[i].err
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					runStart(i)
+				}
+			}()
+		}
+		for i := range points {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	// Deterministic reduction in start order: first error wins, strict
+	// improvement picks the earliest minimum — the serial loop's winner.
+	var best *Result
+	totalEvals := 0
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		totalEvals += outs[i].evals
+		if best == nil || outs[i].res.F < best.F {
+			best = outs[i].res
+		}
 	}
 	best.Evals = totalEvals
 	return best, nil

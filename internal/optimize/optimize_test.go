@@ -1,8 +1,10 @@
 package optimize
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -318,5 +320,73 @@ func TestQuickPatternSearchConverges(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// multimodal is a deliberately nasty objective with many local minima.
+func multimodal(x []float64) float64 {
+	s := 0.0
+	for i, v := range x {
+		s += v*v + 2*math.Sin(7*v+float64(i))
+	}
+	return s
+}
+
+// TestMultiStartParallelismInvariant is the determinism contract of the
+// parallel driver: identical Result (point, value, eval count) for any
+// Parallelism setting, including values above GOMAXPROCS.
+func TestMultiStartParallelismInvariant(t *testing.T) {
+	box := Bounds{Lower: []float64{-3, -3, -3}, Upper: []float64{3, 3, 3}}
+	local := func(f Objective, x0 []float64) (*Result, error) {
+		return NelderMead(f, x0, NMConfig{MaxEvals: 300})
+	}
+	settings := []int{1, 4, runtime.GOMAXPROCS(0), 16}
+	var results []*Result
+	for _, par := range settings {
+		res, err := MultiStart(multimodal, box, local, MSConfig{
+			Starts:        12,
+			Seed:          99,
+			InitialPoints: [][]float64{{1, 1, 1}},
+			Parallelism:   par,
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		results = append(results, res)
+	}
+	base := results[0]
+	for i, res := range results[1:] {
+		if res.F != base.F {
+			t.Fatalf("parallelism %d: F = %v, want %v", settings[i+1], res.F, base.F)
+		}
+		for j := range base.X {
+			if res.X[j] != base.X[j] {
+				t.Fatalf("parallelism %d: X[%d] = %v, want %v", settings[i+1], j, res.X[j], base.X[j])
+			}
+		}
+		if res.Evals != base.Evals {
+			t.Fatalf("parallelism %d: Evals = %d, want %d", settings[i+1], res.Evals, base.Evals)
+		}
+	}
+}
+
+// TestMultiStartParallelErrorIsFirstByIndex checks the error reduction:
+// the reported error is the one the serial loop would have hit first.
+func TestMultiStartParallelErrorIsFirstByIndex(t *testing.T) {
+	box := Bounds{Lower: []float64{0}, Upper: []float64{1}}
+	local := func(f Objective, x0 []float64) (*Result, error) {
+		if x0[0] > 0.99 { // initial point #0 fails
+			return nil, errors.New("boom-first")
+		}
+		return &Result{X: x0, F: f(x0), Evals: 1}, nil
+	}
+	_, err := MultiStart(func(x []float64) float64 { return x[0] }, box, local, MSConfig{
+		Starts:        6,
+		Seed:          1,
+		InitialPoints: [][]float64{{1}},
+		Parallelism:   4,
+	})
+	if err == nil || err.Error() != "boom-first" {
+		t.Fatalf("err = %v, want boom-first", err)
 	}
 }

@@ -25,6 +25,7 @@ import (
 type Estimator struct {
 	h  *mat.Dense // M×n measurement matrix (n = N-1 reduced states)
 	q  *mat.Dense // thin Q factor (M×n), orthonormal columns
+	qt *mat.Dense // Qᵀ (n×M), rows contiguous for the batch residual path
 	r  *mat.Dense // R factor (n×n upper triangular)
 	lu *mat.LU    // factorization of R for state recovery
 }
@@ -40,7 +41,8 @@ func NewEstimator(h *mat.Dense) (*Estimator, error) {
 	if err != nil {
 		return nil, errors.New("se: measurement matrix is rank deficient; the state is unobservable")
 	}
-	return &Estimator{h: h, q: qr.Q, r: qr.R, lu: lu}, nil
+	qt := mat.TransposeInto(mat.NewDense(qr.Q.Cols(), qr.Q.Rows()), qr.Q)
+	return &Estimator{h: h, q: qr.Q, qt: qt, r: qr.R, lu: lu}, nil
 }
 
 // H returns the measurement matrix the estimator was built for.
@@ -79,4 +81,42 @@ func (e *Estimator) ResidualVector(z []float64) []float64 {
 // Residual returns the BDD residual r = ‖z − Hθ̂‖₂.
 func (e *Estimator) Residual(z []float64) float64 {
 	return mat.Norm2(e.ResidualVector(z))
+}
+
+// ResidualWorkspace holds the scratch vectors of a residual evaluation so
+// batch loops (the η′ sweep scores 1000 attacks per candidate) can reuse
+// them instead of allocating three vectors per attack. The zero value is
+// ready to use; a workspace is not safe for concurrent use — the parallel
+// evaluation path keeps one per worker.
+type ResidualWorkspace struct {
+	qtz []float64
+	res []float64
+}
+
+// ResidualWS returns the BDD residual ‖z − Hθ̂‖₂ using the workspace
+// buffers. The operations match Residual exactly, so the value is bitwise
+// identical.
+func (e *Estimator) ResidualWS(ws *ResidualWorkspace, z []float64) float64 {
+	m, n := e.h.Rows(), e.h.Cols()
+	if len(z) != m {
+		panic("se: measurement vector length mismatch")
+	}
+	if cap(ws.qtz) < n {
+		ws.qtz = make([]float64, n)
+	}
+	if cap(ws.res) < m {
+		ws.res = make([]float64, m)
+	}
+	// Qᵀz via contiguous rows of the cached transpose: each component is
+	// the same ascending-index accumulation MulVecT performs, held in a
+	// register instead of streamed through memory.
+	qtz := ws.qtz[:n]
+	for j := 0; j < n; j++ {
+		qtz[j] = mat.Dot(e.qt.RowView(j), z)
+	}
+	proj := mat.MulVecInto(ws.res[:m], e.q, qtz)
+	for i, v := range z {
+		proj[i] = v - proj[i]
+	}
+	return mat.Norm2(proj)
 }

@@ -266,3 +266,31 @@ func TestQuickEstimateExactRecovery(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestResidualWSMatchesResidual: the workspace residual must agree bitwise
+// with the allocating path, including across reuse.
+func TestResidualWSMatchesResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	h := mat.NewDense(30, 8)
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 8; j++ {
+			h.Set(i, j, rng.NormFloat64())
+		}
+	}
+	est, err := NewEstimator(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws ResidualWorkspace
+	for trial := 0; trial < 25; trial++ {
+		z := make([]float64, 30)
+		for i := range z {
+			z[i] = rng.NormFloat64()
+		}
+		want := est.Residual(z)
+		got := est.ResidualWS(&ws, z)
+		if got != want {
+			t.Fatalf("trial %d: ResidualWS = %v, Residual = %v", trial, got, want)
+		}
+	}
+}

@@ -13,8 +13,6 @@
 package subspace
 
 import (
-	"math"
-
 	"gridmtd/internal/mat"
 )
 
@@ -22,32 +20,23 @@ import (
 // between the column spaces of a and b. The number of angles is the smaller
 // of the two subspace dimensions (numerical ranks). An empty slice is
 // returned if either matrix has rank zero.
+//
+// Cosines of the principal angles are the singular values of QaᵀQb. The
+// computation is delegated to the Basis engine (see basis.go), which
+// performs the identical orthonormalize-cross-SVD sequence with reusable
+// buffers; callers evaluating many candidates against a fixed matrix
+// should hold a Basis and Workspace directly.
 func PrincipalAngles(a, b *mat.Dense) []float64 {
-	qa := mat.OrthonormalBasis(a, 0)
-	qb := mat.OrthonormalBasis(b, 0)
-	if qa.Cols() == 0 || qb.Cols() == 0 {
+	qa := ComputeBasis(a, 0)
+	qb := ComputeBasis(b, 0)
+	var ws Workspace
+	angles := ws.PrincipalAnglesBases(qa, qb)
+	if len(angles) == 0 {
 		return nil
 	}
-	// Cosines of the principal angles are the singular values of QaᵀQb.
-	cross := mat.Mul(qa.T(), qb)
-	work := cross
-	if work.Rows() < work.Cols() {
-		work = work.T()
-	}
-	sv := mat.SingularValues(work)
-	angles := make([]float64, len(sv))
-	for i, s := range sv {
-		// Clamp for safety: roundoff can push cosines slightly above 1.
-		if s > 1 {
-			s = 1
-		}
-		if s < -1 {
-			s = -1
-		}
-		// Singular values are descending, so angles come out ascending.
-		angles[i] = math.Acos(s)
-	}
-	return angles
+	out := make([]float64, len(angles))
+	copy(out, angles)
+	return out
 }
 
 // SmallestAngle returns the smallest principal angle between the column

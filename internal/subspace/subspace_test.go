@@ -147,3 +147,46 @@ func TestQuickKnownRotation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestBasisEngineMatchesPrincipalAngles: the cached Basis/Workspace path
+// must reproduce the matrix-level API bitwise, including when the
+// workspace is reused across calls with different-rank inputs.
+func TestBasisEngineMatchesPrincipalAngles(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	var ws Workspace
+	for trial := 0; trial < 25; trial++ {
+		m := 5 + rng.Intn(30)
+		ka := 1 + rng.Intn(m)
+		kb := 1 + rng.Intn(m)
+		a := randomMatrix(rng, m, ka)
+		b := randomMatrix(rng, m, kb)
+
+		want := PrincipalAngles(a, b)
+		qa := ComputeBasis(a, 0)
+		qb := ws.BasisT(mat.TransposeInto(mat.NewDense(b.Cols(), b.Rows()), b), 0)
+		got := ws.PrincipalAnglesBases(qa, qb)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d angles, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: angle[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+		if len(want) > 0 {
+			if g := ws.GammaBases(qa, qb); g != Gamma(a, b) {
+				t.Fatalf("trial %d: GammaBases = %v, Gamma = %v", trial, g, Gamma(a, b))
+			}
+		}
+	}
+}
+
+func randomMatrix(rng *rand.Rand, m, n int) *mat.Dense {
+	a := mat.NewDense(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return a
+}
