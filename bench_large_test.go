@@ -1,0 +1,117 @@
+package gridmtd_test
+
+import (
+	"testing"
+
+	"gridmtd"
+	"gridmtd/internal/grid"
+	"gridmtd/internal/mat"
+	"gridmtd/internal/opf"
+)
+
+// ---- Large-case benchmarks: dense vs sparse backend ------------------------
+//
+// These measure the dense→sparse crossover recorded in PERF.md: the same
+// dispatch-OPF and B-factorization work through both backends on every
+// registered case size. Run with:
+//
+//	go test -run '^$' -bench 'Backend|IEEE118' -benchtime 1s .
+
+func benchCase(b *testing.B, name string) *gridmtd.Network {
+	b.Helper()
+	n, err := gridmtd.CaseByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+// benchEngineCost measures one dispatch-OPF Cost evaluation (factorization
+// + PTDF + LP) through an explicit backend — the per-candidate unit of the
+// problem-(4) search.
+func benchEngineCost(b *testing.B, caseName string, backend grid.Backend) {
+	n := benchCase(b, caseName)
+	eng, err := opf.NewDispatchEngineBackend(n, backend)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := n.Reactances()
+	if _, err := eng.Cost(x); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Cost(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOPF30DenseBackend(b *testing.B)   { benchEngineCost(b, "ieee30", grid.DenseBackend) }
+func BenchmarkOPF30SparseBackend(b *testing.B)  { benchEngineCost(b, "ieee30", grid.SparseBackend) }
+func BenchmarkOPF57DenseBackend(b *testing.B)   { benchEngineCost(b, "ieee57", grid.DenseBackend) }
+func BenchmarkOPF57SparseBackend(b *testing.B)  { benchEngineCost(b, "ieee57", grid.SparseBackend) }
+func BenchmarkOPF118DenseBackend(b *testing.B)  { benchEngineCost(b, "ieee118", grid.DenseBackend) }
+func BenchmarkOPF118SparseBackend(b *testing.B) { benchEngineCost(b, "ieee118", grid.SparseBackend) }
+
+// benchBFactor measures the raw backend unit: refactor B_r(x) and build the
+// PTDF (the reactance-dependent work of one OPF candidate, without the LP).
+func benchBFactor(b *testing.B, caseName string, backend grid.Backend) {
+	n := benchCase(b, caseName)
+	f := grid.NewBFactorizerBackend(n, backend)
+	x := n.Reactances()
+	ptdf := mat.NewDense(n.L(), n.N()-1)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := f.Reset(x); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.PTDFInto(ptdf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBFactorPTDF30Dense(b *testing.B)   { benchBFactor(b, "ieee30", grid.DenseBackend) }
+func BenchmarkBFactorPTDF30Sparse(b *testing.B)  { benchBFactor(b, "ieee30", grid.SparseBackend) }
+func BenchmarkBFactorPTDF57Dense(b *testing.B)   { benchBFactor(b, "ieee57", grid.DenseBackend) }
+func BenchmarkBFactorPTDF57Sparse(b *testing.B)  { benchBFactor(b, "ieee57", grid.SparseBackend) }
+func BenchmarkBFactorPTDF118Dense(b *testing.B)  { benchBFactor(b, "ieee118", grid.DenseBackend) }
+func BenchmarkBFactorPTDF118Sparse(b *testing.B) { benchBFactor(b, "ieee118", grid.SparseBackend) }
+
+// BenchmarkGammaIEEE118 measures one cached candidate-γ evaluation on the
+// 118-bus system — the other half of the large-case selection cost (the
+// 117-state Gram-Schmidt + Jacobi SVD is insensitive to the B backend).
+func BenchmarkGammaIEEE118(b *testing.B) {
+	n := benchCase(b, "ieee118")
+	x := n.Reactances()
+	lo, hi := n.DFACTSBounds()
+	xd := make([]float64, len(lo))
+	for i := range xd {
+		xd[i] = 0.25*lo[i] + 0.75*hi[i]
+	}
+	ev := gridmtd.NewGammaEvaluator(n, x)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.GammaDFACTS(xd)
+	}
+}
+
+// BenchmarkSelectMTDIEEE118Quick measures the quick-mode 118-bus selection
+// (1 start, 30 evaluations) — the CI smoke's workload.
+func BenchmarkSelectMTDIEEE118Quick(b *testing.B) {
+	n := benchCase(b, "ieee118")
+	x := n.Reactances()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := gridmtd.SelectMTD(n, x, gridmtd.MTDSelectConfig{
+			GammaThreshold: 0.05, Starts: 1, MaxEvals: 30, Seed: 1, BaselineCost: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -25,7 +25,7 @@ func benchExperiment(b *testing.B, id string) {
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := e.Run(io.Discard, experiments.Quick); err != nil {
+		if err := e.Run(io.Discard, experiments.Options{Quality: experiments.Quick}); err != nil {
 			b.Fatal(err)
 		}
 	}

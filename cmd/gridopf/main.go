@@ -5,8 +5,10 @@
 //
 // Usage:
 //
+//	gridopf -case list
 //	gridopf -case ieee14
 //	gridopf -case case4gs -dfacts
+//	gridopf -case ieee118
 //	gridopf -case ieee30 -scale 0.9 -sigma 0.002 -alpha 5e-4
 package main
 
@@ -16,6 +18,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 
 	"gridmtd"
 )
@@ -27,24 +30,11 @@ func main() {
 	}
 }
 
-func buildCase(name string) (*gridmtd.Network, error) {
-	switch name {
-	case "case4gs", "4bus":
-		return gridmtd.NewCase4GS(), nil
-	case "ieee14", "14bus":
-		return gridmtd.NewIEEE14(), nil
-	case "ieee30", "30bus":
-		return gridmtd.NewIEEE30(), nil
-	default:
-		return nil, fmt.Errorf("unknown case %q (case4gs, ieee14, ieee30)", name)
-	}
-}
-
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("gridopf", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		caseName = fs.String("case", "ieee14", "embedded case: case4gs, ieee14, ieee30")
+		caseName = fs.String("case", "ieee14", "registered case name, or 'list' to print the registry")
 		dfacts   = fs.Bool("dfacts", false, "optimize D-FACTS reactances too (paper problem (1))")
 		scale    = fs.Float64("scale", 1.0, "load scaling factor")
 		sigma    = fs.Float64("sigma", 0.0015, "measurement noise std dev (per-unit)")
@@ -55,8 +45,12 @@ func run(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if strings.EqualFold(*caseName, "list") {
+		gridmtd.FormatCases(w)
+		return nil
+	}
 
-	n, err := buildCase(*caseName)
+	n, err := gridmtd.CaseByName(*caseName)
 	if err != nil {
 		return err
 	}

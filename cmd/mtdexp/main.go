@@ -6,13 +6,18 @@
 //	mtdexp -list
 //	mtdexp -exp table1
 //	mtdexp -exp fig6a -quick
+//	mtdexp -exp fig6a -case ieee118 -quick
+//	mtdexp -case list
 //	mtdexp -exp all -out results.txt
 //	mtdexp -exp table1 -parallel 8 -cpuprofile cpu.prof
 //
 // Experiment IDs follow the paper's numbering: table1..table4, fig6a,
 // fig6b, fig7, fig8, fig9, fig10, fig11. The -quick flag shrinks sampling
 // budgets (useful for smoke tests); the default budgets follow the paper's
-// protocol. EXPERIMENTS.md records the paper-vs-measured comparison.
+// protocol. The -case flag reruns a case-generic experiment's protocol on
+// any registered grid (-case list shows them); with -exp all it runs every
+// case-generic experiment on that grid. EXPERIMENTS.md records the
+// paper-vs-measured comparison.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"gridmtd"
 	"gridmtd/internal/experiments"
 )
 
@@ -41,6 +47,7 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		list     = fs.Bool("list", false, "list available experiments and exit")
 		exp      = fs.String("exp", "all", "experiment id to run, or 'all'")
+		caseName = fs.String("case", "", "run case-generic experiments on this registered case ('list' prints the registry)")
 		quick    = fs.Bool("quick", false, "use reduced sampling budgets")
 		out      = fs.String("out", "", "also write the output to this file")
 		parallel = fs.Int("parallel", 0, "worker parallelism for the multi-start searches and η' sweeps (0 = all cores, 1 = serial); results are identical for any setting")
@@ -48,6 +55,11 @@ func run(args []string, stdout io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if strings.EqualFold(*caseName, "list") {
+		gridmtd.FormatCases(stdout)
+		return nil
 	}
 
 	if *parallel > 0 {
@@ -70,8 +82,13 @@ func run(args []string, stdout io.Writer) error {
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
+			marker := " "
+			if e.CaseGeneric {
+				marker = "*" // accepts -case
+			}
+			fmt.Fprintf(stdout, "%-8s %s %s\n", e.ID, marker, e.Title)
 		}
+		fmt.Fprintf(stdout, "\n* = case-generic: accepts -case (see -case list)\n")
 		return nil
 	}
 
@@ -85,14 +102,21 @@ func run(args []string, stdout io.Writer) error {
 		w = io.MultiWriter(stdout, f)
 	}
 
-	quality := experiments.Full
+	opts := experiments.Options{Quality: experiments.Full, Case: *caseName}
 	if *quick {
-		quality = experiments.Quick
+		opts.Quality = experiments.Quick
 	}
 
 	var ids []string
 	if strings.EqualFold(*exp, "all") {
-		ids = experiments.IDs()
+		if *caseName != "" {
+			// A case override restricts "all" to the experiments that can
+			// honor it.
+			ids = experiments.CaseGenericIDs()
+			fmt.Fprintf(w, "case %s: running the case-generic experiments (%s)\n\n", *caseName, strings.Join(ids, ", "))
+		} else {
+			ids = experiments.IDs()
+		}
 	} else {
 		for _, id := range strings.Split(*exp, ",") {
 			ids = append(ids, strings.TrimSpace(id))
@@ -105,8 +129,8 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("unknown experiment %q (use -list)", id)
 		}
 		start := time.Now()
-		fmt.Fprintf(w, "=== %s: %s (quality: %s)\n", e.ID, e.Title, quality)
-		if err := e.Run(w, quality); err != nil {
+		fmt.Fprintf(w, "=== %s: %s (quality: %s)\n", e.ID, e.Title, opts.Quality)
+		if err := experiments.RunOne(e, w, opts); err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)
 		}
 		fmt.Fprintf(w, "(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())

@@ -28,6 +28,33 @@ func TestUnknownExperiment(t *testing.T) {
 	}
 }
 
+func TestCaseListFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-case", "list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"case4gs", "ieee14", "ieee30", "ieee57", "ieee118"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("case list missing %q:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestCaseOverrideOnPinnedExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "table1", "-case", "ieee118"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "pinned") {
+		t.Fatalf("err = %v, want pinned-experiment error", err)
+	}
+}
+
+func TestCaseOverrideUnknownCase(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig6a", "-case", "bogus"}, &buf); err == nil {
+		t.Fatal("expected error for unknown case")
+	}
+}
+
 func TestRunTablesWithOutputFile(t *testing.T) {
 	outPath := filepath.Join(t.TempDir(), "out.txt")
 	var buf bytes.Buffer

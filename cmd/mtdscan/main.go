@@ -6,7 +6,9 @@
 //
 // Usage:
 //
+//	mtdscan -case list
 //	mtdscan -case ieee14 -from 0.05 -to 0.45 -step 0.05
+//	mtdscan -case ieee118 -from 0.05 -to 0.30 -attacks 200
 //	mtdscan -case ieee30 -scale 0.9 -sigma 0.0005 -attacks 500
 //	mtdscan -case ieee14 -csv frontier.csv
 package main
@@ -19,6 +21,7 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 
 	"gridmtd"
 )
@@ -30,24 +33,11 @@ func main() {
 	}
 }
 
-func buildCase(name string) (*gridmtd.Network, error) {
-	switch name {
-	case "case4gs", "4bus":
-		return gridmtd.NewCase4GS(), nil
-	case "ieee14", "14bus":
-		return gridmtd.NewIEEE14(), nil
-	case "ieee30", "30bus":
-		return gridmtd.NewIEEE30(), nil
-	default:
-		return nil, fmt.Errorf("unknown case %q (case4gs, ieee14, ieee30)", name)
-	}
-}
-
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("mtdscan", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		caseName = fs.String("case", "ieee14", "embedded case: case4gs, ieee14, ieee30")
+		caseName = fs.String("case", "ieee14", "registered case name, or 'list' to print the registry")
 		scale    = fs.Float64("scale", 1.0, "load scaling factor")
 		from     = fs.Float64("from", 0.05, "first γ threshold (rad)")
 		to       = fs.Float64("to", 0.45, "last γ threshold (rad)")
@@ -56,17 +46,22 @@ func run(args []string, w io.Writer) error {
 		alpha    = fs.Float64("alpha", 5e-4, "BDD false-positive rate")
 		attacks  = fs.Int("attacks", 500, "number of sampled attacks for η'")
 		starts   = fs.Int("starts", 6, "multi-start budget per selection")
+		maxEvals = fs.Int("maxevals", 0, "objective evaluations per local search (0 = solver default; lower it for quick large-case scans)")
 		seed     = fs.Int64("seed", 1, "random seed")
 		csvPath  = fs.String("csv", "", "also write the frontier to this CSV file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if strings.EqualFold(*caseName, "list") {
+		gridmtd.FormatCases(w)
+		return nil
+	}
 	if *step <= 0 || *to < *from {
 		return errors.New("invalid gamma sweep range")
 	}
 
-	n, err := buildCase(*caseName)
+	n, err := gridmtd.CaseByName(*caseName)
 	if err != nil {
 		return err
 	}
@@ -77,7 +72,7 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
-	pre, err := gridmtd.SolveOPFWithDFACTS(n, gridmtd.DFACTSOPFConfig{Starts: *starts, Seed: *seed})
+	pre, err := gridmtd.SolveOPFWithDFACTS(n, gridmtd.DFACTSOPFConfig{Starts: *starts, MaxEvals: *maxEvals, Seed: *seed})
 	if err != nil {
 		return fmt.Errorf("pre-perturbation OPF: %w", err)
 	}
@@ -109,6 +104,7 @@ func run(args []string, w io.Writer) error {
 		sel, err := gridmtd.SelectMTD(n, pre.Reactances, gridmtd.MTDSelectConfig{
 			GammaThreshold: gth,
 			Starts:         *starts,
+			MaxEvals:       *maxEvals,
 			Seed:           *seed,
 			BaselineCost:   pre.CostPerHour,
 			WarmStarts:     warm,

@@ -6,16 +6,33 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"gridmtd"
 )
 
-func TestBuildCase(t *testing.T) {
-	for _, name := range []string{"case4gs", "4bus", "ieee14", "14bus", "ieee30", "30bus"} {
-		if _, err := buildCase(name); err != nil {
-			t.Errorf("buildCase(%q): %v", name, err)
+func TestCaseRegistryLookups(t *testing.T) {
+	for _, name := range []string{
+		"case4gs", "4bus", "ieee14", "14bus", "ieee30", "30bus",
+		"ieee57", "57bus", "case57", "ieee118", "118bus", "case118",
+	} {
+		if _, err := gridmtd.CaseByName(name); err != nil {
+			t.Errorf("CaseByName(%q): %v", name, err)
 		}
 	}
-	if _, err := buildCase("nope"); err == nil {
+	if _, err := gridmtd.CaseByName("nope"); err == nil {
 		t.Error("expected error for unknown case")
+	}
+}
+
+func TestRunCaseList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-case", "list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"case4gs", "ieee14", "ieee30", "ieee57", "ieee118"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("case list missing %s:\n%s", want, buf.String())
+		}
 	}
 }
 

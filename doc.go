@@ -26,6 +26,14 @@
 //	fmt.Printf("γ=%.2f, η'(0.95)=%.2f, cost +%.2f%%\n",
 //		eff.Gamma, eff.Eta[3], 100*sel.CostIncrease)
 //
+// Five IEEE cases are embedded and served through a registry
+// (CaseByName/Cases): the paper's 4-, 14- and 30-bus systems plus 57- and
+// 118-bus systems with calibrated ratings. Everything — the runnable
+// programs, cmd/mtdexp's case-generic experiments, cmd/mtdscan's frontier
+// sweeps — takes a -case flag; on the ≥57-bus cases the susceptance
+// solves route transparently through a sparse Cholesky backend (PERF.md
+// records the crossover).
+//
 // The runnable programs under examples/ walk through the full defender
 // workflow, the cost-effectiveness tradeoff, a 24-hour operating day and
 // the attacker's learning process; cmd/mtdexp regenerates every table and
@@ -34,11 +42,12 @@
 // # Architecture
 //
 // The facade re-exports the building blocks implemented under internal/:
-// dense linear algebra (internal/mat), χ² statistics (internal/stat), an
-// LP simplex solver (internal/lp), derivative-free optimizers
-// (internal/optimize), the grid model and IEEE cases (internal/grid), DC
-// power flow (internal/dcflow), state estimation and BDD (internal/se),
-// FDI attacks (internal/attack), principal angles (internal/subspace), DC
+// dense and sparse linear algebra (internal/mat), χ² statistics
+// (internal/stat), an LP simplex solver (internal/lp), derivative-free
+// optimizers (internal/optimize), the grid model, case registry and
+// factorization backends (internal/grid, internal/grid/cases), DC power
+// flow (internal/dcflow), state estimation and BDD (internal/se), FDI
+// attacks (internal/attack), principal angles (internal/subspace), DC
 // OPF (internal/opf), the MTD algorithms (internal/core), load profiles
 // (internal/loadprofile) and the daily/learning simulations
 // (internal/sim).

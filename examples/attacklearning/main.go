@@ -4,10 +4,11 @@
 // (subspace method), the estimate improving with every sample — until the
 // defender perturbs the reactances and invalidates it.
 //
-// Run with: go run ./examples/attacklearning
+// Run with: go run ./examples/attacklearning [-case ieee118]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,8 +18,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("attacklearning: ")
+	caseName := flag.String("case", "ieee14", "registered case the attacker eavesdrops on")
+	flag.Parse()
 
-	n := gridmtd.NewIEEE14()
+	n, err := gridmtd.CaseByName(*caseName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	x := n.Reactances()
 
 	fmt.Println("attacker's subspace estimation error vs samples observed")

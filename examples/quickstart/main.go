@@ -8,10 +8,12 @@
 //     (γ ≥ 0.3) and show the same attack now lights up the detector.
 //  4. Report the insurance premium: the MTD's operational cost.
 //
-// Run with: go run ./examples/quickstart
+// Run with: go run ./examples/quickstart [-case ieee118] [-gamma 0.3]
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -22,13 +24,28 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("quickstart: ")
+	caseName := flag.String("case", "ieee14", "registered case to run the story on")
+	gammaTh := flag.Float64("gamma", 0.3, "γ threshold for the designed MTD")
+	flag.Parse()
 
-	n := gridmtd.NewIEEE14()
-	fmt.Printf("IEEE 14-bus: %d buses, %d branches, %.0f MW load\n",
-		n.N(), n.L(), n.TotalLoadMW())
+	n, err := gridmtd.CaseByName(*caseName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("case %s: %d buses, %d branches, %.0f MW load\n",
+		n.Name, n.N(), n.L(), n.TotalLoadMW())
+
+	// Search budgets: the paper-sized cases afford the full multi-start
+	// protocol; on the ≥57-bus cases a γ evaluation costs milliseconds
+	// rather than microseconds, so the demo trims the budget (results stay
+	// deterministic, just less exhaustively optimized).
+	starts, maxEvals := 6, 0
+	if n.N() >= 50 {
+		starts, maxEvals = 2, 30*len(n.DFACTSIndices())
+	}
 
 	// 1. Operating point: dispatch and D-FACTS reactances from the OPF.
-	pre, err := gridmtd.SolveOPFWithDFACTS(n, gridmtd.DFACTSOPFConfig{Starts: 8, Seed: 1})
+	pre, err := gridmtd.SolveOPFWithDFACTS(n, gridmtd.DFACTSOPFConfig{Starts: starts + 2, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,13 +91,22 @@ func main() {
 	}
 	fmt.Printf("detection probability with noise: %.4f (= false-positive rate)\n\n", pd)
 
-	// 3. The defender perturbs the D-FACTS reactances with γ >= 0.3.
+	// 3. The defender perturbs the D-FACTS reactances with γ >= γ_th. If
+	// the requested threshold is beyond the hardware's reach on this case,
+	// fall back to the best operable design (MaxGamma).
 	sel, err := gridmtd.SelectMTD(n, pre.Reactances, gridmtd.MTDSelectConfig{
-		GammaThreshold: 0.3,
-		Starts:         6,
+		GammaThreshold: *gammaTh,
+		Starts:         starts,
+		MaxEvals:       maxEvals,
 		Seed:           2,
 		BaselineCost:   pre.CostPerHour,
 	})
+	if errors.Is(err, gridmtd.ErrGammaUnreachable) {
+		fmt.Printf("γ_th = %.2f is beyond this case's D-FACTS reach; using the max-γ design\n", *gammaTh)
+		sel, err = gridmtd.MaxGamma(n, pre.Reactances, gridmtd.MaxGammaConfig{
+			Starts: starts, Seed: 2, BaselineCost: pre.CostPerHour,
+		})
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,7 +1,10 @@
 package gridmtd
 
 import (
+	"fmt"
+	"io"
 	"math/rand"
+	"strings"
 
 	"gridmtd/internal/attack"
 	"gridmtd/internal/core"
@@ -46,6 +49,42 @@ func NewIEEE14() *Network { return grid.CaseIEEE14() }
 // NewIEEE30 returns the IEEE 30-bus system used in the paper's
 // scalability experiment.
 func NewIEEE30() *Network { return grid.CaseIEEE30() }
+
+// NewIEEE57 returns the IEEE 57-bus system, the first case beyond the
+// paper's own evaluation sizes (parallel circuits merged, calibrated
+// ratings; see internal/grid/cases).
+func NewIEEE57() *Network { return grid.CaseIEEE57() }
+
+// NewIEEE118 returns the IEEE 118-bus system — the grid the related MTD
+// literature evaluates on, served by the sparse linear-algebra backend.
+func NewIEEE118() *Network { return grid.CaseIEEE118() }
+
+// CaseInfo summarizes one registered case for listings.
+type CaseInfo = grid.CaseInfo
+
+// Cases lists the embedded case registry, smallest system first.
+func Cases() []CaseInfo { return grid.Cases() }
+
+// CaseNames returns the primary names of the registered cases.
+func CaseNames() []string { return grid.CaseNames() }
+
+// CaseByName builds a fresh, validated Network for a registered case name
+// or alias ("ieee118", "118bus", ...). The error for an unknown name lists
+// what is available.
+func CaseByName(name string) (*Network, error) { return grid.CaseByName(name) }
+
+// FormatCases writes the case-registry listing to w, one line per case —
+// the shared renderer behind every command's "-case list".
+func FormatCases(w io.Writer) {
+	for _, ci := range Cases() {
+		aliases := ""
+		if len(ci.Aliases) > 0 {
+			aliases = " (aliases: " + strings.Join(ci.Aliases, ", ") + ")"
+		}
+		fmt.Fprintf(w, "%-10s %3d buses, %3d branches, %2d D-FACTS  %s%s\n",
+			ci.Name, ci.Buses, ci.Branches, ci.DFACTS, ci.Title, aliases)
+	}
+}
 
 // ---- Power flow & OPF ----------------------------------------------------
 

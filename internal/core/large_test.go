@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"gridmtd/internal/grid"
+	"gridmtd/internal/opf"
+)
+
+// TestSelectMTDIEEE118SparseSmoke is the large-case smoke: one quick-mode
+// SelectMTD on the IEEE 118-bus system must complete through the sparse
+// backend and meet its γ threshold. CI runs it explicitly so the sparse
+// path cannot silently regress.
+func TestSelectMTDIEEE118SparseSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("118-bus selection takes seconds")
+	}
+	n, err := grid.CaseByName("ieee118")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := grid.NewBFactorizer(n).Backend(); got != grid.SparseBackend {
+		t.Fatalf("auto backend on ieee118 = %v, want sparse", got)
+	}
+	xOld := n.Reactances()
+	const gammaTh = 0.05
+	sel, err := SelectMTD(n, xOld, SelectConfig{
+		GammaThreshold: gammaTh,
+		Starts:         1,
+		MaxEvals:       30,
+		Seed:           1,
+		BaselineCost:   1, // skip the no-MTD baseline solve; cost metrics are not under test
+	})
+	if err != nil {
+		t.Fatalf("SelectMTD(ieee118): %v", err)
+	}
+	if sel.Gamma < gammaTh-2e-3 {
+		t.Fatalf("γ = %.4f below threshold %.2f", sel.Gamma, gammaTh)
+	}
+	if sel.OPF == nil || len(sel.OPF.DispatchMW) != len(n.Gens) {
+		t.Fatal("missing OPF result")
+	}
+
+	// The dispatch engine's sparse and dense costs must agree closely on
+	// the selected reactances (they solve the same LP from PTDFs that
+	// agree to 1e-10).
+	de, err := opf.NewDispatchEngineBackend(n, grid.DenseBackend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseCost, err := de.Cost(sel.Reactances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := (denseCost - sel.OPF.CostPerHour) / denseCost
+	if rel < -1e-6 || rel > 1e-6 {
+		t.Fatalf("dense cost %.6f vs sparse-path cost %.6f (rel %g)", denseCost, sel.OPF.CostPerHour, rel)
+	}
+}

@@ -199,6 +199,10 @@ func selectMTD(n *grid.Network, xOld []float64, cfg SelectConfig, eng *engines) 
 type MaxGammaConfig struct {
 	// Starts is the number of multi-start points (default 8).
 	Starts int
+	// MaxEvals bounds objective evaluations per local search, for both the
+	// γ maximization and the infeasibility-backoff selections (default
+	// 120 × #D-FACTS branches). Lower it for quick large-case probes.
+	MaxEvals int
 	// Seed seeds the sampler.
 	Seed int64
 	// BaselineCost, when positive, is the no-MTD reference cost (see
@@ -216,23 +220,30 @@ type MaxGammaConfig struct {
 // is unattainable with bounded devices, so this is the best the hardware
 // can do). Because γ is typically maximized at extreme device settings, the
 // search polls all box corners (up to 2¹² of them) in addition to
-// multi-start Nelder-Mead.
+// multi-start Nelder-Mead. On networks with calibrated (tight) line
+// ratings the pure-γ optimum can be operationally infeasible — no dispatch
+// satisfies the ratings there; MaxGamma then backs off to the largest γ
+// threshold the cost-minimizing problem (4) can satisfy, i.e. the best the
+// hardware AND the network constraints allow.
 func MaxGamma(n *grid.Network, xOld []float64, cfg MaxGammaConfig) (*Selection, error) {
 	eng, err := newEngines(n, xOld)
 	if err != nil {
 		return nil, err
 	}
-	return maxGamma(n, cfg, eng)
+	return maxGamma(n, xOld, cfg, eng)
 }
 
 // maxGamma is MaxGamma against pre-built engines.
-func maxGamma(n *grid.Network, cfg MaxGammaConfig, eng *engines) (*Selection, error) {
+func maxGamma(n *grid.Network, xOld []float64, cfg MaxGammaConfig, eng *engines) (*Selection, error) {
 	idx := n.DFACTSIndices()
 	if len(idx) == 0 {
 		return nil, ErrNoDFACTS
 	}
 	if cfg.Starts <= 0 {
 		cfg.Starts = 8
+	}
+	if cfg.MaxEvals <= 0 {
+		cfg.MaxEvals = 120 * len(idx)
 	}
 	gammaOf := eng.gamma.GammaDFACTS
 	lo, hi := n.DFACTSBounds()
@@ -261,7 +272,7 @@ func maxGamma(n *grid.Network, cfg MaxGammaConfig, eng *engines) (*Selection, er
 
 	obj := func(xd []float64) float64 { return -gammaOf(xd) }
 	local := func(f optimize.Objective, x0 []float64) (*optimize.Result, error) {
-		return optimize.NelderMead(f, x0, optimize.NMConfig{MaxEvals: 120 * len(idx)})
+		return optimize.NelderMead(f, x0, optimize.NMConfig{MaxEvals: cfg.MaxEvals})
 	}
 	res, err := optimize.MultiStart(obj, box, local, optimize.MSConfig{
 		Starts:        cfg.Starts,
@@ -286,6 +297,25 @@ func maxGamma(n *grid.Network, cfg MaxGammaConfig, eng *engines) (*Selection, er
 	}
 	xFull := n.ExpandDFACTS(bestX)
 	opfRes, err := eng.dispatch.Solve(xFull)
+	if errors.Is(err, opf.ErrInfeasible) {
+		// The pure-γ optimum cannot be operated. Walk a deterministic
+		// ladder of γ thresholds below it; the first level problem (4) can
+		// satisfy is the best operable design.
+		for _, frac := range []float64{0.95, 0.85, 0.75, 0.65, 0.55, 0.45} {
+			sel, serr := selectMTD(n, xOld, SelectConfig{
+				GammaThreshold: frac * bestG,
+				Starts:         cfg.Starts,
+				MaxEvals:       cfg.MaxEvals,
+				Seed:           cfg.Seed,
+				BaselineCost:   baselineCost,
+				Parallelism:    cfg.Parallelism,
+			}, eng)
+			if serr == nil {
+				return sel, nil
+			}
+		}
+		return nil, fmt.Errorf("core: OPF at max-γ reactances: %w", err)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: OPF at max-γ reactances: %w", err)
 	}

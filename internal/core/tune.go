@@ -80,7 +80,7 @@ func TuneGammaThreshold(n *grid.Network, xOld, zOld []float64, cfg TuneConfig) (
 	}
 
 	// Probe the achievable range.
-	maxSel, err := maxGamma(n, MaxGammaConfig{
+	maxSel, err := maxGamma(n, xOld, MaxGammaConfig{
 		Starts:       cfg.Select.Starts,
 		Seed:         cfg.Select.Seed,
 		BaselineCost: cfg.Select.BaselineCost,

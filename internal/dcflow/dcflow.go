@@ -41,14 +41,18 @@ func Solve(n *grid.Network, x []float64, injectionsMW []float64) (*Result, error
 		return nil, fmt.Errorf("%w: imbalance %.6g MW", ErrUnbalanced, total)
 	}
 
-	// Per-unit injections at non-slack buses.
+	// Per-unit injections at non-slack buses. The susceptance solve goes
+	// through the size-picked factorization backend (dense LU below
+	// grid.SparseThreshold buses, sparse Cholesky above); the dense path
+	// performs the historical operations bitwise.
 	pPU := mat.ScaleVec(1/n.BaseMVA, injectionsMW)
 	pRed := n.ReduceVec(pPU)
 
-	thetaRed, err := mat.Solve(n.ReducedB(x), pRed)
-	if err != nil {
+	bf := grid.NewBFactorizer(n)
+	if err := bf.Reset(x); err != nil {
 		return nil, fmt.Errorf("dcflow: singular susceptance matrix: %w", err)
 	}
+	thetaRed := bf.SolveInto(make([]float64, n.N()-1), pRed)
 	theta := n.ExpandVec(thetaRed, 0)
 
 	flows := make([]float64, n.L())

@@ -10,6 +10,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
+
+	"gridmtd/internal/grid"
 )
 
 // Quality selects the evaluation budget.
@@ -32,14 +35,71 @@ func (q Quality) String() string {
 	return "full"
 }
 
+// Options parameterizes one experiment run.
+type Options struct {
+	// Quality selects the sampling budget.
+	Quality Quality
+	// Case optionally overrides the grid of a case-generic experiment with
+	// a registered case name (resolved through grid.CaseByName). Pinned
+	// experiments — the ones reproducing a specific paper artifact on a
+	// specific system — reject an override.
+	Case string
+}
+
 // Experiment is a runnable reproduction of one paper artifact.
 type Experiment struct {
 	// ID is the registry key (e.g. "table1", "fig6a").
 	ID string
 	// Title describes the paper artifact.
 	Title string
+	// CaseGeneric marks experiments whose protocol runs on any registered
+	// case via Options.Case.
+	CaseGeneric bool
 	// Run executes the experiment and writes its table(s) to w.
-	Run func(w io.Writer, q Quality) error
+	Run func(w io.Writer, opts Options) error
+}
+
+// RunOne executes the experiment with the options, enforcing the
+// case-override contract: a case override on a pinned experiment is an
+// error that names the case-generic alternatives.
+func RunOne(e Experiment, w io.Writer, opts Options) error {
+	if opts.Case != "" && !e.CaseGeneric {
+		return fmt.Errorf("experiments: %s is pinned to its paper case; case-generic experiments: %s",
+			e.ID, strings.Join(CaseGenericIDs(), ", "))
+	}
+	return e.Run(w, opts)
+}
+
+// CaseGenericIDs returns the IDs of the experiments that accept a case
+// override, sorted.
+func CaseGenericIDs() []string {
+	var ids []string
+	for id, e := range registry {
+		if e.CaseGeneric {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// resolveCase turns an Options.Case override into a network constructor,
+// or returns nil when no override is requested. The name is validated
+// eagerly so a typo fails before any computation starts.
+func resolveCase(name string) (func() *grid.Network, error) {
+	if name == "" {
+		return nil, nil
+	}
+	if _, err := grid.CaseByName(name); err != nil {
+		return nil, err
+	}
+	return func() *grid.Network {
+		n, err := grid.CaseByName(name)
+		if err != nil {
+			panic(err) // validated above; registry is immutable
+		}
+		return n
+	}, nil
 }
 
 // registry holds all experiments keyed by ID.

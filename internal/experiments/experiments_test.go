@@ -250,7 +250,7 @@ func TestFormatEmptySweeps(t *testing.T) {
 	if err := FormatFig6(&buf, "Fig. 6a", nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := FormatFig9(&buf, nil); err != nil {
+	if err := FormatFig9(&buf, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "no feasible sweep points") {

@@ -114,11 +114,14 @@ type LearningRow struct {
 	SubspaceError float64
 }
 
-// RunLearning reproduces the Section IV-A argument: the attacker's
-// subspace-estimation error vs number of eavesdropped measurements, and
-// the staleness induced by one max-γ MTD perturbation.
-func RunLearning(seed int64, sampleGrid []int) ([]LearningRow, float64, error) {
-	n := grid.CaseIEEE14()
+// RunLearning reproduces the Section IV-A argument on the given network:
+// the attacker's subspace-estimation error vs number of eavesdropped
+// measurements, and the staleness induced by one max-γ MTD perturbation.
+// A nil network runs the paper's IEEE 14-bus protocol.
+func RunLearning(n *grid.Network, seed int64, sampleGrid []int) ([]LearningRow, float64, error) {
+	if n == nil {
+		n = grid.CaseIEEE14()
+	}
 	x := n.Reactances()
 	rows := make([]LearningRow, 0, len(sampleGrid))
 	var last *sim.LearningOutcome
@@ -147,14 +150,19 @@ func RunLearning(seed int64, sampleGrid []int) ([]LearningRow, float64, error) {
 	return rows, stale, nil
 }
 
-// FormatLearning renders the learning curve.
-func FormatLearning(w io.Writer, rows []LearningRow, stale float64) error {
+// FormatLearning renders the learning curve. caseLabel overrides the
+// system named in the title ("" keeps the paper's IEEE 14-bus label).
+func FormatLearning(w io.Writer, caseLabel string, rows []LearningRow, stale float64) error {
+	label := "IEEE 14-bus"
+	if caseLabel != "" {
+		label = "case " + caseLabel
+	}
 	out := make([][]string, 0, len(rows)+1)
 	for _, r := range rows {
 		out = append(out, []string{fmt.Sprintf("%d", r.Samples), f4(r.SubspaceError)})
 	}
 	if err := renderTable(w,
-		"Section IV-A: attacker subspace-learning error vs eavesdropped samples (IEEE 14-bus)",
+		fmt.Sprintf("Section IV-A: attacker subspace-learning error vs eavesdropped samples (%s)", label),
 		[]string{"samples", "γ(estimate, true H)"}, out); err != nil {
 		return err
 	}
@@ -166,9 +174,9 @@ func init() {
 	register(Experiment{
 		ID:    "impact",
 		Title: "Extension (Sec. VII-D): stealthy-attack damage vs MTD premium (IEEE 14-bus)",
-		Run: func(w io.Writer, q Quality) error {
+		Run: func(w io.Writer, opts Options) error {
 			cfg := DefaultImpactConfig()
-			if q == Quick {
+			if opts.Quality == Quick {
 				cfg.Impact.Candidates = 50
 				cfg.OPFStarts = 3
 			}
@@ -180,18 +188,33 @@ func init() {
 		},
 	})
 	register(Experiment{
-		ID:    "learning",
-		Title: "Extension (Sec. IV-A): attacker subspace learning vs MTD staleness (IEEE 14-bus)",
-		Run: func(w io.Writer, q Quality) error {
+		ID:          "learning",
+		Title:       "Extension (Sec. IV-A): attacker subspace learning vs MTD staleness (IEEE 14-bus)",
+		CaseGeneric: true,
+		Run: func(w io.Writer, opts Options) error {
 			gridSamples := []int{15, 30, 60, 120, 250, 500, 1000}
-			if q == Quick {
+			if opts.Quality == Quick {
 				gridSamples = []int{15, 60, 250}
 			}
-			rows, stale, err := RunLearning(131, gridSamples)
+			var n *grid.Network
+			if net, err := resolveCase(opts.Case); err != nil {
+				return err
+			} else if net != nil {
+				n = net()
+				// The subspace method needs at least N-1 samples; rebuild
+				// the grid starting just above the case's state dimension
+				// and doubling, as the paper's 14-bus grid does.
+				steps := len(gridSamples)
+				gridSamples = gridSamples[:0]
+				for k, i := (n.N()-1)+(n.N()-1)/5+1, 0; i < steps; k, i = 2*k, i+1 {
+					gridSamples = append(gridSamples, k)
+				}
+			}
+			rows, stale, err := RunLearning(n, 131, gridSamples)
 			if err != nil {
 				return err
 			}
-			return FormatLearning(w, rows, stale)
+			return FormatLearning(w, opts.Case, rows, stale)
 		},
 	})
 }

@@ -12,8 +12,11 @@ import (
 
 // DailyConfig controls the 24-hour simulation behind Figs. 10 and 11.
 type DailyConfig struct {
+	// Network builds the test case; nil runs the paper's IEEE 14-bus
+	// protocol.
+	Network func() *grid.Network
 	// PeakLoadMW scales the NY-shaped profile (paper: ~220 MW peak on the
-	// 14-bus system).
+	// 14-bus system); 0 picks 85% of the case's base load.
 	PeakLoadMW float64
 	// Hours restricts the simulation to a subset of profile indices (nil =
 	// all 24).
@@ -48,7 +51,14 @@ func DefaultDailyConfig() DailyConfig {
 // RunDaily executes the day-long loop and returns the hourly records that
 // Figs. 10 and 11 plot.
 func RunDaily(cfg DailyConfig) ([]sim.HourResult, error) {
-	n := grid.CaseIEEE14()
+	build := cfg.Network
+	if build == nil {
+		build = grid.CaseIEEE14
+	}
+	n := build()
+	if cfg.PeakLoadMW <= 0 {
+		cfg.PeakLoadMW = 0.85 * n.TotalLoadMW()
+	}
 	factors, err := loadprofile.ScaleToPeak(loadprofile.NYWinterWeekday(), n.TotalLoadMW(), cfg.PeakLoadMW)
 	if err != nil {
 		return nil, err
@@ -132,12 +142,19 @@ func quickDaily(cfg DailyConfig) DailyConfig {
 
 func init() {
 	register(Experiment{
-		ID:    "fig10",
-		Title: "Fig. 10: MTD operational cost over a day (IEEE 14-bus, NY-shaped trace)",
-		Run: func(w io.Writer, q Quality) error {
+		ID:          "fig10",
+		Title:       "Fig. 10: MTD operational cost over a day (IEEE 14-bus, NY-shaped trace)",
+		CaseGeneric: true,
+		Run: func(w io.Writer, opts Options) error {
 			cfg := DefaultDailyConfig()
-			if q == Quick {
+			if opts.Quality == Quick {
 				cfg = quickDaily(cfg)
+			}
+			if net, err := resolveCase(opts.Case); err != nil {
+				return err
+			} else if net != nil {
+				cfg.Network = net
+				cfg.PeakLoadMW = 0
 			}
 			rows, err := RunDaily(cfg)
 			if err != nil {
@@ -147,12 +164,19 @@ func init() {
 		},
 	})
 	register(Experiment{
-		ID:    "fig11",
-		Title: "Fig. 11: principal angles over a day (IEEE 14-bus, NY-shaped trace)",
-		Run: func(w io.Writer, q Quality) error {
+		ID:          "fig11",
+		Title:       "Fig. 11: principal angles over a day (IEEE 14-bus, NY-shaped trace)",
+		CaseGeneric: true,
+		Run: func(w io.Writer, opts Options) error {
 			cfg := DefaultDailyConfig()
-			if q == Quick {
+			if opts.Quality == Quick {
 				cfg = quickDaily(cfg)
+			}
+			if net, err := resolveCase(opts.Case); err != nil {
+				return err
+			} else if net != nil {
+				cfg.Network = net
+				cfg.PeakLoadMW = 0
 			}
 			rows, err := RunDaily(cfg)
 			if err != nil {

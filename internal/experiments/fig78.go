@@ -182,9 +182,9 @@ func init() {
 	register(Experiment{
 		ID:    "fig7",
 		Title: "Fig. 7: η'(δ) under five random MTD perturbations (IEEE 14-bus)",
-		Run: func(w io.Writer, q Quality) error {
+		Run: func(w io.Writer, opts Options) error {
 			cfg := DefaultFig7Config()
-			if q == Quick {
+			if opts.Quality == Quick {
 				cfg.Effectiveness.NumAttacks = 100
 				cfg.OPFStarts = 3
 				cfg.DeltaGrid = gammaGrid(0.1, 0.9, 0.2)
@@ -199,9 +199,9 @@ func init() {
 	register(Experiment{
 		ID:    "fig8",
 		Title: "Fig. 8: fraction of random keyspace achieving η'(δ) ≥ 0.9 (IEEE 14-bus)",
-		Run: func(w io.Writer, q Quality) error {
+		Run: func(w io.Writer, opts Options) error {
 			cfg := DefaultFig8Config()
-			if q == Quick {
+			if opts.Quality == Quick {
 				cfg.Keys = 50
 				cfg.Fig7.Effectiveness.NumAttacks = 100
 				cfg.Fig7.OPFStarts = 3

@@ -14,10 +14,14 @@ import (
 // Fig9Config controls the cost-benefit tradeoff experiment at a single
 // hour of the dynamic-load day.
 type Fig9Config struct {
+	// Network builds the test case; nil runs the paper's IEEE 14-bus
+	// protocol.
+	Network func() *grid.Network
 	// Hour indexes the load profile (paper: 6 PM, index 17).
 	Hour int
 	// PeakLoadMW scales the profile (paper's trace swings the 14-bus
-	// system up to ~220 MW).
+	// system up to ~220 MW); 0 picks 85% of the case's base load, the same
+	// peak-to-base ratio the paper uses.
 	PeakLoadMW float64
 	// GammaGrid are the sweep's γ_th values.
 	GammaGrid []float64
@@ -55,7 +59,14 @@ type Fig9Row struct {
 // H_t is the 5 PM no-MTD configuration; cost is measured against the 6 PM
 // no-MTD OPF (problem (1)).
 func RunFig9(cfg Fig9Config) ([]Fig9Row, error) {
-	base := grid.CaseIEEE14()
+	build := cfg.Network
+	if build == nil {
+		build = grid.CaseIEEE14
+	}
+	base := build()
+	if cfg.PeakLoadMW <= 0 {
+		cfg.PeakLoadMW = 0.85 * base.TotalLoadMW()
+	}
 	factors, err := loadprofile.ScaleToPeak(loadprofile.NYWinterWeekday(), base.TotalLoadMW(), cfg.PeakLoadMW)
 	if err != nil {
 		return nil, err
@@ -133,6 +144,11 @@ func RunFig9(cfg Fig9Config) ([]Fig9Row, error) {
 		sel, err := core.MaxGamma(net, prev.Reactances, core.MaxGammaConfig{
 			Starts: cfg.SelectStarts, Seed: cfg.Seed, BaselineCost: noMTD.CostPerHour,
 		})
+		if errors.Is(err, opf.ErrInfeasible) {
+			// The max-γ corner cannot be operated on this case's ratings;
+			// the tradeoff ends at the last reachable threshold.
+			return rows, nil
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -144,7 +160,9 @@ func RunFig9(cfg Fig9Config) ([]Fig9Row, error) {
 }
 
 // FormatFig9 renders the tradeoff series (cost vs effectiveness).
-func FormatFig9(w io.Writer, rows []Fig9Row) error {
+// caseLabel overrides the system named in the title ("" keeps the paper's
+// IEEE 14-bus label).
+func FormatFig9(w io.Writer, caseLabel string, rows []Fig9Row) error {
 	if len(rows) == 0 {
 		_, err := fmt.Fprintln(w, "Fig. 9: no feasible sweep points")
 		return err
@@ -167,27 +185,38 @@ func FormatFig9(w io.Writer, rows []Fig9Row) error {
 		cells = append(cells, fmt.Sprintf("%.2f%%", 100*r.CostIncrease))
 		out = append(out, cells)
 	}
+	label := "IEEE 14-bus"
+	if caseLabel != "" {
+		label = "case " + caseLabel
+	}
 	return renderTable(w,
-		"Fig. 9: tradeoff between MTD effectiveness and operational cost, IEEE 14-bus, 6 PM load",
+		fmt.Sprintf("Fig. 9: tradeoff between MTD effectiveness and operational cost, %s, 6 PM load", label),
 		headers, out)
 }
 
 func init() {
 	register(Experiment{
-		ID:    "fig9",
-		Title: "Fig. 9: effectiveness vs operational cost tradeoff at 6 PM (IEEE 14-bus)",
-		Run: func(w io.Writer, q Quality) error {
+		ID:          "fig9",
+		Title:       "Fig. 9: effectiveness vs operational cost tradeoff at 6 PM (IEEE 14-bus)",
+		CaseGeneric: true,
+		Run: func(w io.Writer, opts Options) error {
 			cfg := DefaultFig9Config()
-			if q == Quick {
+			if opts.Quality == Quick {
 				cfg.GammaGrid = []float64{0.1, 0.25, 0.4}
 				cfg.Effectiveness.NumAttacks = 100
 				cfg.SelectStarts = 2
+			}
+			if net, err := resolveCase(opts.Case); err != nil {
+				return err
+			} else if net != nil {
+				cfg.Network = net
+				cfg.PeakLoadMW = 0 // 85% of the case's base load
 			}
 			rows, err := RunFig9(cfg)
 			if err != nil {
 				return err
 			}
-			return FormatFig9(w, rows)
+			return FormatFig9(w, opts.Case, rows)
 		},
 	})
 }

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenQuickOutputs pins the byte-exact quick-mode output of every
+// registered experiment at the paper's fixed seeds. The golden file was
+// captured from `mtdexp -exp all -quick` before the case-registry/sparse
+// refactor, so this test is the contract that the 4/14/30-bus paper
+// artifacts never drift: any change to a float operation on the dense
+// path, a seed, a format string, or the experiment registry shows up as a
+// diff here. Regenerate (only when an output change is intended and
+// understood) with:
+//
+//	go run ./cmd/mtdexp -exp all -quick | grep -v 'completed in' > internal/experiments/testdata/golden_quick_all.txt
+func TestGoldenQuickOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden run executes every experiment")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_quick_all.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, id := range IDs() {
+		e, _ := ByID(id)
+		// Reproduce mtdexp's framing minus the timing line (which the
+		// capture filtered out).
+		fmt.Fprintf(&buf, "=== %s: %s (quality: %s)\n", e.ID, e.Title, Quick)
+		if err := e.Run(&buf, Options{Quality: Quick}); err != nil {
+			t.Fatalf("experiment %s: %v", id, err)
+		}
+		fmt.Fprintf(&buf, "\n")
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		gotPath := filepath.Join(t.TempDir(), "got.txt")
+		os.WriteFile(gotPath, buf.Bytes(), 0o644)
+		t.Fatalf("quick-mode experiment output drifted from the golden capture.\n"+
+			"got written to %s\n"+
+			"Diff against internal/experiments/testdata/golden_quick_all.txt; regenerate only if the change is intended.", gotPath)
+	}
+}

@@ -195,7 +195,7 @@ func init() {
 	register(Experiment{
 		ID:    "table1",
 		Title: "Table I: BDD residuals of prior attacks under four single-line MTDs (4-bus)",
-		Run: func(w io.Writer, _ Quality) error {
+		Run: func(w io.Writer, _ Options) error {
 			rows, err := RunTable1()
 			if err != nil {
 				return err
@@ -206,7 +206,7 @@ func init() {
 	register(Experiment{
 		ID:    "table2",
 		Title: "Table II: pre-perturbation flows, dispatch and OPF cost (4-bus)",
-		Run: func(w io.Writer, _ Quality) error {
+		Run: func(w io.Writer, _ Options) error {
 			r, err := RunTable2()
 			if err != nil {
 				return err
@@ -217,7 +217,7 @@ func init() {
 	register(Experiment{
 		ID:    "table3",
 		Title: "Table III: post-perturbation dispatch and OPF cost (4-bus)",
-		Run: func(w io.Writer, _ Quality) error {
+		Run: func(w io.Writer, _ Options) error {
 			rows, err := RunTable3()
 			if err != nil {
 				return err
@@ -228,7 +228,7 @@ func init() {
 	register(Experiment{
 		ID:    "table4",
 		Title: "Table IV: generator parameters (IEEE 14-bus)",
-		Run: func(w io.Writer, _ Quality) error {
+		Run: func(w io.Writer, _ Options) error {
 			return FormatTable4(w, RunTable4())
 		},
 	})

@@ -1,0 +1,55 @@
+package cases
+
+// ieee14 is the IEEE 14-bus system configured exactly as in the paper's
+// evaluation (Section VII-A):
+//
+//   - topology, branch reactances and bus loads from the MATPOWER case14
+//     file;
+//   - generators at buses 1, 2, 3, 6, 8 with the paper's Table-IV limits
+//     (300, 50, 30, 50, 20) MW and linear costs (20, 30, 40, 50, 35) $/MWh;
+//   - D-FACTS devices on branches L_D = {1, 5, 9, 11, 17, 19} with a ±50%
+//     reactance range (ηmax = 0.5);
+//   - branch flow limits of 160 MW on branch 1 and 60 MW elsewhere.
+//
+// Bus 1 is the angle reference.
+func init() {
+	Register(&Spec{
+		Name:     "ieee14",
+		Aliases:  []string{"14bus", "case14"},
+		Title:    "IEEE 14-bus system with the paper's Table-IV economics and D-FACTS set",
+		BaseMVA:  100,
+		SlackBus: 1,
+		LoadsMW:  []float64{0, 21.7, 94.2, 47.8, 7.6, 11.2, 0, 0, 29.5, 9.0, 3.5, 6.1, 13.5, 14.9},
+		Branches: []Branch{
+			{From: 1, To: 2, X: 0.05917, LimitMW: 160},  // 1
+			{From: 1, To: 5, X: 0.22304, LimitMW: 60},   // 2
+			{From: 2, To: 3, X: 0.19797, LimitMW: 60},   // 3
+			{From: 2, To: 4, X: 0.17632, LimitMW: 60},   // 4
+			{From: 2, To: 5, X: 0.17388, LimitMW: 60},   // 5
+			{From: 3, To: 4, X: 0.17103, LimitMW: 60},   // 6
+			{From: 4, To: 5, X: 0.04211, LimitMW: 60},   // 7
+			{From: 4, To: 7, X: 0.20912, LimitMW: 60},   // 8
+			{From: 4, To: 9, X: 0.55618, LimitMW: 60},   // 9
+			{From: 5, To: 6, X: 0.25202, LimitMW: 60},   // 10
+			{From: 6, To: 11, X: 0.19890, LimitMW: 60},  // 11
+			{From: 6, To: 12, X: 0.25581, LimitMW: 60},  // 12
+			{From: 6, To: 13, X: 0.13027, LimitMW: 60},  // 13
+			{From: 7, To: 8, X: 0.17615, LimitMW: 60},   // 14
+			{From: 7, To: 9, X: 0.11001, LimitMW: 60},   // 15
+			{From: 9, To: 10, X: 0.08450, LimitMW: 60},  // 16
+			{From: 9, To: 14, X: 0.27038, LimitMW: 60},  // 17
+			{From: 10, To: 11, X: 0.19207, LimitMW: 60}, // 18
+			{From: 12, To: 13, X: 0.19988, LimitMW: 60}, // 19
+			{From: 13, To: 14, X: 0.34802, LimitMW: 60}, // 20
+		},
+		Gens: []Gen{
+			{Bus: 1, CostPerMWh: 20, MinMW: 0, MaxMW: 300},
+			{Bus: 2, CostPerMWh: 30, MinMW: 0, MaxMW: 50},
+			{Bus: 3, CostPerMWh: 40, MinMW: 0, MaxMW: 30},
+			{Bus: 6, CostPerMWh: 50, MinMW: 0, MaxMW: 50},
+			{Bus: 8, CostPerMWh: 35, MinMW: 0, MaxMW: 20},
+		},
+		DFACTS: []int{1, 5, 9, 11, 17, 19},
+		EtaMax: 0.5,
+	})
+}

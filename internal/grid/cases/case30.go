@@ -1,0 +1,80 @@
+package cases
+
+// ieee30 is the IEEE 30-bus system used for the paper's scalability
+// experiment (Fig. 6b), with topology, reactances, loads, generator
+// locations/capacities and branch ratings from the MATPOWER case30 file.
+// Two reproduction choices documented in DESIGN.md:
+//
+//   - MATPOWER's quadratic generator costs are linearized at half capacity
+//     (only the pre-perturbation OPF state depends on them, and Fig. 6b
+//     measures detection effectiveness, not cost);
+//   - the paper does not list the 30-bus D-FACTS set; ten branches spread
+//     across the network are used here, with the same ηmax = 0.5 range as
+//     the 14-bus case.
+func init() {
+	Register(&Spec{
+		Name:     "ieee30",
+		Aliases:  []string{"30bus", "case30"},
+		Title:    "IEEE 30-bus system of the paper's scalability experiment",
+		BaseMVA:  100,
+		SlackBus: 1,
+		LoadsMW: []float64{
+			0, 21.7, 2.4, 7.6, 94.2, 0, 22.8, 30.0, 0, 5.8,
+			0, 11.2, 0, 6.2, 8.2, 3.5, 9.0, 3.2, 9.5, 2.2,
+			17.5, 0, 3.2, 8.7, 0, 3.5, 0, 0, 2.4, 10.6,
+		},
+		Branches: []Branch{
+			{From: 1, To: 2, X: 0.06, LimitMW: 130},  // 1
+			{From: 1, To: 3, X: 0.19, LimitMW: 130},  // 2
+			{From: 2, To: 4, X: 0.17, LimitMW: 65},   // 3
+			{From: 3, To: 4, X: 0.04, LimitMW: 130},  // 4
+			{From: 2, To: 5, X: 0.20, LimitMW: 130},  // 5
+			{From: 2, To: 6, X: 0.18, LimitMW: 65},   // 6
+			{From: 4, To: 6, X: 0.04, LimitMW: 90},   // 7
+			{From: 5, To: 7, X: 0.12, LimitMW: 70},   // 8
+			{From: 6, To: 7, X: 0.08, LimitMW: 130},  // 9
+			{From: 6, To: 8, X: 0.04, LimitMW: 32},   // 10
+			{From: 6, To: 9, X: 0.21, LimitMW: 65},   // 11
+			{From: 6, To: 10, X: 0.56, LimitMW: 32},  // 12
+			{From: 9, To: 11, X: 0.21, LimitMW: 65},  // 13
+			{From: 9, To: 10, X: 0.11, LimitMW: 65},  // 14
+			{From: 4, To: 12, X: 0.26, LimitMW: 65},  // 15
+			{From: 12, To: 13, X: 0.14, LimitMW: 65}, // 16
+			{From: 12, To: 14, X: 0.26, LimitMW: 32}, // 17
+			{From: 12, To: 15, X: 0.13, LimitMW: 32}, // 18
+			{From: 12, To: 16, X: 0.20, LimitMW: 32}, // 19
+			{From: 14, To: 15, X: 0.20, LimitMW: 16}, // 20
+			{From: 16, To: 17, X: 0.19, LimitMW: 16}, // 21
+			{From: 15, To: 18, X: 0.22, LimitMW: 16}, // 22
+			{From: 18, To: 19, X: 0.13, LimitMW: 16}, // 23
+			{From: 19, To: 20, X: 0.07, LimitMW: 32}, // 24
+			{From: 10, To: 20, X: 0.21, LimitMW: 32}, // 25
+			{From: 10, To: 17, X: 0.08, LimitMW: 32}, // 26
+			{From: 10, To: 21, X: 0.07, LimitMW: 32}, // 27
+			{From: 10, To: 22, X: 0.15, LimitMW: 32}, // 28
+			{From: 21, To: 22, X: 0.02, LimitMW: 32}, // 29
+			{From: 15, To: 23, X: 0.20, LimitMW: 16}, // 30
+			{From: 22, To: 24, X: 0.18, LimitMW: 16}, // 31
+			{From: 23, To: 24, X: 0.27, LimitMW: 16}, // 32
+			{From: 24, To: 25, X: 0.33, LimitMW: 16}, // 33
+			{From: 25, To: 26, X: 0.38, LimitMW: 16}, // 34
+			{From: 25, To: 27, X: 0.21, LimitMW: 16}, // 35
+			{From: 28, To: 27, X: 0.40, LimitMW: 65}, // 36
+			{From: 27, To: 29, X: 0.42, LimitMW: 16}, // 37
+			{From: 27, To: 30, X: 0.60, LimitMW: 16}, // 38
+			{From: 29, To: 30, X: 0.45, LimitMW: 16}, // 39
+			{From: 8, To: 28, X: 0.20, LimitMW: 32},  // 40
+			{From: 6, To: 28, X: 0.06, LimitMW: 32},  // 41
+		},
+		Gens: []Gen{
+			{Bus: 1, CostPerMWh: 3.6, MinMW: 0, MaxMW: 80},
+			{Bus: 2, CostPerMWh: 3.15, MinMW: 0, MaxMW: 80},
+			{Bus: 22, CostPerMWh: 4.13, MinMW: 0, MaxMW: 50},
+			{Bus: 27, CostPerMWh: 3.71, MinMW: 0, MaxMW: 55},
+			{Bus: 23, CostPerMWh: 3.75, MinMW: 0, MaxMW: 30},
+			{Bus: 13, CostPerMWh: 4.0, MinMW: 0, MaxMW: 40},
+		},
+		DFACTS: []int{1, 5, 9, 14, 18, 21, 25, 29, 33, 39},
+		EtaMax: 0.5,
+	})
+}

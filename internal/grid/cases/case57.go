@@ -1,0 +1,145 @@
+package cases
+
+// ieee57 is the IEEE 57-bus test system (MATPOWER case57 lineage), the
+// first case beyond the paper's own evaluation sizes. Reproduction choices,
+// mirroring the 30-bus conventions:
+//
+//   - branch reactances and bus loads follow the standard case data; the
+//     two parallel-circuit pairs of the original (4-18 and 24-25) are
+//     merged into single equivalent branches (x_eq = x1·x2/(x1+x2)) because
+//     the Network model — like the paper — treats a branch as a unique
+//     bus pair;
+//   - the original's quadratic generator costs are linearized at half
+//     capacity (c = c1 + c2·Pmax), as for the 30-bus case;
+//   - the case publishes no line ratings (rateA = 0); the limits here are
+//     calibrated from the rating-free base-case OPF flows (1.1×|f|,
+//     floored at 12 MW and rounded up to 5 MW) so the cost-benefit
+//     machinery sees a realistically congested system — see
+//     cmd/calibcase, which regenerates them;
+//   - the D-FACTS set is 12 branches spread across the network with the
+//     paper's ηmax = 0.5, chosen as for the 30-bus case (the paper
+//     specifies no placement beyond 14 buses).
+//
+// Bus 1 is the angle reference.
+func init() {
+	Register(&Spec{
+		Name:     "ieee57",
+		Aliases:  []string{"57bus", "case57"},
+		Title:    "IEEE 57-bus system (parallel circuits merged, calibrated ratings)",
+		BaseMVA:  100,
+		SlackBus: 1,
+		LoadsMW: []float64{
+			55, 3, 41, 0, 13, 75, 0, 150, 121, 5,
+			0, 377, 18, 10.5, 22, 43, 42, 27.2, 3.3, 2.3,
+			0, 0, 6.3, 0, 6.3, 0, 9.3, 4.6, 17, 3.6,
+			5.8, 1.6, 3.8, 0, 6, 0, 0, 14, 0, 0,
+			6.3, 7.1, 2, 12, 0, 0, 29.7, 0, 18, 21,
+			18, 4.9, 20, 4.1, 6.8, 7.6, 6.7,
+		},
+		Branches: []Branch{
+			{From: 1, To: 2, X: 0.028, LimitMW: caseLimit57[0]},      // 1
+			{From: 2, To: 3, X: 0.085, LimitMW: caseLimit57[1]},      // 2
+			{From: 3, To: 4, X: 0.0366, LimitMW: caseLimit57[2]},     // 3
+			{From: 4, To: 5, X: 0.132, LimitMW: caseLimit57[3]},      // 4
+			{From: 4, To: 6, X: 0.148, LimitMW: caseLimit57[4]},      // 5
+			{From: 6, To: 7, X: 0.102, LimitMW: caseLimit57[5]},      // 6
+			{From: 6, To: 8, X: 0.173, LimitMW: caseLimit57[6]},      // 7
+			{From: 8, To: 9, X: 0.0505, LimitMW: caseLimit57[7]},     // 8
+			{From: 9, To: 10, X: 0.1679, LimitMW: caseLimit57[8]},    // 9
+			{From: 9, To: 11, X: 0.0848, LimitMW: caseLimit57[9]},    // 10
+			{From: 9, To: 12, X: 0.295, LimitMW: caseLimit57[10]},    // 11
+			{From: 9, To: 13, X: 0.158, LimitMW: caseLimit57[11]},    // 12
+			{From: 13, To: 14, X: 0.0434, LimitMW: caseLimit57[12]},  // 13
+			{From: 13, To: 15, X: 0.0869, LimitMW: caseLimit57[13]},  // 14
+			{From: 1, To: 15, X: 0.091, LimitMW: caseLimit57[14]},    // 15
+			{From: 1, To: 16, X: 0.206, LimitMW: caseLimit57[15]},    // 16
+			{From: 1, To: 17, X: 0.108, LimitMW: caseLimit57[16]},    // 17
+			{From: 3, To: 15, X: 0.053, LimitMW: caseLimit57[17]},    // 18
+			{From: 4, To: 18, X: 0.24228, LimitMW: caseLimit57[18]},  // 19 (merged parallel pair)
+			{From: 5, To: 6, X: 0.0641, LimitMW: caseLimit57[19]},    // 20
+			{From: 7, To: 8, X: 0.0712, LimitMW: caseLimit57[20]},    // 21
+			{From: 10, To: 12, X: 0.1262, LimitMW: caseLimit57[21]},  // 22
+			{From: 11, To: 13, X: 0.0732, LimitMW: caseLimit57[22]},  // 23
+			{From: 12, To: 13, X: 0.058, LimitMW: caseLimit57[23]},   // 24
+			{From: 12, To: 16, X: 0.0813, LimitMW: caseLimit57[24]},  // 25
+			{From: 12, To: 17, X: 0.179, LimitMW: caseLimit57[25]},   // 26
+			{From: 14, To: 15, X: 0.0547, LimitMW: caseLimit57[26]},  // 27
+			{From: 18, To: 19, X: 0.685, LimitMW: caseLimit57[27]},   // 28
+			{From: 19, To: 20, X: 0.434, LimitMW: caseLimit57[28]},   // 29
+			{From: 21, To: 20, X: 0.7767, LimitMW: caseLimit57[29]},  // 30
+			{From: 21, To: 22, X: 0.117, LimitMW: caseLimit57[30]},   // 31
+			{From: 22, To: 23, X: 0.0152, LimitMW: caseLimit57[31]},  // 32
+			{From: 23, To: 24, X: 0.256, LimitMW: caseLimit57[32]},   // 33
+			{From: 24, To: 25, X: 0.60276, LimitMW: caseLimit57[33]}, // 34 (merged parallel pair)
+			{From: 24, To: 26, X: 0.0473, LimitMW: caseLimit57[34]},  // 35
+			{From: 26, To: 27, X: 0.254, LimitMW: caseLimit57[35]},   // 36
+			{From: 27, To: 28, X: 0.0954, LimitMW: caseLimit57[36]},  // 37
+			{From: 28, To: 29, X: 0.0587, LimitMW: caseLimit57[37]},  // 38
+			{From: 7, To: 29, X: 0.0648, LimitMW: caseLimit57[38]},   // 39
+			{From: 25, To: 30, X: 0.202, LimitMW: caseLimit57[39]},   // 40
+			{From: 30, To: 31, X: 0.497, LimitMW: caseLimit57[40]},   // 41
+			{From: 31, To: 32, X: 0.755, LimitMW: caseLimit57[41]},   // 42
+			{From: 32, To: 33, X: 0.036, LimitMW: caseLimit57[42]},   // 43
+			{From: 34, To: 32, X: 0.953, LimitMW: caseLimit57[43]},   // 44
+			{From: 34, To: 35, X: 0.078, LimitMW: caseLimit57[44]},   // 45
+			{From: 35, To: 36, X: 0.0537, LimitMW: caseLimit57[45]},  // 46
+			{From: 36, To: 37, X: 0.0366, LimitMW: caseLimit57[46]},  // 47
+			{From: 37, To: 38, X: 0.1009, LimitMW: caseLimit57[47]},  // 48
+			{From: 37, To: 39, X: 0.0379, LimitMW: caseLimit57[48]},  // 49
+			{From: 36, To: 40, X: 0.0466, LimitMW: caseLimit57[49]},  // 50
+			{From: 22, To: 38, X: 0.0295, LimitMW: caseLimit57[50]},  // 51
+			{From: 11, To: 41, X: 0.749, LimitMW: caseLimit57[51]},   // 52
+			{From: 41, To: 42, X: 0.352, LimitMW: caseLimit57[52]},   // 53
+			{From: 41, To: 43, X: 0.412, LimitMW: caseLimit57[53]},   // 54
+			{From: 38, To: 44, X: 0.0585, LimitMW: caseLimit57[54]},  // 55
+			{From: 15, To: 45, X: 0.1042, LimitMW: caseLimit57[55]},  // 56
+			{From: 14, To: 46, X: 0.0735, LimitMW: caseLimit57[56]},  // 57
+			{From: 46, To: 47, X: 0.068, LimitMW: caseLimit57[57]},   // 58
+			{From: 47, To: 48, X: 0.0233, LimitMW: caseLimit57[58]},  // 59
+			{From: 48, To: 49, X: 0.129, LimitMW: caseLimit57[59]},   // 60
+			{From: 49, To: 50, X: 0.128, LimitMW: caseLimit57[60]},   // 61
+			{From: 50, To: 51, X: 0.22, LimitMW: caseLimit57[61]},    // 62
+			{From: 10, To: 51, X: 0.0712, LimitMW: caseLimit57[62]},  // 63
+			{From: 13, To: 49, X: 0.191, LimitMW: caseLimit57[63]},   // 64
+			{From: 29, To: 52, X: 0.187, LimitMW: caseLimit57[64]},   // 65
+			{From: 52, To: 53, X: 0.0984, LimitMW: caseLimit57[65]},  // 66
+			{From: 53, To: 54, X: 0.232, LimitMW: caseLimit57[66]},   // 67
+			{From: 54, To: 55, X: 0.2265, LimitMW: caseLimit57[67]},  // 68
+			{From: 11, To: 43, X: 0.153, LimitMW: caseLimit57[68]},   // 69
+			{From: 44, To: 45, X: 0.1242, LimitMW: caseLimit57[69]},  // 70
+			{From: 40, To: 56, X: 1.195, LimitMW: caseLimit57[70]},   // 71
+			{From: 56, To: 41, X: 0.549, LimitMW: caseLimit57[71]},   // 72
+			{From: 56, To: 42, X: 0.354, LimitMW: caseLimit57[72]},   // 73
+			{From: 39, To: 57, X: 1.355, LimitMW: caseLimit57[73]},   // 74
+			{From: 57, To: 56, X: 0.26, LimitMW: caseLimit57[74]},    // 75
+			{From: 38, To: 49, X: 0.177, LimitMW: caseLimit57[75]},   // 76
+			{From: 38, To: 48, X: 0.0482, LimitMW: caseLimit57[76]},  // 77
+			{From: 9, To: 55, X: 0.1205, LimitMW: caseLimit57[77]},   // 78
+		},
+		Gens: []Gen{
+			{Bus: 1, CostPerMWh: 64.68, MinMW: 0, MaxMW: 575.88},
+			{Bus: 2, CostPerMWh: 41, MinMW: 0, MaxMW: 100},
+			{Bus: 3, CostPerMWh: 55, MinMW: 0, MaxMW: 140},
+			{Bus: 6, CostPerMWh: 41, MinMW: 0, MaxMW: 100},
+			{Bus: 8, CostPerMWh: 32.22, MinMW: 0, MaxMW: 550},
+			{Bus: 9, CostPerMWh: 41, MinMW: 0, MaxMW: 100},
+			{Bus: 12, CostPerMWh: 33.23, MinMW: 0, MaxMW: 410},
+		},
+		DFACTS: []int{1, 8, 15, 22, 27, 32, 37, 43, 48, 55, 61, 66},
+		EtaMax: 0.5,
+	})
+}
+
+// caseLimit57 holds the calibrated branch ratings (MW) in branch order:
+// headroom 1.10 over the rating-free OPF flows at nominal reactances,
+// floor 12 MW, rounded up to 5 MW. Generated by cmd/calibcase.
+var caseLimit57 = [78]float64{
+	90, 15, 75, 45, 65, 30, 65, 265, 55, 80,
+	35, 65, 45, 20, 15, 15, 25, 35, 35, 60,
+	115, 15, 50, 15, 45, 25, 15, 15, 15, 15,
+	15, 15, 15, 20, 30, 30, 40, 45, 85, 15,
+	15, 15, 15, 15, 15, 15, 15, 20, 15, 15,
+	15, 15, 15, 20, 15, 25, 40, 40, 15, 15,
+	15, 25, 45, 35, 25, 20, 15, 15, 20, 25,
+	15, 15, 15, 15, 15, 15, 15, 20,
+}

@@ -1,0 +1,133 @@
+// Package cases holds the embedded test-case descriptions of the MTD
+// reproduction as pure data, in the spirit of MATPOWER case files: bus
+// loads, branch reactances and ratings, generators with linear costs, and
+// the D-FACTS deployment the paper's defender controls. The package is
+// deliberately free of behavior — it depends on nothing and nothing
+// numerical depends on it — so adding a case is a data-entry exercise and
+// the grid package owns the one conversion from a Spec to a live Network.
+//
+// The registry maps case names (and their aliases) to Specs; grid.Cases and
+// grid.CaseByName are the consumer-facing views.
+package cases
+
+import (
+	"sort"
+	"strings"
+)
+
+// Branch is one transmission line of a case description.
+type Branch struct {
+	// From and To are 1-based bus indices.
+	From, To int
+	// X is the branch reactance in per-unit.
+	X float64
+	// LimitMW is the thermal rating in MW; 0 means unlimited.
+	LimitMW float64
+}
+
+// Gen is one dispatchable generator of a case description.
+type Gen struct {
+	// Bus is the 1-based bus the generator connects to.
+	Bus int
+	// CostPerMWh is the linear cost coefficient in $/MWh.
+	CostPerMWh float64
+	// MinMW and MaxMW bound the dispatch.
+	MinMW, MaxMW float64
+}
+
+// Spec is a complete case description.
+type Spec struct {
+	// Name is the registry key (e.g. "ieee118").
+	Name string
+	// Aliases are alternative lookup names ("118bus", "case118").
+	Aliases []string
+	// Title is a one-line description for case listings.
+	Title string
+	// BaseMVA is the per-unit power base.
+	BaseMVA float64
+	// SlackBus is the 1-based angle-reference bus.
+	SlackBus int
+	// LoadsMW is the real-power demand per bus; its length is the bus count.
+	LoadsMW []float64
+	// Branches lists the transmission lines.
+	Branches []Branch
+	// Gens lists the generators.
+	Gens []Gen
+	// DFACTS lists the 1-based branch numbers carrying D-FACTS devices.
+	DFACTS []int
+	// EtaMax is the relative reactance range of the D-FACTS devices: each
+	// device can set its branch reactance within [1−EtaMax, 1+EtaMax]·x.
+	EtaMax float64
+}
+
+// N returns the number of buses.
+func (s *Spec) N() int { return len(s.LoadsMW) }
+
+// L returns the number of branches.
+func (s *Spec) L() int { return len(s.Branches) }
+
+// HasDFACTS reports whether the 1-based branch number carries a D-FACTS
+// device.
+func (s *Spec) HasDFACTS(branch int) bool {
+	for _, b := range s.DFACTS {
+		if b == branch {
+			return true
+		}
+	}
+	return false
+}
+
+var (
+	registry = map[string]*Spec{}
+	byAlias  = map[string]*Spec{}
+)
+
+// Register adds a spec to the registry. It panics on duplicate names or
+// aliases (the registry is populated from init functions only).
+func Register(s *Spec) {
+	key := strings.ToLower(s.Name)
+	if _, dup := byAlias[key]; dup {
+		panic("cases: duplicate case name " + s.Name)
+	}
+	registry[key] = s
+	byAlias[key] = s
+	for _, a := range s.Aliases {
+		ak := strings.ToLower(a)
+		if _, dup := byAlias[ak]; dup {
+			panic("cases: duplicate case alias " + a)
+		}
+		byAlias[ak] = s
+	}
+}
+
+// ByName looks up a spec by name or alias (case-insensitive).
+func ByName(name string) (*Spec, bool) {
+	s, ok := byAlias[strings.ToLower(name)]
+	return s, ok
+}
+
+// All returns the registered specs ordered by bus count, then name — the
+// order case listings print in.
+func All() []*Spec {
+	out := make([]*Spec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].N() != out[j].N() {
+			return out[i].N() < out[j].N()
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Names returns the primary names of all registered cases, in All order.
+func Names() []string {
+	specs := All()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}

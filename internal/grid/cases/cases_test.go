@@ -1,0 +1,108 @@
+package cases
+
+import "testing"
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"case4gs", "ieee14", "ieee30", "ieee57", "ieee118"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q (size order)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLookupAliasesAndCase(t *testing.T) {
+	for _, name := range []string{"IEEE118", "118bus", "Case118", "ieee118"} {
+		s, ok := ByName(name)
+		if !ok || s.Name != "ieee118" {
+			t.Errorf("ByName(%q) = %v, %v", name, s, ok)
+		}
+	}
+	if _, ok := ByName("ieee9999"); ok {
+		t.Error("unknown case resolved")
+	}
+}
+
+func TestSpecStructuralConsistency(t *testing.T) {
+	for _, s := range All() {
+		n := s.N()
+		if s.BaseMVA <= 0 || s.SlackBus < 1 || s.SlackBus > n {
+			t.Errorf("%s: bad base/slack", s.Name)
+		}
+		for i, b := range s.Branches {
+			if b.From < 1 || b.From > n || b.To < 1 || b.To > n || b.From == b.To {
+				t.Errorf("%s branch %d: bad endpoints (%d, %d)", s.Name, i+1, b.From, b.To)
+			}
+			if b.X <= 0 {
+				t.Errorf("%s branch %d: non-positive reactance %g", s.Name, i+1, b.X)
+			}
+			if b.LimitMW < 0 {
+				t.Errorf("%s branch %d: negative rating %g", s.Name, i+1, b.LimitMW)
+			}
+		}
+		for _, d := range s.DFACTS {
+			if d < 1 || d > s.L() {
+				t.Errorf("%s: D-FACTS branch %d out of range", s.Name, d)
+			}
+		}
+		if len(s.DFACTS) == 0 || s.EtaMax <= 0 {
+			t.Errorf("%s: no D-FACTS deployment", s.Name)
+		}
+		if len(s.Gens) == 0 {
+			t.Errorf("%s: no generators", s.Name)
+		}
+		var load, cap float64
+		for _, l := range s.LoadsMW {
+			if l < 0 {
+				t.Errorf("%s: negative load", s.Name)
+			}
+			load += l
+		}
+		for _, g := range s.Gens {
+			if g.Bus < 1 || g.Bus > n {
+				t.Errorf("%s: generator bus %d out of range", s.Name, g.Bus)
+			}
+			cap += g.MaxMW
+		}
+		if cap < load {
+			t.Errorf("%s: capacity %.1f below load %.1f", s.Name, cap, load)
+		}
+	}
+}
+
+// TestCanonicalSizes pins the embedded data to the IEEE test-system sizes
+// (branch counts after merging parallel circuits) and total loads.
+func TestCanonicalSizes(t *testing.T) {
+	for _, tc := range []struct {
+		name         string
+		buses, lines int
+		gens         int
+		totalLoadMW  float64
+	}{
+		{"case4gs", 4, 4, 2, 500},
+		{"ieee14", 14, 20, 5, 259},
+		{"ieee30", 30, 41, 6, 283.4},
+		{"ieee57", 57, 78, 7, 1250.8},
+		{"ieee118", 118, 179, 54, 4242},
+	} {
+		s, ok := ByName(tc.name)
+		if !ok {
+			t.Fatalf("case %s missing", tc.name)
+		}
+		if s.N() != tc.buses || s.L() != tc.lines || len(s.Gens) != tc.gens {
+			t.Errorf("%s: size %d/%d/%d, want %d/%d/%d",
+				tc.name, s.N(), s.L(), len(s.Gens), tc.buses, tc.lines, tc.gens)
+		}
+		var load float64
+		for _, l := range s.LoadsMW {
+			load += l
+		}
+		if diff := load - tc.totalLoadMW; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: total load %.3f MW, want %.3f", tc.name, load, tc.totalLoadMW)
+		}
+	}
+}

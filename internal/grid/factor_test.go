@@ -1,0 +1,195 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gridmtd/internal/mat"
+)
+
+// allCases builds every registered case.
+func allCases(t *testing.T) []*Network {
+	t.Helper()
+	var nets []*Network
+	for _, name := range CaseNames() {
+		n, err := CaseByName(name)
+		if err != nil {
+			t.Fatalf("CaseByName(%q): %v", name, err)
+		}
+		nets = append(nets, n)
+	}
+	return nets
+}
+
+// perturbedReactances returns the case reactances with every D-FACTS branch
+// moved to a deterministic interior point of its range.
+func perturbedReactances(n *Network, rng *rand.Rand) []float64 {
+	x := n.Reactances()
+	for _, i := range n.DFACTSIndices() {
+		lo, hi := n.Branches[i].XMin, n.Branches[i].XMax
+		x[i] = lo + (hi-lo)*rng.Float64()
+	}
+	return x
+}
+
+// TestDenseSparseSolveAgree is the backend-agreement property test of the
+// case registry: for every registered case and several reactance settings,
+// the dense LU and sparse Cholesky factorizations must solve B_r·y = b to
+// within 1e-10 of each other.
+func TestDenseSparseSolveAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range allCases(t) {
+		dense := NewBFactorizerBackend(n, DenseBackend)
+		sparse := NewBFactorizerBackend(n, SparseBackend)
+		for trial := 0; trial < 3; trial++ {
+			x := n.Reactances()
+			if trial > 0 {
+				x = perturbedReactances(n, rng)
+			}
+			if err := dense.Reset(x); err != nil {
+				t.Fatalf("%s: dense Reset: %v", n.Name, err)
+			}
+			if err := sparse.Reset(x); err != nil {
+				t.Fatalf("%s: sparse Reset: %v", n.Name, err)
+			}
+			b := make([]float64, n.N()-1)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			yd := dense.SolveInto(make([]float64, len(b)), b)
+			ys := sparse.SolveInto(make([]float64, len(b)), b)
+			for i := range yd {
+				if diff := math.Abs(yd[i] - ys[i]); diff > 1e-10*(1+math.Abs(yd[i])) {
+					t.Fatalf("%s trial %d: solve mismatch at %d: dense %g sparse %g", n.Name, trial, i, yd[i], ys[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDenseSparsePTDFAgree checks the PTDF construction through both
+// backends to 1e-10 on every registered case.
+func TestDenseSparsePTDFAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range allCases(t) {
+		dense := NewBFactorizerBackend(n, DenseBackend)
+		sparse := NewBFactorizerBackend(n, SparseBackend)
+		for trial := 0; trial < 2; trial++ {
+			x := n.Reactances()
+			if trial > 0 {
+				x = perturbedReactances(n, rng)
+			}
+			pd := mat.NewDense(n.L(), n.N()-1)
+			ps := mat.NewDense(n.L(), n.N()-1)
+			if err := dense.Reset(x); err != nil {
+				t.Fatal(err)
+			}
+			if err := dense.PTDFInto(pd); err != nil {
+				t.Fatal(err)
+			}
+			if err := sparse.Reset(x); err != nil {
+				t.Fatal(err)
+			}
+			if err := sparse.PTDFInto(ps); err != nil {
+				t.Fatal(err)
+			}
+			for l := 0; l < n.L(); l++ {
+				rd, rs := pd.RowView(l), ps.RowView(l)
+				for j := range rd {
+					if diff := math.Abs(rd[j] - rs[j]); diff > 1e-10*(1+math.Abs(rd[j])) {
+						t.Fatalf("%s trial %d: PTDF mismatch at (%d,%d): dense %g sparse %g", n.Name, trial, l, j, rd[j], rs[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDensePTDFMatchesNetworkPTDF pins the dense factorizer to the public
+// PTDF construction (which it must reproduce bitwise on sub-threshold
+// cases).
+func TestDensePTDFMatchesNetworkPTDF(t *testing.T) {
+	for _, name := range []string{"case4gs", "ieee14", "ieee30"} {
+		n, err := CaseByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := n.Reactances()
+		want, err := n.PTDF(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := NewBFactorizerBackend(n, DenseBackend)
+		if err := f.Reset(x); err != nil {
+			t.Fatal(err)
+		}
+		got := mat.NewDense(n.L(), n.N()-1)
+		if err := f.PTDFInto(got); err != nil {
+			t.Fatal(err)
+		}
+		if !mat.Equal(got, want, 0) {
+			t.Fatalf("%s: dense factorizer PTDF differs from Network.PTDF", name)
+		}
+	}
+}
+
+// TestAutoBackendSelection pins the size-based backend choice: the paper's
+// own cases stay dense (preserving bitwise reproducibility), the new large
+// cases go sparse.
+func TestAutoBackendSelection(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want Backend
+	}{
+		{"case4gs", DenseBackend},
+		{"ieee14", DenseBackend},
+		{"ieee30", DenseBackend},
+		{"ieee57", SparseBackend},
+		{"ieee118", SparseBackend},
+	} {
+		n, err := CaseByName(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := NewBFactorizer(n).Backend(); got != tc.want {
+			t.Errorf("%s: auto backend = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestMeasurementMatrixFullRankAllCases checks the estimator's full-rank
+// assumption on every registered case: the slack-reduced H must have rank
+// N-1 at nominal reactances.
+func TestMeasurementMatrixFullRankAllCases(t *testing.T) {
+	for _, n := range allCases(t) {
+		h := n.MeasurementMatrix(n.Reactances())
+		basis := mat.OrthonormalBasis(h, 0)
+		if got := basis.Cols(); got != n.N()-1 {
+			t.Errorf("%s: rank(H) = %d, want %d", n.Name, got, n.N()-1)
+		}
+	}
+}
+
+// TestSparseFactorizerRejectsIslanded mirrors the Validate guard at the
+// numeric level: factoring an islanded network's susceptance matrix must
+// fail loudly, not return garbage.
+func TestSparseFactorizerRejectsIslanded(t *testing.T) {
+	n := &Network{
+		Name:     "islanded",
+		BaseMVA:  100,
+		SlackBus: 1,
+		Buses:    []Bus{{Index: 1}, {Index: 2}, {Index: 3}, {Index: 4}},
+		Branches: []Branch{
+			{From: 1, To: 2, X: 0.1, LimitMW: 10, XMin: 0.1, XMax: 0.1},
+			{From: 3, To: 4, X: 0.1, LimitMW: 10, XMin: 0.1, XMax: 0.1},
+		},
+	}
+	f := NewBFactorizerBackend(n, SparseBackend)
+	if err := f.Reset(n.Reactances()); err == nil {
+		t.Fatal("expected sparse factorization of an islanded network to fail")
+	}
+	// (The dense LU keeps its historical exact-zero pivot test for bitwise
+	// compatibility, so rounding can let an islanded matrix through there;
+	// Validate is the structural guard on that path.)
+}

@@ -185,39 +185,22 @@ func (n *Network) MeasurementMatrixTInto(x []float64, ht *mat.Dense) *mat.Dense 
 // PTDF returns the L×(N-1) power transfer distribution factor matrix
 // D·Arᵀ·Br⁻¹ mapping net injections at non-slack buses (per-unit) to branch
 // flows (per-unit), where Ar is the incidence matrix without the slack row
-// and Br the reduced susceptance matrix.
+// and Br the reduced susceptance matrix. The factorization backend is
+// picked by size (see NewBFactorizer); on the dense path the result is
+// bitwise identical to the historical inverse-then-multiply construction.
 func (n *Network) PTDF(x []float64) (*mat.Dense, error) {
 	if len(x) != n.L() {
 		panic("grid: reactance vector length mismatch")
 	}
-	br, err := mat.Inverse(n.ReducedB(x))
-	if err != nil {
+	f := NewBFactorizer(n)
+	if err := f.Reset(x); err != nil {
 		return nil, err
 	}
-	s := n.SlackBus - 1
-	// Build D·Arᵀ directly: row l has +1/x at the from-bus column and -1/x
-	// at the to-bus column (skipping the slack).
-	dat := mat.NewDense(n.L(), n.N()-1)
-	colOf := func(bus int) int {
-		switch {
-		case bus == s:
-			return -1
-		case bus < s:
-			return bus
-		default:
-			return bus - 1
-		}
+	out := mat.NewDense(n.L(), n.N()-1)
+	if err := f.PTDFInto(out); err != nil {
+		return nil, err
 	}
-	for l, b := range n.Branches {
-		y := 1 / x[l]
-		if c := colOf(b.From - 1); c >= 0 {
-			dat.Set(l, c, y)
-		}
-		if c := colOf(b.To - 1); c >= 0 {
-			dat.Set(l, c, -y)
-		}
-	}
-	return mat.Mul(dat, br), nil
+	return out, nil
 }
 
 // ReduceVec removes the slack-bus entry from a length-N bus vector,

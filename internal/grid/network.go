@@ -6,9 +6,27 @@
 // the (slack-reduced) measurement matrix H = [B; D·Aᵀ; −D·Aᵀ] of the state
 // estimator, and the PTDF matrix used by the LP formulation of the DC OPF.
 //
-// Embedded case data: the MATPOWER 4-bus case (case4gs), the IEEE 14-bus
-// case with the paper's Table-IV generator and D-FACTS settings, and the
-// IEEE 30-bus case.
+// # Case registry
+//
+// Test systems live as pure data in the internal/grid/cases subpackage and
+// are served through Cases, CaseNames and CaseByName (plus the historical
+// Case4GS/CaseIEEE14/... constructors). Five cases are embedded: the
+// MATPOWER 4-bus case (case4gs) of the paper's motivating example, the
+// IEEE 14-bus case with the paper's Table-IV economics, the IEEE 30-bus
+// case of the scalability experiment, and — beyond the paper's own sizes —
+// the IEEE 57- and 118-bus systems with calibrated line ratings (see
+// cmd/calibcase).
+//
+// # Factorization backends
+//
+// Every solve against the slack-reduced susceptance matrix B_r(x) — the
+// DC power flow, the PTDF build of the dispatch OPF — goes through the
+// pluggable BFactorizer seam. The dense backend performs exactly the
+// historical LU operations, bit for bit, and serves the paper's
+// sub-SparseThreshold cases so their fixed-seed experiment outputs stay
+// byte-identical; the sparse backend (CSC assembly, fill-reducing sparse
+// Cholesky, triangular solves from internal/mat) serves the 57/118-bus
+// cases, where it factors and builds PTDFs up to 10× faster (PERF.md).
 package grid
 
 import (
@@ -89,7 +107,15 @@ func (n *Network) Clone() *Network {
 
 // Validate checks structural consistency: positive base power, valid bus
 // indexing, positive reactances, consistent D-FACTS ranges, valid generator
-// buses and bounds, and network connectivity.
+// buses and bounds, uniqueness of branch endpoints, and network
+// connectivity. Islands are rejected here with a descriptive error because
+// they otherwise surface only as a singular susceptance matrix deep inside
+// a factorization. Duplicate branches are rejected as a lint-style guard:
+// the solvers key everything by branch index and would handle parallel
+// circuits fine, but a repeated bus pair is almost always a transcription
+// mistake, and this repo's case convention is a simple graph — the
+// embedded 57-/118-bus cases merge parallel circuits into one equivalent
+// branch (x_eq = x1·x2/(x1+x2)); do the same when importing raw case data.
 func (n *Network) Validate() error {
 	if n.BaseMVA <= 0 {
 		return errors.New("grid: BaseMVA must be positive")
@@ -108,6 +134,7 @@ func (n *Network) Validate() error {
 	if len(n.Branches) == 0 {
 		return errors.New("grid: no branches")
 	}
+	seenPair := make(map[[2]int]int, len(n.Branches))
 	for i, br := range n.Branches {
 		if br.From < 1 || br.From > len(n.Buses) || br.To < 1 || br.To > len(n.Buses) {
 			return fmt.Errorf("grid: branch %d endpoints (%d, %d) out of range", i+1, br.From, br.To)
@@ -115,6 +142,14 @@ func (n *Network) Validate() error {
 		if br.From == br.To {
 			return fmt.Errorf("grid: branch %d is a self-loop at bus %d", i+1, br.From)
 		}
+		pair := [2]int{br.From, br.To}
+		if pair[0] > pair[1] {
+			pair[0], pair[1] = pair[1], pair[0]
+		}
+		if first, dup := seenPair[pair]; dup {
+			return fmt.Errorf("grid: branches %d and %d both connect buses %d-%d; merge parallel circuits into one equivalent branch (x_eq = x1*x2/(x1+x2))", first, i+1, pair[0], pair[1])
+		}
+		seenPair[pair] = i + 1
 		if br.X <= 0 {
 			return fmt.Errorf("grid: branch %d has non-positive reactance %g", i+1, br.X)
 		}
@@ -139,14 +174,24 @@ func (n *Network) Validate() error {
 			return fmt.Errorf("grid: generator %d has invalid dispatch range [%g, %g]", i, g.MinMW, g.MaxMW)
 		}
 	}
-	if !n.connected() {
-		return errors.New("grid: network is not connected")
+	if unreachable := n.unreachableBuses(); len(unreachable) > 0 {
+		preview := unreachable
+		const maxListed = 8
+		suffix := ""
+		if len(preview) > maxListed {
+			preview = preview[:maxListed]
+			suffix = ", ..."
+		}
+		return fmt.Errorf("grid: network is islanded: %d of %d buses unreachable from bus 1 (buses %s%s); the susceptance matrix of an islanded network is singular",
+			len(unreachable), len(n.Buses), joinInts(preview), suffix)
 	}
 	return nil
 }
 
-// connected reports whether the branch graph spans all buses.
-func (n *Network) connected() bool {
+// unreachableBuses returns the 1-based indices of buses the branch graph
+// does not connect to bus 1, in ascending order (empty for a connected
+// network).
+func (n *Network) unreachableBuses() []int {
 	adj := make([][]int, len(n.Buses)+1)
 	for _, br := range n.Branches {
 		adj[br.From] = append(adj[br.From], br.To)
@@ -155,19 +200,35 @@ func (n *Network) connected() bool {
 	seen := make([]bool, len(n.Buses)+1)
 	stack := []int{1}
 	seen[1] = true
-	count := 1
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, v := range adj[u] {
 			if !seen[v] {
 				seen[v] = true
-				count++
 				stack = append(stack, v)
 			}
 		}
 	}
-	return count == len(n.Buses)
+	var out []int
+	for b := 1; b <= len(n.Buses); b++ {
+		if !seen[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// joinInts renders a small int list as "a, b, c".
+func joinInts(v []int) string {
+	s := ""
+	for i, x := range v {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprint(x)
+	}
+	return s
 }
 
 // Reactances returns the current branch reactance vector (per-unit).

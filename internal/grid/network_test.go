@@ -77,8 +77,28 @@ func TestValidateDisconnected(t *testing.T) {
 			{From: 3, To: 4, X: 0.1, LimitMW: 10, XMin: 0.1, XMax: 0.1},
 		},
 	}
-	if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "connected") {
-		t.Fatalf("err = %v, want connectivity error", err)
+	err := n.Validate()
+	if err == nil || !strings.Contains(err.Error(), "islanded") {
+		t.Fatalf("err = %v, want islanding error", err)
+	}
+	// The error must name the unreachable buses so the operator can find
+	// the break in the branch data.
+	if !strings.Contains(err.Error(), "buses 3, 4") {
+		t.Fatalf("err = %v, want the unreachable buses listed", err)
+	}
+}
+
+func TestValidateDuplicateBranch(t *testing.T) {
+	n := Case4GS()
+	// Duplicate branch 2 (1-3) in reversed orientation: still the same
+	// unordered bus pair.
+	n.Branches = append(n.Branches, Branch{From: 3, To: 1, X: 0.1, LimitMW: 10, XMin: 0.1, XMax: 0.1})
+	err := n.Validate()
+	if err == nil || !strings.Contains(err.Error(), "both connect buses 1-3") {
+		t.Fatalf("err = %v, want duplicate-branch error naming the pair", err)
+	}
+	if !strings.Contains(err.Error(), "branches 2 and 5") {
+		t.Fatalf("err = %v, want both branch numbers named", err)
 	}
 }
 

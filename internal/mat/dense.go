@@ -1,11 +1,17 @@
-// Package mat implements the dense linear algebra needed by the MTD
-// reproduction: matrices, Householder QR, one-sided Jacobi SVD, LU solves,
-// rank computation and vector helpers.
+// Package mat implements the linear algebra needed by the MTD
+// reproduction: dense matrices, Householder QR, one-sided Jacobi SVD, LU
+// solves, rank computation, vector helpers — and, for the ≥57-bus cases, a
+// sparse backend (CSC storage, a fill-reducing minimum-degree ordering,
+// and an up-looking sparse Cholesky with permuted triangular solves).
 //
-// The package is deliberately small and dependency-free. All matrices are
-// dense and row-major; the sizes in this project are tiny (at most a few
-// hundred rows), so simplicity and numerical robustness are preferred over
-// blocked/SIMD performance.
+// The package is deliberately small and dependency-free. Dense matrices
+// are row-major; the dense kernels favor simplicity and bitwise-stable
+// operation order over blocked/SIMD performance because the experiment
+// outputs are reproducibility contracts. The sparse kernels exist because
+// the susceptance matrices of the larger IEEE cases are >97% zero: the
+// grid package assembles B_r in CSC form once per topology, revalues it
+// per reactance candidate, and SparseChol.Refactor + SolveInto replace the
+// O(N³) dense inverse in the hot selection loops.
 package mat
 
 import (

@@ -16,33 +16,32 @@ import (
 // against one network. It precomputes everything that does not depend on
 // the reactances (generator cost/bound vectors, the set of flow-limited
 // branches, the bus-to-reduced-column map) and keeps per-goroutine
-// workspaces for everything that does (the reduced susceptance matrix and
-// its LU factors, the PTDF, the LP tableau), so the per-candidate cost of
-// the problem-(4) search drops to the unavoidable factorization + simplex
-// work. All arithmetic matches SolveDispatch exactly, so costs and
-// dispatches are bitwise identical to the one-shot path.
+// workspaces for everything that does (the reduced-susceptance factorizer,
+// the PTDF, the LP tableau), so the per-candidate cost of the problem-(4)
+// search drops to the unavoidable factorization + simplex work. The
+// susceptance factorization goes through the pluggable grid.BFactorizer:
+// below grid.SparseThreshold buses the dense backend performs exactly the
+// historical arithmetic (costs and dispatches bitwise identical to
+// SolveDispatch); at or above it the sparse Cholesky backend takes over
+// transparently.
 //
 // A DispatchEngine is safe for concurrent use.
 type DispatchEngine struct {
-	n      *grid.Network
-	nG     int
-	redIdx []int // reduced state column per generator bus, -1 at slack
-	limRow []int // branch indices with finite flow limits
-	cost   []float64
-	genLo  []float64
-	genHi  []float64
-	aeq    *mat.Dense
-	pool   sync.Pool // *dispatchWorkspace
+	n       *grid.Network
+	backend grid.Backend
+	nG      int
+	redIdx  []int // reduced state column per generator bus, -1 at slack
+	limRow  []int // branch indices with finite flow limits
+	cost    []float64
+	genLo   []float64
+	genHi   []float64
+	aeq     *mat.Dense
+	pool    sync.Pool // *dispatchWorkspace
 }
 
 type dispatchWorkspace struct {
-	br      *mat.Dense // reduced susceptance, (N-1)×(N-1)
-	lu      mat.LU
-	inv     *mat.Dense // Br⁻¹
-	dat     *mat.Dense // D·Arᵀ, L×(N-1)
+	bf      grid.BFactorizer
 	ptdf    *mat.Dense // L×(N-1)
-	ecol    []float64  // identity column scratch for the inverse
-	icol    []float64  // solved inverse column
 	loads   []float64  // bus loads (MW)
 	redLoad []float64  // slack-reduced loads
 	f0      []float64  // PTDF·loadRed
@@ -56,14 +55,22 @@ type dispatchWorkspace struct {
 	thetaRed []float64
 }
 
-// NewDispatchEngine prepares an engine for the network. The network's
-// topology, limits, costs and generator set must not change afterwards;
-// loads are read fresh on every solve.
+// NewDispatchEngine prepares an engine for the network with the
+// size-picked factorization backend. The network's topology, limits, costs
+// and generator set must not change afterwards; loads are read fresh on
+// every solve.
 func NewDispatchEngine(n *grid.Network) (*DispatchEngine, error) {
+	return NewDispatchEngineBackend(n, grid.AutoBackend)
+}
+
+// NewDispatchEngineBackend is NewDispatchEngine with an explicit
+// factorization backend (benchmarks and the dense/sparse crossover
+// measurements).
+func NewDispatchEngineBackend(n *grid.Network, backend grid.Backend) (*DispatchEngine, error) {
 	if len(n.Gens) == 0 {
 		return nil, errors.New("opf: network has no generators")
 	}
-	e := &DispatchEngine{n: n, nG: len(n.Gens)}
+	e := &DispatchEngine{n: n, backend: backend, nG: len(n.Gens)}
 	e.redIdx = make([]int, e.nG)
 	for gi, g := range n.Gens {
 		e.redIdx[gi] = -1
@@ -86,12 +93,8 @@ func NewDispatchEngine(n *grid.Network) (*DispatchEngine, error) {
 	nb, nl := n.N(), n.L()
 	e.pool.New = func() any {
 		w := &dispatchWorkspace{
-			br:       mat.NewDense(nb-1, nb-1),
-			inv:      mat.NewDense(nb-1, nb-1),
-			dat:      mat.NewDense(nl, nb-1),
+			bf:       grid.NewBFactorizerBackend(n, e.backend),
 			ptdf:     mat.NewDense(nl, nb-1),
-			ecol:     make([]float64, nb-1),
-			icol:     make([]float64, nb-1),
 			loads:    make([]float64, nb),
 			redLoad:  make([]float64, nb-1),
 			f0:       make([]float64, nl),
@@ -114,32 +117,15 @@ func NewDispatchEngine(n *grid.Network) (*DispatchEngine, error) {
 // solves it. It mirrors SolveDispatch step for step.
 func (e *DispatchEngine) prepare(w *dispatchWorkspace, x []float64) (*lp.Solution, error) {
 	n := e.n
-	// PTDF = D·Arᵀ·Br⁻¹ (same construction as Network.PTDF, buffered).
-	n.ReducedBInto(x, w.br)
-	if err := w.lu.Reset(w.br); err != nil {
+	// PTDF = D·Arᵀ·Br⁻¹ through the factorization backend (the dense
+	// backend reproduces Network.PTDF's construction bitwise).
+	if err := w.bf.Reset(x); err != nil {
 		return nil, fmt.Errorf("opf: PTDF: %w", err)
 	}
-	nb1 := n.N() - 1
-	for j := 0; j < nb1; j++ {
-		for i := range w.ecol {
-			w.ecol[i] = 0
-		}
-		w.ecol[j] = 1
-		w.lu.SolveInto(w.icol, w.ecol)
-		w.inv.SetCol(j, w.icol)
+	if err := w.bf.PTDFInto(w.ptdf); err != nil {
+		return nil, fmt.Errorf("opf: PTDF: %w", err)
 	}
 	s := n.SlackBus - 1
-	w.dat.Zero()
-	for l, br := range n.Branches {
-		y := 1 / x[l]
-		if c := reducedColOf(br.From-1, s); c >= 0 {
-			w.dat.Set(l, c, y)
-		}
-		if c := reducedColOf(br.To-1, s); c >= 0 {
-			w.dat.Set(l, c, -y)
-		}
-	}
-	mat.MulInto(w.ptdf, w.dat, w.inv)
 
 	// Reduced load vector (MW) and its flow contribution.
 	for i, b := range n.Buses {
@@ -239,7 +225,7 @@ func (e *DispatchEngine) Solve(x []float64) (*Result, error) {
 		w.inj[i] *= invBase
 	}
 	reduceInto(w.pRed, w.inj, slack)
-	w.lu.SolveInto(w.thetaRed, w.pRed)
+	w.bf.SolveInto(w.thetaRed, w.pRed)
 	theta := n.ExpandVec(w.thetaRed, 0)
 	flows := make([]float64, n.L())
 	for l, br := range n.Branches {
@@ -252,18 +238,6 @@ func (e *DispatchEngine) Solve(x []float64) (*Result, error) {
 		CostPerHour: sol.Objective,
 		Reactances:  mat.CopyVec(x),
 	}, nil
-}
-
-// reducedColOf maps a 0-based bus to its slack-reduced column (-1 at slack).
-func reducedColOf(bus, slack int) int {
-	switch {
-	case bus == slack:
-		return -1
-	case bus < slack:
-		return bus
-	default:
-		return bus - 1
-	}
 }
 
 // reduceInto removes the slack entry of the length-N vector v into dst.
