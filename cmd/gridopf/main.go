@@ -9,6 +9,7 @@
 //	gridopf -case ieee14
 //	gridopf -case case4gs -dfacts
 //	gridopf -case ieee118
+//	gridopf -case ieee118 -backend dense
 //	gridopf -case ieee30 -scale 0.9 -sigma 0.002 -alpha 5e-4
 package main
 
@@ -41,6 +42,7 @@ func run(args []string, w io.Writer) error {
 		alpha    = fs.Float64("alpha", 5e-4, "BDD false-positive rate")
 		starts   = fs.Int("starts", 8, "multi-start budget for the D-FACTS search")
 		seed     = fs.Int64("seed", 1, "random seed")
+		backend  = fs.String("backend", "auto", "linear-algebra backend: auto, dense or sparse (A/B runs without code edits)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,6 +51,11 @@ func run(args []string, w io.Writer) error {
 		gridmtd.FormatCases(w)
 		return nil
 	}
+	b, err := gridmtd.ParseBackend(*backend)
+	if err != nil {
+		return err
+	}
+	gridmtd.SetDefaultBackend(b)
 
 	n, err := gridmtd.CaseByName(*caseName)
 	if err != nil {

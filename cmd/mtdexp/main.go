@@ -10,6 +10,7 @@
 //	mtdexp -case list
 //	mtdexp -exp all -out results.txt
 //	mtdexp -exp table1 -parallel 8 -cpuprofile cpu.prof
+//	mtdexp -exp fig9 -case ieee118 -quick -backend dense
 //
 // Experiment IDs follow the paper's numbering: table1..table4, fig6a,
 // fig6b, fig7, fig8, fig9, fig10, fig11. The -quick flag shrinks sampling
@@ -51,6 +52,7 @@ func run(args []string, stdout io.Writer) error {
 		quick    = fs.Bool("quick", false, "use reduced sampling budgets")
 		out      = fs.String("out", "", "also write the output to this file")
 		parallel = fs.Int("parallel", 0, "worker parallelism for the multi-start searches and η' sweeps (0 = all cores, 1 = serial); results are identical for any setting")
+		backend  = fs.String("backend", "auto", "linear-algebra backend: auto, dense or sparse (A/B runs without code edits)")
 		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -61,6 +63,12 @@ func run(args []string, stdout io.Writer) error {
 		gridmtd.FormatCases(stdout)
 		return nil
 	}
+
+	b, err := gridmtd.ParseBackend(*backend)
+	if err != nil {
+		return err
+	}
+	gridmtd.SetDefaultBackend(b)
 
 	if *parallel > 0 {
 		// The engine parallelism knobs default to GOMAXPROCS, so capping

@@ -10,6 +10,7 @@
 //	mtdscan -case ieee14 -from 0.05 -to 0.45 -step 0.05
 //	mtdscan -case ieee118 -from 0.05 -to 0.30 -attacks 200
 //	mtdscan -case ieee30 -scale 0.9 -sigma 0.0005 -attacks 500
+//	mtdscan -case ieee118 -backend dense -parallel 1
 //	mtdscan -case ieee14 -csv frontier.csv
 package main
 
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -48,6 +50,8 @@ func run(args []string, w io.Writer) error {
 		starts   = fs.Int("starts", 6, "multi-start budget per selection")
 		maxEvals = fs.Int("maxevals", 0, "objective evaluations per local search (0 = solver default; lower it for quick large-case scans)")
 		seed     = fs.Int64("seed", 1, "random seed")
+		parallel = fs.Int("parallel", 0, "worker parallelism for the selection searches (0 = all cores, 1 = serial); results are identical for any setting")
+		backend  = fs.String("backend", "auto", "linear-algebra backend: auto, dense or sparse (A/B runs without code edits)")
 		csvPath  = fs.String("csv", "", "also write the frontier to this CSV file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -59,6 +63,18 @@ func run(args []string, w io.Writer) error {
 	}
 	if *step <= 0 || *to < *from {
 		return errors.New("invalid gamma sweep range")
+	}
+	b, err := gridmtd.ParseBackend(*backend)
+	if err != nil {
+		return err
+	}
+	gridmtd.SetDefaultBackend(b)
+	if *parallel > 0 {
+		// The engine parallelism knobs default to GOMAXPROCS, so capping it
+		// caps every parallel path at once; outputs are identical for any
+		// setting (the CI serial-vs-parallel diff re-checks this on a
+		// sparse-path case).
+		runtime.GOMAXPROCS(*parallel)
 	}
 
 	n, err := gridmtd.CaseByName(*caseName)

@@ -103,8 +103,51 @@ func Measurements(n *Network, injectionsMW []float64, pf *PowerFlow) []float64 {
 	return dcflow.Measurements(n, injectionsMW, pf)
 }
 
+// Backend names a linear-algebra backend for the reduced-susceptance
+// factorization and the dispatch LP: the dense backend is the historical,
+// bitwise-reproducible path; the sparse backend (automatic at or above
+// grid.SparseThreshold buses) adds the sparse Cholesky factorization, the
+// warm-started revised simplex and the multi-accumulator γ kernels under a
+// 1e-9-agreement contract.
+type Backend = grid.Backend
+
+// Backend choices for NewDispatchEngineBackend and SetDefaultBackend.
+const (
+	AutoBackend   = grid.AutoBackend
+	DenseBackend  = grid.DenseBackend
+	SparseBackend = grid.SparseBackend
+)
+
+// ParseBackend parses a -backend flag value ("auto", "dense", "sparse").
+func ParseBackend(s string) (Backend, error) { return grid.ParseBackend(s) }
+
+// SetDefaultBackend overrides what the automatic backend choice resolves
+// to for everything constructed afterwards — the hook behind the cmds'
+// -backend flag, so dense-vs-sparse A/B runs need no code edits.
+func SetDefaultBackend(b Backend) { grid.SetDefaultBackend(b) }
+
 // OPFResult is a solved optimal power flow.
 type OPFResult = opf.Result
+
+// DispatchEngine solves the dispatch-only OPF for many reactance vectors
+// against one network, with cached LP skeletons and per-worker sessions
+// (see NewDispatchEngineBackend for explicit backend control).
+type DispatchEngine = opf.DispatchEngine
+
+// DispatchSession is a single-goroutine view of a DispatchEngine with a
+// private workspace and, on the sparse path, the warm LP basis.
+type DispatchSession = opf.DispatchSession
+
+// NewDispatchEngine builds a dispatch-OPF engine with the automatic
+// backend choice.
+func NewDispatchEngine(n *Network) (*DispatchEngine, error) {
+	return opf.NewDispatchEngine(n)
+}
+
+// NewDispatchEngineBackend is NewDispatchEngine with an explicit backend.
+func NewDispatchEngineBackend(n *Network, b Backend) (*DispatchEngine, error) {
+	return opf.NewDispatchEngineBackend(n, b)
+}
 
 // DFACTSOPFConfig tunes the reactance search of SolveOPFWithDFACTS.
 type DFACTSOPFConfig = opf.DFACTSConfig

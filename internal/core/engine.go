@@ -18,8 +18,17 @@ import (
 //
 // A GammaEvaluator is safe for concurrent use; the parallel multi-start
 // search shares one evaluator across all workers.
+//
+// At or above grid.SparseThreshold buses the evaluator selects the
+// multi-accumulator/blocked large-case kernels (subspace.Workspace.Fast):
+// the Gram-Schmidt, cross-Gram and Jacobi reductions run with broken
+// dependency chains, which changes summation orders, so large-case γ
+// values agree with the uncached subspace.Gamma only to rounding (well
+// inside 1e-9). Below the threshold every floating-point operation matches
+// the uncached path bitwise, as before.
 type GammaEvaluator struct {
 	n    *grid.Network
+	fast bool
 	qOld *subspace.Basis
 	pool sync.Pool // *gammaWorkspace
 }
@@ -33,14 +42,36 @@ type gammaWorkspace struct {
 // NewGammaEvaluator builds an evaluator for the pre-perturbation reactance
 // vector xOld (full length-L vector).
 func NewGammaEvaluator(n *grid.Network, xOld []float64) *GammaEvaluator {
-	ht := mat.NewDense(n.N()-1, n.M())
-	n.MeasurementMatrixTInto(xOld, ht)
-	e := &GammaEvaluator{n: n, qOld: subspace.ComputeBasisT(ht, 0)}
+	// The fast kernels follow the resolved backend choice (including the
+	// -backend process default), so a dense-forced run is the historical
+	// bitwise path end to end and a sparse-forced run gets the whole fast
+	// family — γ and LP always sit on the same side of the contract.
+	fast := grid.EffectiveBackend(n, grid.AutoBackend) == grid.SparseBackend
+	var qOld *subspace.Basis
+	if fast {
+		// The fast path works in the reduced γ-equivalent representation
+		// (flow block once, √2-weighted): identical angles from 38% fewer
+		// reduction rows — see Network.MeasurementMatrixTGammaInto.
+		ht := mat.NewDense(n.N()-1, n.GammaAmbient())
+		n.MeasurementMatrixTGammaInto(xOld, ht)
+		qOld = subspace.ComputeBasisTFast(ht, 0)
+	} else {
+		ht := mat.NewDense(n.N()-1, n.M())
+		n.MeasurementMatrixTInto(xOld, ht)
+		qOld = subspace.ComputeBasisT(ht, 0)
+	}
+	e := &GammaEvaluator{n: n, fast: fast, qOld: qOld}
 	e.pool.New = func() any {
-		return &gammaWorkspace{
-			ht:    mat.NewDense(n.N()-1, n.M()),
+		cols := n.M()
+		if fast {
+			cols = n.GammaAmbient()
+		}
+		w := &gammaWorkspace{
+			ht:    mat.NewDense(n.N()-1, cols),
 			xFull: make([]float64, n.L()),
 		}
+		w.ws.Fast = fast
+		return w
 	}
 	return e
 }
@@ -66,7 +97,35 @@ func (e *GammaEvaluator) GammaDFACTS(xd []float64) float64 {
 }
 
 func (e *GammaEvaluator) gamma(w *gammaWorkspace, x []float64) float64 {
-	e.n.MeasurementMatrixTInto(x, w.ht)
+	if e.fast {
+		e.n.MeasurementMatrixTGammaInto(x, w.ht)
+	} else {
+		e.n.MeasurementMatrixTInto(x, w.ht)
+	}
 	qNew := w.ws.BasisT(w.ht, 0)
 	return w.ws.GammaBases(e.qOld, qNew)
+}
+
+// GammaSession is a single-goroutine view of a GammaEvaluator: it owns one
+// workspace outright instead of borrowing from the pool per call, giving
+// the parallel multi-start workers engine affinity without sync.Pool
+// churn. γ evaluation carries no cross-call state, so session results are
+// identical to the pooled path. Not safe for concurrent use.
+type GammaSession struct {
+	e *GammaEvaluator
+	w *gammaWorkspace
+}
+
+// NewSession returns a fresh session with its own workspace.
+func (e *GammaEvaluator) NewSession() *GammaSession {
+	return &GammaSession{e: e, w: e.pool.New().(*gammaWorkspace)}
+}
+
+// Gamma is GammaEvaluator.Gamma on the session's private workspace.
+func (s *GammaSession) Gamma(x []float64) float64 { return s.e.gamma(s.w, x) }
+
+// GammaDFACTS is GammaEvaluator.GammaDFACTS on the session's workspace.
+func (s *GammaSession) GammaDFACTS(xd []float64) float64 {
+	s.e.n.ExpandDFACTSInto(xd, s.w.xFull)
+	return s.e.gamma(s.w, s.w.xFull)
 }

@@ -1,11 +1,99 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"gridmtd/internal/grid"
 	"gridmtd/internal/opf"
+	"gridmtd/internal/subspace"
 )
+
+// TestGammaFastKernelsAgree pins the large-case γ contract: the evaluator
+// (which selects the multi-accumulator/blocked kernels at or above
+// grid.SparseThreshold buses) must agree with the exact uncached
+// subspace.Gamma to 1e-9 radians.
+func TestGammaFastKernelsAgree(t *testing.T) {
+	cases := []string{"ieee57"}
+	if !testing.Short() {
+		cases = append(cases, "ieee118")
+	}
+	for _, name := range cases {
+		n, err := grid.CaseByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.N() < grid.SparseThreshold {
+			t.Fatalf("%s unexpectedly below the fast-kernel threshold", name)
+		}
+		xOld := n.Reactances()
+		ev := NewGammaEvaluator(n, xOld)
+		lo, hi := n.DFACTSBounds()
+		for _, frac := range []float64{0.1, 0.5, 0.9} {
+			xd := make([]float64, len(lo))
+			for i := range xd {
+				xd[i] = lo[i] + frac*(hi[i]-lo[i])
+			}
+			xNew := n.ExpandDFACTS(xd)
+			fast := ev.Gamma(xNew)
+			exact := subspace.Gamma(n.MeasurementMatrix(xOld), n.MeasurementMatrix(xNew))
+			// Near γ = 0 (the box midpoint is x_old itself) acos turns
+			// sub-ulp singular-value noise into ~1e-8 angle noise, so the
+			// agreement check moves to the well-conditioned cosine scale
+			// there.
+			if exact < 1e-6 {
+				if math.Abs(math.Cos(fast)-math.Cos(exact)) > 1e-12 {
+					t.Fatalf("%s frac %.2f: near-zero γ disagrees: fast %.3g vs exact %.3g", name, frac, fast, exact)
+				}
+				continue
+			}
+			if math.Abs(fast-exact) > 1e-9 {
+				t.Fatalf("%s frac %.2f: fast γ %.15g vs exact %.15g", name, frac, fast, exact)
+			}
+		}
+	}
+}
+
+// TestSelectMTDParallelismInvariantSparse verifies the determinism
+// contract on the warm-started sparse path: the warm LP basis lives in
+// per-worker sessions and is reset at every local search, so the identical
+// Selection must come back for any worker count even though which worker
+// runs which start is scheduling-dependent.
+func TestSelectMTDParallelismInvariantSparse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("57-bus selections take a second")
+	}
+	n, err := grid.CaseByName("ieee57")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xOld := n.Reactances()
+	var sels []*Selection
+	for _, par := range []int{1, 4} {
+		sel, err := SelectMTD(n, xOld, SelectConfig{
+			GammaThreshold: 0.05,
+			Starts:         1,
+			MaxEvals:       25,
+			Seed:           3,
+			BaselineCost:   1,
+			Parallelism:    par,
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		sels = append(sels, sel)
+	}
+	a, b := sels[0], sels[1]
+	for i := range a.Reactances {
+		if a.Reactances[i] != b.Reactances[i] {
+			t.Fatalf("reactance %d differs across parallelism: %v vs %v", i, a.Reactances[i], b.Reactances[i])
+		}
+	}
+	if a.Gamma != b.Gamma || a.OPF.CostPerHour != b.OPF.CostPerHour {
+		t.Fatalf("selection metrics differ across parallelism: γ %v vs %v, cost %v vs %v",
+			a.Gamma, b.Gamma, a.OPF.CostPerHour, b.OPF.CostPerHour)
+	}
+}
 
 // TestSelectMTDIEEE118SparseSmoke is the large-case smoke: one quick-mode
 // SelectMTD on the IEEE 118-bus system must complete through the sparse

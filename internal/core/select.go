@@ -145,17 +145,28 @@ func selectMTD(n *grid.Network, xOld []float64, cfg SelectConfig, eng *engines) 
 	}
 
 	gammaOf := eng.gamma.GammaDFACTS
-	costOf := func(xd []float64) float64 {
-		cost, err := eng.dispatch.Cost(n.ExpandDFACTS(xd))
-		if err != nil {
-			return optimize.InfeasibleObjective
+
+	// Each multi-start worker gets its own engine sessions (no pool churn
+	// per evaluation) and, on the sparse path, its own warm LP basis; the
+	// reset hook scopes that basis to one local search so the selected MTD
+	// is identical for every worker count. The driver-level objective is
+	// built by the same factory, so there is exactly one definition.
+	newWorkerObj := func() (optimize.Objective, func()) {
+		gs := eng.gamma.NewSession()
+		ds := eng.dispatch.NewSession()
+		costOf := func(xd []float64) float64 {
+			cost, err := ds.Cost(n.ExpandDFACTS(xd))
+			if err != nil {
+				return optimize.InfeasibleObjective
+			}
+			return cost
 		}
-		return cost
+		cons := []optimize.Constraint{
+			func(xd []float64) float64 { return cfg.GammaThreshold - gs.GammaDFACTS(xd) },
+		}
+		return optimize.Penalized(costOf, cons, cfg.PenaltyMu), ds.ResetWarmStart
 	}
-	cons := []optimize.Constraint{
-		func(xd []float64) float64 { return cfg.GammaThreshold - gammaOf(xd) },
-	}
-	obj := optimize.Penalized(costOf, cons, cfg.PenaltyMu)
+	obj, _ := newWorkerObj()
 
 	lo, hi := n.DFACTSBounds()
 	box := optimize.Bounds{Lower: lo, Upper: hi}
@@ -168,10 +179,11 @@ func selectMTD(n *grid.Network, xOld []float64, cfg SelectConfig, eng *engines) 
 	}
 	initials = append(initials, cfg.WarmStarts...)
 	best, err := optimize.MultiStart(obj, box, local, optimize.MSConfig{
-		Starts:        cfg.Starts,
-		Seed:          cfg.Seed,
-		InitialPoints: initials,
-		Parallelism:   cfg.Parallelism,
+		Starts:             cfg.Starts,
+		Seed:               cfg.Seed,
+		InitialPoints:      initials,
+		Parallelism:        cfg.Parallelism,
+		NewWorkerObjective: newWorkerObj,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: problem (4) search: %w", err)
@@ -254,10 +266,13 @@ func maxGamma(n *grid.Network, xOld []float64, cfg MaxGammaConfig, eng *engines)
 	// out across workers; the reduction keeps the highest γ and breaks ties
 	// toward the lowest corner index, which is exactly the corner a serial
 	// ascending scan with strict improvement would keep.
+	newGammaOf := func() func([]float64) float64 {
+		return eng.gamma.NewSession().GammaDFACTS
+	}
 	bestX := box.Sample(rand.New(rand.NewSource(cfg.Seed)))
 	bestG := gammaOf(bestX)
 	if d := len(idx); d <= 12 {
-		cornerG, cornerMask := bestCorner(gammaOf, lo, hi, d, cfg.Parallelism)
+		cornerG, cornerMask := bestCorner(newGammaOf, lo, hi, d, cfg.Parallelism)
 		if cornerG > bestG {
 			bestG = cornerG
 			for i := 0; i < d; i++ {
@@ -270,15 +285,20 @@ func maxGamma(n *grid.Network, xOld []float64, cfg MaxGammaConfig, eng *engines)
 		}
 	}
 
-	obj := func(xd []float64) float64 { return -gammaOf(xd) }
+	newWorkerObj := func() (optimize.Objective, func()) {
+		g := newGammaOf()
+		return func(xd []float64) float64 { return -g(xd) }, nil
+	}
+	obj, _ := newWorkerObj()
 	local := func(f optimize.Objective, x0 []float64) (*optimize.Result, error) {
 		return optimize.NelderMead(f, x0, optimize.NMConfig{MaxEvals: cfg.MaxEvals})
 	}
 	res, err := optimize.MultiStart(obj, box, local, optimize.MSConfig{
-		Starts:        cfg.Starts,
-		Seed:          cfg.Seed,
-		InitialPoints: [][]float64{bestX},
-		Parallelism:   cfg.Parallelism,
+		Starts:             cfg.Starts,
+		Seed:               cfg.Seed,
+		InitialPoints:      [][]float64{bestX},
+		Parallelism:        cfg.Parallelism,
+		NewWorkerObjective: newWorkerObj,
 	})
 	if err != nil {
 		return nil, err
@@ -330,8 +350,10 @@ func maxGamma(n *grid.Network, xOld []float64, cfg MaxGammaConfig, eng *engines)
 
 // bestCorner evaluates γ at all 2^d corners of the D-FACTS box, splitting
 // the masks across workers, and returns the best value with the lowest
-// achieving mask. The winner is independent of the worker count.
-func bestCorner(gammaOf func([]float64) float64, lo, hi []float64, d, parallelism int) (float64, int) {
+// achieving mask. newGammaOf builds one γ evaluator per worker chunk
+// (engine affinity); γ is stateless, so the winner is independent of the
+// worker count.
+func bestCorner(newGammaOf func() func([]float64) float64, lo, hi []float64, d, parallelism int) (float64, int) {
 	total := 1 << d
 	workers := parallelism
 	if workers <= 0 {
@@ -345,6 +367,7 @@ func bestCorner(gammaOf func([]float64) float64, lo, hi []float64, d, parallelis
 		mask int
 	}
 	evalRange := func(fromMask, toMask int) chunkBest {
+		gammaOf := newGammaOf()
 		xd := make([]float64, d)
 		best := chunkBest{g: math.Inf(-1), mask: -1}
 		for mask := fromMask; mask < toMask; mask++ {
@@ -419,13 +442,17 @@ func RandomKeyWithinCost(rng *rand.Rand, n *grid.Network, baselineCost, costFrac
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("core: dispatch engine: %w", err)
 	}
+	// The rejection loop is sequential, so a single session is safe and
+	// deterministic; on the sparse path its warm LP basis carries across
+	// draws and cuts the per-draw simplex work.
+	sess := engine.NewSession()
 	lo, hi := n.DFACTSBounds()
 	box := optimize.Bounds{Lower: lo, Upper: hi}
 	budget := baselineCost * (1 + costFrac)
 	for draw := 1; draw <= maxDraws; draw++ {
 		xd := box.Sample(rng)
 		x := n.ExpandDFACTS(xd)
-		cost, err := engine.Cost(x)
+		cost, err := sess.Cost(x)
 		if err != nil {
 			continue // infeasible draw: outside the keyspace
 		}

@@ -3,6 +3,8 @@ package grid
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"sync/atomic"
 
 	"gridmtd/internal/mat"
 )
@@ -40,8 +42,55 @@ func (b Backend) String() string {
 // (2.7×, growing to 10× at 118 — see PERF.md), but the paper's own
 // 4/14/30-bus cases are pinned to the dense path anyway: their experiment
 // outputs are bitwise-reproducibility contracts and only the dense backend
-// performs the historical float operations.
+// performs the historical float operations. The same threshold keys every
+// other dense/fast seam: the warm-started revised simplex and the
+// multi-accumulator γ kernels engage only on the ≥-threshold path, which
+// carries a 1e-9-agreement contract instead of the bitwise one.
 const SparseThreshold = 50
+
+// defaultBackend is the process-wide AutoBackend override, settable from
+// command-line flags so dense-vs-sparse A/B runs need no code edits.
+var defaultBackend atomic.Int32
+
+// SetDefaultBackend overrides what AutoBackend resolves to for every
+// factorizer and engine constructed afterwards. AutoBackend restores the
+// size-based rule. Intended for process startup (the cmds' -backend flag);
+// engines snapshot their resolution at construction time.
+func SetDefaultBackend(b Backend) { defaultBackend.Store(int32(b)) }
+
+// CurrentDefaultBackend returns the active AutoBackend override
+// (AutoBackend when none is set).
+func CurrentDefaultBackend() Backend { return Backend(defaultBackend.Load()) }
+
+// ParseBackend parses a -backend flag value: "auto", "dense" or "sparse".
+func ParseBackend(s string) (Backend, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return AutoBackend, nil
+	case "dense":
+		return DenseBackend, nil
+	case "sparse":
+		return SparseBackend, nil
+	default:
+		return AutoBackend, fmt.Errorf("grid: unknown backend %q (want auto, dense or sparse)", s)
+	}
+}
+
+// EffectiveBackend resolves a possibly-Auto backend choice for a network:
+// the process-wide default first, then the SparseThreshold size rule. The
+// result is always DenseBackend or SparseBackend.
+func EffectiveBackend(n *Network, b Backend) Backend {
+	if b == AutoBackend {
+		b = CurrentDefaultBackend()
+	}
+	if b == AutoBackend {
+		if n.N() >= SparseThreshold {
+			return SparseBackend
+		}
+		return DenseBackend
+	}
+	return b
+}
 
 // BFactorizer factors the slack-reduced susceptance matrix B_r(x) of one
 // network and answers solves against it. It is the pluggable seam between
@@ -73,14 +122,7 @@ func NewBFactorizer(n *Network) BFactorizer {
 // NewBFactorizerBackend returns a factorizer with an explicit backend
 // choice (benchmarks and the dense/sparse agreement tests).
 func NewBFactorizerBackend(n *Network, b Backend) BFactorizer {
-	if b == AutoBackend {
-		if n.N() >= SparseThreshold {
-			b = SparseBackend
-		} else {
-			b = DenseBackend
-		}
-	}
-	if b == SparseBackend {
+	if EffectiveBackend(n, b) == SparseBackend {
 		return newSparseBFactorizer(n)
 	}
 	return newDenseBFactorizer(n)

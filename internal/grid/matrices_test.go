@@ -273,3 +273,28 @@ func TestExpandDFACTSInto(t *testing.T) {
 		}
 	}
 }
+
+// TestGammaReducedPreservesInnerProducts checks the exactness argument
+// behind MeasurementMatrixTGammaInto: the Gram matrix of the reduced
+// columns [p; √2·f] must equal HᵀH, because principal angles (γ) depend on
+// the column sets only through these inner products.
+func TestGammaReducedPreservesInnerProducts(t *testing.T) {
+	n := CaseIEEE14()
+	x := n.Reactances()
+	h := n.MeasurementMatrix(x)
+	red := mat.NewDense(n.N()-1, n.GammaAmbient())
+	n.MeasurementMatrixTGammaInto(x, red)
+	states := n.N() - 1
+	for a := 0; a < states; a++ {
+		for b := a; b < states; b++ {
+			var full float64
+			for i := 0; i < n.M(); i++ {
+				full += h.At(i, a) * h.At(i, b)
+			}
+			got := mat.Dot(red.RowView(a), red.RowView(b))
+			if math.Abs(got-full) > 1e-12*(1+math.Abs(full)) {
+				t.Fatalf("gram(%d,%d): reduced %.15g vs full %.15g", a, b, got, full)
+			}
+		}
+	}
+}

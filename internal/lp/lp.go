@@ -7,10 +7,17 @@
 //	     lower <= x <= upper
 //
 // It is the workhorse behind the DC optimal power flow: with linear
-// generation costs the DC OPF is exactly such an LP. Problem sizes in this
-// project are tiny (tens of variables and constraints), so the solver
-// favours robustness (Bland's anti-cycling rule, explicit
-// infeasible/unbounded detection) over speed.
+// generation costs the DC OPF is exactly such an LP. The flat-tableau
+// two-phase solver (Solver) favours robustness (Bland's anti-cycling
+// rule, explicit infeasible/unbounded detection) and performs the
+// historical floating-point operations bit for bit — it anchors the
+// bitwise-reproducible dense path. For the rating-heavy large cases the
+// package also provides a bounded-variable revised simplex with
+// cross-solve basis warm-starting (RevisedSolver, behind the WarmSolver
+// interface; see revised.go) that re-solves the near-identical LPs of a
+// local search in a few pivots and cross-checks every warm answer against
+// a feasibility/optimality certificate, falling back to the flat solver
+// on any doubt.
 package lp
 
 import (

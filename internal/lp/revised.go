@@ -1,0 +1,838 @@
+package lp
+
+import (
+	"math"
+
+	"gridmtd/internal/mat"
+)
+
+// WarmSolver is a Problem solver that can reuse the optimal basis of the
+// previous solve to start the next one. The MTD selection search solves
+// long runs of near-identical dispatch LPs (one Nelder-Mead walk perturbs
+// a handful of PTDF coefficients per step), where re-solving from the
+// previous optimal basis takes a few pivots instead of a full two-phase
+// tableau pass. Invalidate drops the warm state; callers that need results
+// independent of the solve history (e.g. the deterministic parallel
+// multi-start driver) must call it at their determinism boundaries — the
+// dispatch engine resets at the start of every local search.
+type WarmSolver interface {
+	// Solve solves the problem with the package-level Solve error contract.
+	Solve(p *Problem) (*Solution, error)
+	// Invalidate drops the warm basis; the next Solve starts cold.
+	Invalidate()
+}
+
+// RevisedStats counts what the revised solver actually did — tests assert
+// the warm path is exercised and PERF.md reports pivot counts from it.
+type RevisedStats struct {
+	// Solves is the total number of Solve calls.
+	Solves int
+	// WarmSolves counts solves completed by the revised warm path.
+	WarmSolves int
+	// ColdSolves counts solves delegated to the flat tableau solver
+	// (first solve, structural change, or fallback).
+	ColdSolves int
+	// Fallbacks counts warm attempts abandoned mid-flight (singular or
+	// stalled basis, failed verification) that then re-solved cold.
+	Fallbacks int
+	// PrimalPivots and DualPivots count warm-path simplex pivots.
+	PrimalPivots int
+	DualPivots   int
+}
+
+// Variable statuses of the bounded-variable revised simplex. Slack
+// variables (one per inequality row, bounds [0, +Inf)) follow the
+// structural variables in the status array.
+const (
+	stLower int8 = iota // nonbasic at lower bound
+	stUpper             // nonbasic at upper bound
+	stBasic
+)
+
+const (
+	warmMaxIter = 2000
+	// ratioTie is the ratio-test tie band, matching the flat solver.
+	ratioTie = 1e-12
+)
+
+// RevisedSolver is a bounded-variable revised-simplex solver with
+// cross-solve basis warm-starting. It works on the row geometry of the
+// Problem directly (equality rows plus slack-extended inequality rows,
+// structural variables kept inside their bounds) instead of the flat
+// solver's standard form, and it never materializes a tableau: each
+// iteration factors only the small "working matrix" — active rows ×
+// basic structural columns, at most n×n however many inequality rows the
+// problem has — because the basic slack columns are unit vectors.
+//
+// The first solve (and any solve after Invalidate, a structural change, or
+// a warm failure) delegates to the embedded flat tableau Solver — the
+// historical reference implementation — and crashes a warm basis out of
+// its optimal tableau. Subsequent solves restart from the previous optimal
+// basis: if the perturbed problem leaves it primal feasible the primal
+// simplex finishes in a few pivots; if the perturbation makes it primal
+// infeasible but it is still dual feasible, the dual simplex recovers
+// feasibility first. Every warm result is verified against the original
+// problem (primal feasibility, bound satisfaction, and the reduced-cost
+// optimality certificate); any doubt — singular working matrix, stalled
+// loop, failed check — falls back to an exact cold solve, so the solver
+// never returns an unverified warm answer.
+//
+// A RevisedSolver is not safe for concurrent use; use one per goroutine.
+type RevisedSolver struct {
+	cold  Solver
+	stats RevisedStats
+
+	// Warm state: statuses per variable (structural then slacks) for the
+	// problem signature below.
+	hasBasis           bool
+	status             []int8
+	sigN, sigEq, sigUb int
+
+	// Per-solve model arrays, length nTot = n + nUb.
+	lo, up, c []float64
+	x, d      []float64
+	// Basis bookkeeping.
+	activeRows  []int  // eq rows + inequality rows whose slack is nonbasic
+	basicStruct []int  // basic structural columns, ascending
+	isBasicCol  []bool // length n
+	w           mat.Dense
+	lu          mat.LU
+	// Scratch vectors sized to the working dimension k or nTot.
+	rhs, sol, yAct, colAct, wSlack, rho, alpha []float64
+	// Tolerances, refreshed per solve from the problem scale.
+	ptol, dtol float64
+}
+
+// NewRevisedSolver returns an empty solver; buffers grow on first use.
+func NewRevisedSolver() *RevisedSolver { return &RevisedSolver{} }
+
+// Stats returns the cumulative solve counters.
+func (s *RevisedSolver) Stats() RevisedStats { return s.stats }
+
+// Invalidate drops the warm basis; the next Solve runs cold.
+func (s *RevisedSolver) Invalidate() { s.hasBasis = false }
+
+// Solve solves the problem, warm-starting from the previous optimal basis
+// when one is available and structurally compatible. The error contract is
+// that of the package-level Solve.
+func (s *RevisedSolver) Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s.stats.Solves++
+	n := len(p.C)
+	nEq, nUb := 0, 0
+	if p.Aeq != nil {
+		nEq = p.Aeq.Rows()
+	}
+	if p.Aub != nil {
+		nUb = p.Aub.Rows()
+	}
+	if s.hasBasis && (n != s.sigN || nEq != s.sigEq || nUb != s.sigUb) {
+		s.hasBasis = false
+	}
+	s.sigN, s.sigEq, s.sigUb = n, nEq, nUb
+
+	if nEq+nUb == 0 || !s.warmEligible(p) {
+		// Unconstrained problems never touch the tableau basis, and free
+		// variables have no bound to park a nonbasic status at; both stay
+		// on the flat path with no warm state.
+		s.hasBasis = false
+		s.stats.ColdSolves++
+		return s.cold.Solve(p)
+	}
+
+	if s.hasBasis {
+		if sol, ok := s.warmSolve(p); ok {
+			s.stats.WarmSolves++
+			return sol, nil
+		}
+		s.stats.Fallbacks++
+		s.hasBasis = false
+	}
+	return s.coldSolve(p)
+}
+
+// coldSolve delegates to the flat tableau solver and crashes a warm basis
+// from its optimal tableau.
+func (s *RevisedSolver) coldSolve(p *Problem) (*Solution, error) {
+	s.stats.ColdSolves++
+	sol, err := s.cold.Solve(p)
+	if err != nil {
+		s.hasBasis = false
+		return nil, err
+	}
+	s.hasBasis = s.crashFromCold(p)
+	return sol, nil
+}
+
+// warmEligible reports whether every variable has at least one finite
+// bound (the nonbasic statuses need a bound to sit at).
+func (s *RevisedSolver) warmEligible(p *Problem) bool {
+	for j := range p.C {
+		lo, up := p.bound(j)
+		if math.IsInf(lo, -1) && math.IsInf(up, 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// crashFromCold derives bounded-form variable statuses from the flat
+// solver's final basis. Returns false when no clean basis exists (an
+// artificial column is still basic — a redundant row — or the status
+// count does not form a basis).
+func (s *RevisedSolver) crashFromCold(p *Problem) bool {
+	c := &s.cold
+	n, nEq, nUb := s.sigN, s.sigEq, s.sigUb
+	nUp := len(c.upperCol)
+	stdN := c.n
+	cols := stdN - nUb - nUp
+
+	// Membership of the final tableau basis over standard-form columns.
+	inBasis := make([]bool, stdN)
+	for _, b := range c.basis {
+		if b >= stdN {
+			return false // artificial stuck in basis: redundant row
+		}
+		inBasis[b] = true
+	}
+	// Upper-bound row index per standard-form column.
+	upOf := make([]int, cols)
+	for i := range upOf {
+		upOf[i] = -1
+	}
+	for i, col := range c.upperCol {
+		upOf[col] = i
+	}
+
+	nTot := n + nUb
+	s.status = growI8(s.status, nTot)
+	count := 0
+	for j := 0; j < n; j++ {
+		vm := c.vmap[j]
+		switch vm.kind {
+		case 0: // x = lo + y
+			switch {
+			case !inBasis[vm.col]:
+				s.status[j] = stLower
+			case upOf[vm.col] >= 0 && !inBasis[cols+nUb+upOf[vm.col]]:
+				// y basic at its upper-row RHS: the variable sits at its
+				// upper bound, nonbasic in the bounded form.
+				s.status[j] = stUpper
+			default:
+				s.status[j] = stBasic
+				count++
+			}
+		case 1: // x = up - y
+			if inBasis[vm.col] {
+				s.status[j] = stBasic
+				count++
+			} else {
+				s.status[j] = stUpper
+			}
+		default: // free split: warmEligible filtered these out
+			return false
+		}
+	}
+	for i := 0; i < nUb; i++ {
+		if inBasis[cols+i] {
+			s.status[n+i] = stBasic
+			count++
+		} else {
+			s.status[n+i] = stLower
+		}
+	}
+	return count == nEq+nUb
+}
+
+// ---- Warm path ------------------------------------------------------------
+
+// warmSolve re-solves p from the stored statuses. ok=false means "fall
+// back to a cold solve" for any reason, including warm-detected
+// infeasibility (the cold path re-derives and reports it exactly).
+func (s *RevisedSolver) warmSolve(p *Problem) (*Solution, bool) {
+	n := s.sigN
+	s.setupModel(p)
+	if err := s.factorBasis(p); err != nil {
+		return nil, false
+	}
+	s.computeX(p)
+	s.computeDualsAndReducedCosts(p)
+
+	pf := s.primalFeasible()
+	df := s.dualFeasible()
+	switch {
+	case pf:
+		if s.primalLoop(p) != nil {
+			return nil, false
+		}
+	case df:
+		if s.dualLoop(p) != nil {
+			return nil, false
+		}
+		if s.primalLoop(p) != nil {
+			return nil, false
+		}
+	default:
+		return nil, false
+	}
+	if !s.verify(p) {
+		return nil, false
+	}
+	xOut := make([]float64, n)
+	copy(xOut, s.x[:n])
+	return &Solution{X: xOut, Objective: mat.Dot(p.C, xOut), Status: StatusOptimal}, true
+}
+
+// setupModel fills the per-variable bound and cost arrays and the
+// scale-aware tolerances.
+func (s *RevisedSolver) setupModel(p *Problem) {
+	n, nUb := s.sigN, s.sigUb
+	nTot := n + nUb
+	s.lo = growF(s.lo, nTot)
+	s.up = growF(s.up, nTot)
+	s.c = growF(s.c, nTot)
+	s.x = growF(s.x, nTot)
+	s.d = growF(s.d, nTot)
+	var cScale float64
+	for j := 0; j < n; j++ {
+		s.lo[j], s.up[j] = p.bound(j)
+		s.c[j] = p.C[j]
+		if a := math.Abs(p.C[j]); a > cScale {
+			cScale = a
+		}
+	}
+	for i := 0; i < nUb; i++ {
+		s.lo[n+i], s.up[n+i] = 0, math.Inf(1)
+		s.c[n+i] = 0
+	}
+	var bScale float64
+	for _, v := range p.Beq {
+		if a := math.Abs(v); a > bScale {
+			bScale = a
+		}
+	}
+	for _, v := range p.Bub {
+		if a := math.Abs(v); a > bScale {
+			bScale = a
+		}
+	}
+	for j := 0; j < n; j++ {
+		if a := math.Abs(s.lo[j]); a > bScale && !math.IsInf(a, 1) {
+			bScale = a
+		}
+		if a := math.Abs(s.up[j]); a > bScale && !math.IsInf(a, 1) {
+			bScale = a
+		}
+	}
+	s.ptol = feasTol * (1 + bScale)
+	s.dtol = feasTol * (1 + cScale)
+}
+
+// rowView returns row r of the stacked [Aeq; Aub] constraint matrix.
+func (s *RevisedSolver) rowView(p *Problem, r int) []float64 {
+	if r < s.sigEq {
+		return p.Aeq.RowView(r)
+	}
+	return p.Aub.RowView(r - s.sigEq)
+}
+
+// rowRHS returns the right-hand side of stacked row r.
+func (s *RevisedSolver) rowRHS(p *Problem, r int) float64 {
+	if r < s.sigEq {
+		return p.Beq[r]
+	}
+	return p.Bub[r-s.sigEq]
+}
+
+// factorBasis rebuilds the active-row and basic-column lists from the
+// statuses and factors the working matrix W = A[active rows, basic
+// structural columns]. Any structural defect (cardinality mismatch,
+// singular W) is an error that sends the caller cold.
+func (s *RevisedSolver) factorBasis(p *Problem) error {
+	n, nEq, nUb := s.sigN, s.sigEq, s.sigUb
+	s.activeRows = s.activeRows[:0]
+	for r := 0; r < nEq; r++ {
+		s.activeRows = append(s.activeRows, r)
+	}
+	for i := 0; i < nUb; i++ {
+		if s.status[n+i] != stBasic {
+			s.activeRows = append(s.activeRows, nEq+i)
+		}
+	}
+	s.basicStruct = s.basicStruct[:0]
+	if cap(s.isBasicCol) < n {
+		s.isBasicCol = make([]bool, n)
+	}
+	s.isBasicCol = s.isBasicCol[:n]
+	for j := 0; j < n; j++ {
+		s.isBasicCol[j] = s.status[j] == stBasic
+		if s.isBasicCol[j] {
+			s.basicStruct = append(s.basicStruct, j)
+		}
+	}
+	k := len(s.activeRows)
+	if len(s.basicStruct) != k {
+		return ErrMaxIterations // structural defect; exact error unused
+	}
+	s.w.ReuseAs(k, k)
+	wd := s.w.RawData()
+	for a, r := range s.activeRows {
+		rv := s.rowView(p, r)
+		row := wd[a*k : (a+1)*k]
+		for b, j := range s.basicStruct {
+			row[b] = rv[j]
+		}
+	}
+	if k == 0 {
+		return nil
+	}
+	return s.lu.Reset(&s.w)
+}
+
+// computeX sets every variable's value from the statuses: nonbasic at
+// bounds, basic structurals from the working-matrix solve, basic slacks
+// from their row residuals.
+func (s *RevisedSolver) computeX(p *Problem) {
+	n, nUb := s.sigN, s.sigUb
+	for j := 0; j < n+nUb; j++ {
+		switch s.status[j] {
+		case stLower:
+			s.x[j] = s.lo[j]
+		case stUpper:
+			s.x[j] = s.up[j]
+		}
+	}
+	k := len(s.activeRows)
+	s.rhs = growF(s.rhs, k)
+	s.sol = growF(s.sol, k)
+	for a, r := range s.activeRows {
+		rv := s.rowView(p, r)
+		sum := s.rowRHS(p, r)
+		for j := 0; j < n; j++ {
+			if !s.isBasicCol[j] {
+				sum -= rv[j] * s.x[j]
+			}
+		}
+		s.rhs[a] = sum
+	}
+	if k > 0 {
+		s.lu.SolveInto(s.sol, s.rhs)
+		for b, j := range s.basicStruct {
+			s.x[j] = s.sol[b]
+		}
+	}
+	for i := 0; i < nUb; i++ {
+		if s.status[n+i] != stBasic {
+			continue
+		}
+		rv := p.Aub.RowView(i)
+		sum := p.Bub[i]
+		for j := 0; j < n; j++ {
+			sum -= rv[j] * s.x[j]
+		}
+		s.x[n+i] = sum
+	}
+}
+
+// computeDualsAndReducedCosts solves Wᵀy = c_B for the active-row duals
+// and prices every column: d = c − yᵀA (zero dual on inactive rows).
+func (s *RevisedSolver) computeDualsAndReducedCosts(p *Problem) {
+	n, nEq, nUb := s.sigN, s.sigEq, s.sigUb
+	k := len(s.activeRows)
+	s.yAct = growF(s.yAct, k)
+	s.rhs = growF(s.rhs, k)
+	for b, j := range s.basicStruct {
+		s.rhs[b] = s.c[j]
+	}
+	if k > 0 {
+		s.lu.SolveTransposeInto(s.yAct, s.rhs)
+	}
+	copy(s.d[:n], s.c[:n])
+	for i := 0; i < nUb; i++ {
+		s.d[n+i] = 0
+	}
+	for a, r := range s.activeRows {
+		y := s.yAct[a]
+		if y != 0 {
+			mat.AxpyVec(-y, s.rowView(p, r), s.d[:n])
+		}
+		if r >= nEq {
+			s.d[n+(r-nEq)] = -y
+		}
+	}
+}
+
+// primalFeasible reports whether every basic variable is inside its
+// bounds (nonbasic variables sit on a bound by construction).
+func (s *RevisedSolver) primalFeasible() bool {
+	for j, st := range s.status[:s.sigN+s.sigUb] {
+		if st != stBasic {
+			continue
+		}
+		if s.x[j] < s.lo[j]-s.ptol || s.x[j] > s.up[j]+s.ptol {
+			return false
+		}
+	}
+	return true
+}
+
+// dualFeasible reports whether the reduced costs certify the current
+// basis: nonnegative at lower bounds, nonpositive at upper bounds.
+func (s *RevisedSolver) dualFeasible() bool {
+	for j, st := range s.status[:s.sigN+s.sigUb] {
+		switch st {
+		case stLower:
+			if s.d[j] < -s.dtol && s.up[j] > s.lo[j] {
+				return false
+			}
+		case stUpper:
+			if s.d[j] > s.dtol && s.up[j] > s.lo[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// computeColumn computes the basis-inverse image of column q: the working
+// solve gives the basic-structural components (into s.sol) and the basic
+// slack components are the row residuals (into s.wSlack, indexed by
+// inequality row).
+func (s *RevisedSolver) computeColumn(p *Problem, q int) {
+	n, nEq, nUb := s.sigN, s.sigEq, s.sigUb
+	k := len(s.activeRows)
+	s.colAct = growF(s.colAct, k)
+	s.sol = growF(s.sol, k)
+	if q < n {
+		for a, r := range s.activeRows {
+			s.colAct[a] = s.rowView(p, r)[q]
+		}
+	} else {
+		// Slack column: unit vector on its (active) row.
+		for a := range s.colAct {
+			s.colAct[a] = 0
+		}
+		row := nEq + (q - n)
+		for a, r := range s.activeRows {
+			if r == row {
+				s.colAct[a] = 1
+				break
+			}
+		}
+	}
+	if k > 0 {
+		s.lu.SolveInto(s.sol, s.colAct)
+	}
+	s.wSlack = growF(s.wSlack, nUb)
+	for i := 0; i < nUb; i++ {
+		if s.status[n+i] != stBasic {
+			s.wSlack[i] = 0
+			continue
+		}
+		rv := p.Aub.RowView(i)
+		var v float64
+		if q < n {
+			v = rv[q]
+		}
+		for b, j := range s.basicStruct {
+			v -= rv[j] * s.sol[b]
+		}
+		s.wSlack[i] = v
+	}
+}
+
+// primalLoop runs bounded-variable primal simplex pivots (Bland's rule)
+// from a primal-feasible basis until optimality. Each iteration refactors
+// the working matrix and recomputes values and prices from scratch — the
+// matrix is at most n×n, so freshness is cheaper than update formulas are
+// risky. A nil return means the statuses describe an optimal basis and
+// s.x/s.d hold fresh values for it.
+func (s *RevisedSolver) primalLoop(p *Problem) error {
+	n := s.sigN
+	nTot := n + s.sigUb
+	for iter := 0; iter < warmMaxIter; iter++ {
+		// Entering variable: Bland's smallest index with an improving
+		// reduced cost. Fixed variables (lo == up) cannot move.
+		enter := -1
+		var sigma float64
+		for j := 0; j < nTot; j++ {
+			switch s.status[j] {
+			case stLower:
+				if s.d[j] < -s.dtol && s.up[j] > s.lo[j] {
+					enter, sigma = j, 1
+				}
+			case stUpper:
+				if s.d[j] > s.dtol && s.up[j] > s.lo[j] {
+					enter, sigma = j, -1
+				}
+			}
+			if enter >= 0 {
+				break
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		s.computeColumn(p, enter)
+
+		// Ratio test: the entering variable moves by t >= 0 toward its
+		// opposite bound; basic variables move at rate -sigma * w.
+		tBest := s.up[enter] - s.lo[enter] // own-range bound flip, may be +Inf
+		leave, leaveAtUpper := -1, false
+		consider := func(j int, rate float64) {
+			var ratio float64
+			var hitsUpper bool
+			switch {
+			case rate < -pivotTol:
+				if math.IsInf(s.lo[j], -1) {
+					return
+				}
+				ratio = (s.x[j] - s.lo[j]) / -rate
+			case rate > pivotTol:
+				if math.IsInf(s.up[j], 1) {
+					return
+				}
+				ratio = (s.up[j] - s.x[j]) / rate
+				hitsUpper = true
+			default:
+				return
+			}
+			if ratio < 0 {
+				ratio = 0 // degenerate overshoot from roundoff
+			}
+			if ratio < tBest-ratioTie || (ratio <= tBest+ratioTie && (leave == -1 || j < leave)) {
+				tBest = ratio
+				leave = j
+				leaveAtUpper = hitsUpper
+			}
+		}
+		for b, j := range s.basicStruct {
+			consider(j, -sigma*s.sol[b])
+		}
+		for i := 0; i < s.sigUb; i++ {
+			if s.status[n+i] == stBasic {
+				consider(n+i, -sigma*s.wSlack[i])
+			}
+		}
+		if math.IsInf(tBest, 1) {
+			return ErrUnbounded
+		}
+		s.stats.PrimalPivots++
+		if leave < 0 {
+			// Bound flip: the entering variable crosses its own range
+			// before any basic variable blocks.
+			if s.status[enter] == stLower {
+				s.status[enter] = stUpper
+			} else {
+				s.status[enter] = stLower
+			}
+		} else {
+			s.status[enter] = stBasic
+			if leaveAtUpper {
+				s.status[leave] = stUpper
+			} else {
+				s.status[leave] = stLower
+			}
+		}
+		if err := s.factorBasis(p); err != nil {
+			return err
+		}
+		s.computeX(p)
+		s.computeDualsAndReducedCosts(p)
+	}
+	return ErrMaxIterations
+}
+
+// dualLoop runs bounded-variable dual simplex pivots from a dual-feasible
+// basis until primal feasibility — the recovery path when a perturbed
+// candidate makes the previous optimal basis primal infeasible. A nil
+// return means s.x is primal feasible for the current statuses.
+func (s *RevisedSolver) dualLoop(p *Problem) error {
+	n, nEq := s.sigN, s.sigEq
+	nTot := n + s.sigUb
+	for iter := 0; iter < warmMaxIter; iter++ {
+		// Leaving variable: smallest-index basic variable outside its
+		// bounds (Bland-style anti-cycling for the dual method).
+		leave := -1
+		var belowLower bool
+		for j := 0; j < nTot; j++ {
+			if s.status[j] != stBasic {
+				continue
+			}
+			if s.x[j] < s.lo[j]-s.ptol {
+				leave, belowLower = j, true
+				break
+			}
+			if s.x[j] > s.up[j]+s.ptol {
+				leave, belowLower = j, false
+				break
+			}
+		}
+		if leave < 0 {
+			return nil // primal feasible
+		}
+
+		// Row direction: rho = B^-T e_leave over the active rows, with an
+		// extra unit weight on the leaving slack's own (inactive) row.
+		k := len(s.activeRows)
+		s.rho = growF(s.rho, k)
+		s.rhs = growF(s.rhs, k)
+		extraRow := -1
+		if leave < n {
+			pos := -1
+			for b, j := range s.basicStruct {
+				if j == leave {
+					pos = b
+					break
+				}
+			}
+			if pos < 0 {
+				return ErrMaxIterations
+			}
+			for a := range s.rhs {
+				s.rhs[a] = 0
+			}
+			s.rhs[pos] = 1
+			if k > 0 {
+				s.lu.SolveTransposeInto(s.rho, s.rhs)
+			}
+		} else {
+			extraRow = nEq + (leave - n)
+			rv := p.Aub.RowView(leave - n)
+			for b, j := range s.basicStruct {
+				s.rhs[b] = rv[j]
+			}
+			if k > 0 {
+				s.lu.SolveTransposeInto(s.rho, s.rhs)
+			}
+			for a := range s.rho {
+				s.rho[a] = -s.rho[a]
+			}
+		}
+
+		// alpha_j = rho . A[:, j] for every nonbasic column.
+		s.alpha = growF(s.alpha, nTot)
+		for j := 0; j < n; j++ {
+			s.alpha[j] = 0
+		}
+		for a, r := range s.activeRows {
+			if s.rho[a] != 0 {
+				mat.AxpyVec(s.rho[a], s.rowView(p, r), s.alpha[:n])
+			}
+		}
+		if extraRow >= 0 {
+			mat.AxpyVec(1, s.rowView(p, extraRow), s.alpha[:n])
+		}
+		for a, r := range s.activeRows {
+			if r >= nEq {
+				s.alpha[n+(r-nEq)] = s.rho[a]
+			}
+		}
+
+		// Entering variable: dual ratio test over sign-eligible nonbasic
+		// columns, smallest |d|/|alpha| with Bland tie-breaking.
+		enter := -1
+		best := math.Inf(1)
+		for j := 0; j < nTot; j++ {
+			st := s.status[j]
+			if st == stBasic || s.up[j] <= s.lo[j] {
+				continue
+			}
+			a := s.alpha[j]
+			if math.Abs(a) <= pivotTol {
+				continue
+			}
+			// x_leave changes by -alpha_j * dx_j; pick directions that
+			// push it back toward the violated bound.
+			var elig bool
+			if belowLower {
+				elig = (st == stLower && a < 0) || (st == stUpper && a > 0)
+			} else {
+				elig = (st == stLower && a > 0) || (st == stUpper && a < 0)
+			}
+			if !elig {
+				continue
+			}
+			dj := s.d[j]
+			// Clamp tiny wrong-signed reduced costs (inside the dual
+			// tolerance) to zero so the ratio stays nonnegative.
+			if st == stLower && dj < 0 {
+				dj = 0
+			}
+			if st == stUpper && dj > 0 {
+				dj = 0
+			}
+			ratio := math.Abs(dj) / math.Abs(a)
+			if ratio < best-ratioTie || (ratio <= best+ratioTie && (enter == -1 || j < enter)) {
+				best = ratio
+				enter = j
+			}
+		}
+		if enter < 0 {
+			// No column can repair the violated row: primal infeasible.
+			return ErrInfeasible
+		}
+		s.stats.DualPivots++
+		s.status[enter] = stBasic
+		if belowLower {
+			s.status[leave] = stLower
+		} else {
+			s.status[leave] = stUpper
+		}
+		if err := s.factorBasis(p); err != nil {
+			return err
+		}
+		s.computeX(p)
+		s.computeDualsAndReducedCosts(p)
+	}
+	return ErrMaxIterations
+}
+
+// verify checks the warm result against the original problem: bounds and
+// rows within the scale-aware primal tolerance, and the reduced-cost
+// optimality certificate within the dual tolerance. It is the exact
+// feasibility/optimality cross-check gating every warm answer; failure
+// sends the solve to the flat tableau solver.
+func (s *RevisedSolver) verify(p *Problem) bool {
+	n, nEq, nUb := s.sigN, s.sigEq, s.sigUb
+	for j := 0; j < n; j++ {
+		if s.x[j] < s.lo[j]-s.ptol || s.x[j] > s.up[j]+s.ptol {
+			return false
+		}
+	}
+	for r := 0; r < nEq; r++ {
+		rv := p.Aeq.RowView(r)
+		var sum, scale float64
+		for j := 0; j < n; j++ {
+			v := rv[j] * s.x[j]
+			sum += v
+			scale += math.Abs(v)
+		}
+		if math.Abs(sum-p.Beq[r]) > feasTol*(1+scale+math.Abs(p.Beq[r])) {
+			return false
+		}
+	}
+	for r := 0; r < nUb; r++ {
+		rv := p.Aub.RowView(r)
+		var sum, scale float64
+		for j := 0; j < n; j++ {
+			v := rv[j] * s.x[j]
+			sum += v
+			scale += math.Abs(v)
+		}
+		if sum > p.Bub[r]+feasTol*(1+scale+math.Abs(p.Bub[r])) {
+			return false
+		}
+	}
+	return s.dualFeasible()
+}
+
+// growI8 is growF for status slices.
+func growI8(buf []int8, n int) []int8 {
+	if cap(buf) < n {
+		return make([]int8, n)
+	}
+	return buf[:n]
+}

@@ -1,0 +1,287 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"gridmtd/internal/mat"
+)
+
+// randomBoundedLP builds a random feasible-looking LP with one equality
+// row (a budget constraint, like the dispatch balance) and several
+// inequality rows over box-bounded variables.
+func randomBoundedLP(rng *rand.Rand, n, nUb int) *Problem {
+	c := make([]float64, n)
+	lo := make([]float64, n)
+	up := make([]float64, n)
+	total := 0.0
+	for j := 0; j < n; j++ {
+		c[j] = 1 + 9*rng.Float64()
+		lo[j] = 0
+		up[j] = 1 + 4*rng.Float64()
+		total += up[j]
+	}
+	aeq := mat.NewDense(1, n)
+	for j := 0; j < n; j++ {
+		aeq.Set(0, j, 1)
+	}
+	beq := []float64{total * (0.3 + 0.4*rng.Float64())}
+	aub := mat.NewDense(nUb, n)
+	bub := make([]float64, nUb)
+	for i := 0; i < nUb; i++ {
+		for j := 0; j < n; j++ {
+			aub.Set(i, j, 2*rng.Float64()-1)
+		}
+		bub[i] = 1 + 3*rng.Float64()
+	}
+	return &Problem{C: c, Aeq: aeq, Beq: beq, Aub: aub, Bub: bub, Lower: lo, Upper: up}
+}
+
+func objectivesAgree(t *testing.T, tag string, a, b float64) {
+	t.Helper()
+	scale := 1 + math.Abs(a)
+	if math.Abs(a-b) > 1e-9*scale {
+		t.Fatalf("%s: objectives disagree: %.15g vs %.15g", tag, a, b)
+	}
+}
+
+// TestRevisedMatchesFlatRandom cross-checks the revised solver against the
+// flat tableau solver on random LPs, including the warm re-solve of each
+// problem (second call reuses the crashed basis).
+func TestRevisedMatchesFlatRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rs := NewRevisedSolver()
+	solved := 0
+	for trial := 0; trial < 120; trial++ {
+		p := randomBoundedLP(rng, 3+rng.Intn(6), 1+rng.Intn(8))
+		ref, refErr := Solve(p)
+		got, gotErr := rs.Solve(p)
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: flat err %v, revised err %v", trial, refErr, gotErr)
+		}
+		if refErr != nil {
+			continue
+		}
+		solved++
+		objectivesAgree(t, "cold", ref.Objective, got.Objective)
+		// Re-solve warm: the crashed basis is already optimal, so this
+		// must finish on the warm path with zero pivots.
+		before := rs.Stats()
+		again, err := rs.Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d warm re-solve: %v", trial, err)
+		}
+		objectivesAgree(t, "warm", ref.Objective, again.Objective)
+		if rs.Stats().WarmSolves == before.WarmSolves {
+			t.Fatalf("trial %d: warm re-solve did not use the warm path", trial)
+		}
+	}
+	if solved < 40 {
+		t.Fatalf("only %d/120 random LPs were feasible; generator too aggressive", solved)
+	}
+}
+
+// TestRevisedWarmAcrossPerturbations drives one solver through a walk of
+// slightly perturbed LPs — the dispatch-engine access pattern — and
+// cross-checks every solve against a fresh flat solve.
+func TestRevisedWarmAcrossPerturbations(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var base *Problem
+	for seed := int64(11); ; seed++ {
+		rng = rand.New(rand.NewSource(seed))
+		base = randomBoundedLP(rng, 6, 10)
+		if _, err := Solve(base); err == nil {
+			break
+		}
+		if seed > 100 {
+			t.Fatal("no feasible base LP found")
+		}
+	}
+	rs := NewRevisedSolver()
+	warmUsed := 0
+	for step := 0; step < 60; step++ {
+		p := &Problem{
+			C:     base.C,
+			Aeq:   base.Aeq,
+			Beq:   base.Beq,
+			Aub:   base.Aub.Clone(),
+			Bub:   append([]float64(nil), base.Bub...),
+			Lower: base.Lower,
+			Upper: base.Upper,
+		}
+		for i := 0; i < p.Aub.Rows(); i++ {
+			for j := 0; j < p.Aub.Cols(); j++ {
+				p.Aub.Set(i, j, p.Aub.At(i, j)*(1+0.15*(2*rng.Float64()-1)))
+			}
+			p.Bub[i] *= 1 + 0.15*(2*rng.Float64()-1)
+		}
+		ref, refErr := Solve(p)
+		before := rs.Stats()
+		got, gotErr := rs.Solve(p)
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("step %d: flat err %v, revised err %v", step, refErr, gotErr)
+		}
+		if refErr != nil {
+			continue
+		}
+		objectivesAgree(t, "perturbed", ref.Objective, got.Objective)
+		if rs.Stats().WarmSolves > before.WarmSolves {
+			warmUsed++
+		}
+	}
+	if warmUsed == 0 {
+		t.Fatal("no perturbed solve used the warm path")
+	}
+	t.Logf("warm path used on %d/60 perturbed solves; stats %+v", warmUsed, rs.Stats())
+}
+
+// TestRevisedDualRecovery tightens an inequality until the previous
+// optimal basis is primal infeasible and checks that the dual-simplex
+// recovery produces the flat solver's optimum.
+func TestRevisedDualRecovery(t *testing.T) {
+	// min -x0 - x1 inside the unit box with x0 + x1 <= b: the optimum
+	// rides the diagonal constraint, so shrinking b strands the old basis
+	// above the new facet.
+	mk := func(b float64) *Problem {
+		return &Problem{
+			C:     []float64{-1, -1.1},
+			Aub:   mat.NewDenseFrom(1, 2, []float64{1, 1}),
+			Bub:   []float64{b},
+			Lower: []float64{0, 0},
+			Upper: []float64{1, 1},
+		}
+	}
+	rs := NewRevisedSolver()
+	if _, err := rs.Solve(mk(1.5)); err != nil {
+		t.Fatal(err)
+	}
+	before := rs.Stats()
+	got, err := rs.Solve(mk(0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Solve(mk(0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	objectivesAgree(t, "tightened", ref.Objective, got.Objective)
+	st := rs.Stats()
+	if st.WarmSolves == before.WarmSolves {
+		t.Fatalf("tightened solve fell back cold: %+v", st)
+	}
+	if st.DualPivots == before.DualPivots {
+		t.Fatalf("expected dual-simplex pivots for the primal-infeasible basis: %+v", st)
+	}
+}
+
+// TestRevisedDegenerateBasis re-solves a degenerate LP (redundant active
+// constraints at the optimum) warm and cross-checks the objective.
+func TestRevisedDegenerateBasis(t *testing.T) {
+	// Three constraints meet x0 + x1 <= 1 at the same vertex (1, 0):
+	// duplicated rows force degenerate pivots.
+	p := &Problem{
+		C:     []float64{-1, -0.5},
+		Aub:   mat.NewDenseFrom(3, 2, []float64{1, 1, 1, 1, 2, 2}),
+		Bub:   []float64{1, 1, 2},
+		Lower: []float64{0, 0},
+		Upper: []float64{2, 2},
+	}
+	rs := NewRevisedSolver()
+	first, err := rs.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := rs.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objectivesAgree(t, "degenerate", first.Objective, second.Objective)
+	ref, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objectivesAgree(t, "degenerate-vs-flat", ref.Objective, second.Objective)
+}
+
+// TestRevisedInfeasibleAfterWarm perturbs a solved LP into infeasibility;
+// the warm path must hand over to the flat solver, which reports
+// ErrInfeasible.
+func TestRevisedInfeasibleAfterWarm(t *testing.T) {
+	mk := func(b float64) *Problem {
+		return &Problem{
+			C:     []float64{1, 1},
+			Aeq:   mat.NewDenseFrom(1, 2, []float64{1, 1}),
+			Beq:   []float64{1},
+			Aub:   mat.NewDenseFrom(1, 2, []float64{1, 1}),
+			Bub:   []float64{b},
+			Lower: []float64{0, 0},
+			Upper: []float64{1, 1},
+		}
+	}
+	rs := NewRevisedSolver()
+	if _, err := rs.Solve(mk(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Solve(mk(0.5)); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+	// And the solver recovers once the problem is feasible again.
+	sol, err := rs.Solve(mk(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-1) > 1e-9 {
+		t.Fatalf("post-recovery objective %.12g, want 1", sol.Objective)
+	}
+}
+
+// TestRevisedFreeVariableFallsBack checks that problems outside the warm
+// path's variable model (free variables) still solve via the flat solver.
+func TestRevisedFreeVariableFallsBack(t *testing.T) {
+	p := &Problem{
+		C:   []float64{1, 2},
+		Aeq: mat.NewDenseFrom(1, 2, []float64{1, 1}),
+		Beq: []float64{3},
+		Aub: mat.NewDenseFrom(1, 2, []float64{1, -1}),
+		Bub: []float64{1},
+	}
+	rs := NewRevisedSolver()
+	got, err := rs.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objectivesAgree(t, "free", ref.Objective, got.Objective)
+	if rs.Stats().WarmSolves != 0 {
+		t.Fatal("free-variable LP must not use the warm path")
+	}
+}
+
+// TestRevisedInvalidate forces a cold restart and checks the solver still
+// agrees with the flat path afterwards.
+func TestRevisedInvalidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomBoundedLP(rng, 5, 6)
+	ref, err := Solve(p)
+	if err != nil {
+		t.Skip("random LP infeasible under this seed")
+	}
+	rs := NewRevisedSolver()
+	if _, err := rs.Solve(p); err != nil {
+		t.Fatal(err)
+	}
+	rs.Invalidate()
+	got, err := rs.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objectivesAgree(t, "post-invalidate", ref.Objective, got.Objective)
+	if st := rs.Stats(); st.ColdSolves < 2 {
+		t.Fatalf("Invalidate did not force a cold solve: %+v", st)
+	}
+}

@@ -35,6 +35,26 @@ func (m *Dense) RowView(i int) []float64 {
 // tight loops that have already validated shapes.
 func (m *Dense) RawData() []float64 { return m.data }
 
+// ReuseAs reshapes m to r×c, zeroing the entries. The backing array is
+// reused when it is large enough, so hot loops whose matrix dimensions
+// drift (the revised-simplex working matrix grows and shrinks by one
+// column per pivot) do not reallocate at every step.
+func (m *Dense) ReuseAs(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic("mat: negative dimension")
+	}
+	if cap(m.data) < r*c {
+		m.data = make([]float64, r*c)
+	} else {
+		m.data = m.data[:r*c]
+		for i := range m.data {
+			m.data[i] = 0
+		}
+	}
+	m.rows, m.cols = r, c
+	return m
+}
+
 // NewReusableDense returns an r×c matrix like NewDense; it exists to make
 // workspace-construction sites self-documenting.
 func NewReusableDense(r, c int) *Dense { return NewDense(r, c) }

@@ -5,9 +5,10 @@ import "math"
 // LU holds an LU factorization with partial pivoting of a square matrix:
 // P*A = L*U. It supports repeated solves against the same matrix.
 type LU struct {
-	lu   *Dense // combined L (unit lower) and U factors
-	piv  []int  // row permutation
-	sign int    // permutation parity (for determinants)
+	lu   *Dense    // combined L (unit lower) and U factors
+	piv  []int     // row permutation
+	sign int       // permutation parity (for determinants)
+	tsc  []float64 // transpose-solve scratch
 }
 
 // ComputeLU factors the square matrix a. It returns ErrSingular when a
@@ -119,6 +120,48 @@ func (f *LU) SolveInto(dst, b []float64) []float64 {
 		x[i] = (x[i] - s) / f.lu.data[i*n+i]
 	}
 	return x
+}
+
+// SolveTransposeInto writes the solution of Aᵀ*x = b into dst and returns
+// it. dst must not alias b. With P*A = L*U the transposed system reads
+// Uᵀ*(Lᵀ*(P*x)) = b, so it is a forward substitution with Uᵀ (lower
+// triangular), a back substitution with the unit-diagonal Lᵀ, and the
+// inverse row permutation.
+func (f *LU) SolveTransposeInto(dst, b []float64) []float64 {
+	n := f.lu.rows
+	if len(b) != n || len(dst) != n {
+		panic(ErrShape)
+	}
+	z := dst
+	// Forward substitution with Uᵀ: U is the upper triangle of the packed
+	// factor, so Uᵀ[i][j] = lu[j][i] for j <= i.
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu.data[j*n+i] * z[j]
+		}
+		z[i] = s / f.lu.data[i*n+i]
+	}
+	// Back substitution with Lᵀ (unit diagonal): L[i][j] for j < i sits
+	// below the diagonal, so Lᵀ[i][j] = lu[j][i] for j > i.
+	for i := n - 2; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s -= f.lu.data[j*n+i] * z[j]
+		}
+		z[i] += s
+	}
+	// x = Pᵀ*z: piv maps factored row i to original row piv[i], so
+	// x[piv[i]] = z[i]. The scatter needs scratch because dst holds z.
+	if cap(f.tsc) < n {
+		f.tsc = make([]float64, n)
+	}
+	t := f.tsc[:n]
+	copy(t, z)
+	for i := 0; i < n; i++ {
+		dst[f.piv[i]] = t[i]
+	}
+	return dst
 }
 
 // Det returns the determinant of the factored matrix.

@@ -26,9 +26,24 @@ import (
 // transparently.
 //
 // A DispatchEngine is safe for concurrent use.
+//
+// On the sparse-backend path (grid.EffectiveBackend resolves to
+// SparseBackend, i.e. ≥ grid.SparseThreshold buses under AutoBackend) the
+// dispatch LP is solved by the warm-started revised simplex
+// (lp.RevisedSolver): each workspace keeps the previous solve's optimal
+// basis and re-solves the near-identical LPs of one local search from it,
+// with dual-simplex recovery and a verified cold fallback. Warm solves
+// agree with the flat tableau solver to well under 1e-9 on the objective
+// but not bitwise, and the result of a sequence of solves depends on the
+// sequence (the basis carries over) — deterministic parallel drivers must
+// therefore scope a workspace per worker via NewSession and reset it at
+// their determinism boundaries (optimize.MultiStart does this per local
+// search). The dense path keeps the historical flat tableau solver and
+// stays bitwise identical to SolveDispatch.
 type DispatchEngine struct {
 	n       *grid.Network
 	backend grid.Backend
+	warm    bool // sparse path: warm-started revised simplex
 	nG      int
 	redIdx  []int // reduced state column per generator bus, -1 at slack
 	limRow  []int // branch indices with finite flow limits
@@ -48,7 +63,8 @@ type dispatchWorkspace struct {
 	s       *mat.Dense // dispatch-to-flow map, L×nG
 	aub     *mat.Dense
 	bub     []float64
-	solver  *lp.Solver
+	solver  *lp.Solver        // dense path: historical flat tableau
+	rsolver *lp.RevisedSolver // sparse path: warm-started revised simplex
 	// Full-solve extras (power-flow verification).
 	inj      []float64
 	pRed     []float64
@@ -70,7 +86,16 @@ func NewDispatchEngineBackend(n *grid.Network, backend grid.Backend) (*DispatchE
 	if len(n.Gens) == 0 {
 		return nil, errors.New("opf: network has no generators")
 	}
-	e := &DispatchEngine{n: n, backend: backend, nG: len(n.Gens)}
+	// Snapshot the backend resolution (including any process-wide default
+	// override) at construction, so lazily created pool workspaces always
+	// match the engine's warm/dense mode.
+	eff := grid.EffectiveBackend(n, backend)
+	e := &DispatchEngine{
+		n:       n,
+		backend: eff,
+		warm:    eff == grid.SparseBackend,
+		nG:      len(n.Gens),
+	}
 	e.redIdx = make([]int, e.nG)
 	for gi, g := range n.Gens {
 		e.redIdx[gi] = -1
@@ -100,10 +125,14 @@ func NewDispatchEngineBackend(n *grid.Network, backend grid.Backend) (*DispatchE
 			f0:       make([]float64, nl),
 			s:        mat.NewDense(nl, e.nG),
 			bub:      make([]float64, 2*len(e.limRow)),
-			solver:   lp.NewSolver(),
 			inj:      make([]float64, nb),
 			pRed:     make([]float64, nb-1),
 			thetaRed: make([]float64, nb-1),
+		}
+		if e.warm {
+			w.rsolver = lp.NewRevisedSolver()
+		} else {
+			w.solver = lp.NewSolver()
 		}
 		if len(e.limRow) > 0 {
 			w.aub = mat.NewDense(2*len(e.limRow), e.nG)
@@ -113,9 +142,36 @@ func NewDispatchEngineBackend(n *grid.Network, backend grid.Backend) (*DispatchE
 	return e, nil
 }
 
+// Backend reports the resolved factorization backend the engine runs on.
+func (e *DispatchEngine) Backend() grid.Backend { return e.backend }
+
 // prepare builds the dispatch LP for reactances x into the workspace and
-// solves it. It mirrors SolveDispatch step for step.
+// solves it. It mirrors SolveDispatch step for step on the dense path; the
+// sparse path routes the identical LP through the warm-started revised
+// simplex.
 func (e *DispatchEngine) prepare(w *dispatchWorkspace, x []float64) (*lp.Solution, error) {
+	prob, err := e.buildProblem(w, x)
+	if err != nil {
+		return nil, err
+	}
+	var sol *lp.Solution
+	if e.warm {
+		sol, err = w.rsolver.Solve(prob)
+	} else {
+		sol, err = w.solver.Solve(prob)
+	}
+	if err != nil {
+		if errors.Is(err, lp.ErrInfeasible) {
+			return nil, ErrInfeasible
+		}
+		return nil, fmt.Errorf("opf: %w", err)
+	}
+	return sol, nil
+}
+
+// buildProblem assembles the dispatch LP for reactances x into the
+// workspace buffers (the returned Problem aliases them).
+func (e *DispatchEngine) buildProblem(w *dispatchWorkspace, x []float64) (*lp.Problem, error) {
 	n := e.n
 	// PTDF = D·Arᵀ·Br⁻¹ through the factorization backend (the dense
 	// backend reproduces Network.PTDF's construction bitwise).
@@ -173,14 +229,7 @@ func (e *DispatchEngine) prepare(w *dispatchWorkspace, x []float64) (*lp.Solutio
 		prob.Aub = w.aub
 		prob.Bub = w.bub
 	}
-	sol, err := w.solver.Solve(prob)
-	if err != nil {
-		if errors.Is(err, lp.ErrInfeasible) {
-			return nil, ErrInfeasible
-		}
-		return nil, fmt.Errorf("opf: %w", err)
-	}
-	return sol, nil
+	return prob, nil
 }
 
 // Cost returns the optimal generation cost ($/h) for reactances x without
@@ -201,6 +250,11 @@ func (e *DispatchEngine) Cost(x []float64) (float64, error) {
 func (e *DispatchEngine) Solve(x []float64) (*Result, error) {
 	w := e.pool.Get().(*dispatchWorkspace)
 	defer e.pool.Put(w)
+	return e.solve(w, x)
+}
+
+// solve is Solve against an explicit workspace.
+func (e *DispatchEngine) solve(w *dispatchWorkspace, x []float64) (*Result, error) {
 	sol, err := e.prepare(w, x)
 	if err != nil {
 		return nil, err
@@ -238,6 +292,55 @@ func (e *DispatchEngine) Solve(x []float64) (*Result, error) {
 		CostPerHour: sol.Objective,
 		Reactances:  mat.CopyVec(x),
 	}, nil
+}
+
+// DispatchSession is a single-goroutine view of a DispatchEngine: it owns
+// one workspace outright instead of borrowing from the pool per call. The
+// parallel multi-start driver holds one session per worker (no pool churn)
+// and, on the sparse path, the session is where the warm LP basis lives —
+// ResetWarmStart scopes it to one local search so results stay independent
+// of how starts are distributed across workers. A DispatchSession is not
+// safe for concurrent use.
+type DispatchSession struct {
+	e *DispatchEngine
+	w *dispatchWorkspace
+}
+
+// NewSession returns a fresh session with its own workspace.
+func (e *DispatchEngine) NewSession() *DispatchSession {
+	return &DispatchSession{e: e, w: e.pool.New().(*dispatchWorkspace)}
+}
+
+// Cost is DispatchEngine.Cost on the session's private workspace.
+func (s *DispatchSession) Cost(x []float64) (float64, error) {
+	sol, err := s.e.prepare(s.w, x)
+	if err != nil {
+		return 0, err
+	}
+	return sol.Objective, nil
+}
+
+// Solve is DispatchEngine.Solve on the session's private workspace.
+func (s *DispatchSession) Solve(x []float64) (*Result, error) {
+	return s.e.solve(s.w, x)
+}
+
+// ResetWarmStart drops the session's warm LP basis (a no-op on the dense
+// path): the next solve starts cold. Deterministic drivers call it at
+// their reproducibility boundaries — one local search per warm scope.
+func (s *DispatchSession) ResetWarmStart() {
+	if s.w.rsolver != nil {
+		s.w.rsolver.Invalidate()
+	}
+}
+
+// LPStats reports the session's revised-simplex counters (zero value on
+// the dense path).
+func (s *DispatchSession) LPStats() lp.RevisedStats {
+	if s.w.rsolver == nil {
+		return lp.RevisedStats{}
+	}
+	return s.w.rsolver.Stats()
 }
 
 // reduceInto removes the slack entry of the length-N vector v into dst.

@@ -89,21 +89,30 @@ func SolveDFACTS(n *grid.Network, cfg DFACTSConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	obj := func(xd []float64) float64 {
-		cost, err := engine.Cost(n.ExpandDFACTS(xd))
-		if err != nil {
-			return optimize.InfeasibleObjective
-		}
-		return cost
+	// Per-worker engine sessions: no pool churn per evaluation, and on the
+	// sparse path the warm LP basis is scoped to one local search so the
+	// result is identical for every worker count. The driver-level
+	// objective comes from the same factory — one definition.
+	newWorkerObj := func() (optimize.Objective, func()) {
+		s := engine.NewSession()
+		return func(xd []float64) float64 {
+			cost, err := s.Cost(n.ExpandDFACTS(xd))
+			if err != nil {
+				return optimize.InfeasibleObjective
+			}
+			return cost
+		}, s.ResetWarmStart
 	}
+	obj, _ := newWorkerObj()
 	local := func(f optimize.Objective, x0 []float64) (*optimize.Result, error) {
 		return optimize.NelderMead(f, x0, optimize.NMConfig{MaxEvals: cfg.MaxEvals})
 	}
 	best, err := optimize.MultiStart(obj, box, local, optimize.MSConfig{
-		Starts:        cfg.Starts,
-		Seed:          cfg.Seed,
-		InitialPoints: [][]float64{n.DFACTSSetting(n.Reactances())},
-		Parallelism:   cfg.Parallelism,
+		Starts:             cfg.Starts,
+		Seed:               cfg.Seed,
+		InitialPoints:      [][]float64{n.DFACTSSetting(n.Reactances())},
+		Parallelism:        cfg.Parallelism,
+		NewWorkerObjective: newWorkerObj,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("opf: D-FACTS search: %w", err)

@@ -85,6 +85,17 @@ type MSConfig struct {
 	// sequence, and the reduction picks the same winner a serial loop
 	// would.
 	Parallelism int
+	// NewWorkerObjective, when non-nil, gives every worker goroutine its
+	// own objective (engine affinity: one cached engine session per worker
+	// instead of sync.Pool churn on every evaluation). It returns the
+	// worker's objective and a reset hook the driver calls before each
+	// local search; the hook scopes any cross-evaluation state the
+	// objective carries (the dispatch engine's warm LP basis) to a single
+	// start, so results do not depend on which worker ran which start. The
+	// returned objective must be pointwise identical to the f passed to
+	// MultiStart up to that per-start state; a nil reset is allowed for
+	// stateless objectives.
+	NewWorkerObjective func() (Objective, func())
 }
 
 // MultiStart minimizes f over the box by running the local solver from
@@ -122,10 +133,13 @@ func MultiStart(f Objective, box Bounds, local Local, cfg MSConfig) (*Result, er
 		return nil, errors.New("optimize: no starting points")
 	}
 
-	// Evaluate through a box projection so local solvers cannot leave it.
-	proj := func(x []float64) float64 {
-		clamped := box.Clamp(append([]float64(nil), x...))
-		return f(clamped)
+	// workerObjective resolves one worker's objective and per-start reset
+	// hook: the shared f when no affinity factory is configured.
+	workerObjective := func() (Objective, func()) {
+		if cfg.NewWorkerObjective != nil {
+			return cfg.NewWorkerObjective()
+		}
+		return f, nil
 	}
 
 	type outcome struct {
@@ -134,7 +148,21 @@ func MultiStart(f Objective, box Bounds, local Local, cfg MSConfig) (*Result, er
 		err   error
 	}
 	outs := make([]outcome, len(points))
-	runStart := func(i int) {
+	// runStart runs start i against one worker's objective. The reset hook
+	// fires before the local search, so everything the objective computes
+	// for this start — including the final re-evaluation of the clamped
+	// optimum — depends only on the start itself, never on which worker
+	// ran it or what that worker ran before.
+	runStart := func(i int, obj Objective, reset func()) {
+		if reset != nil {
+			reset()
+		}
+		// Evaluate through a box projection so local solvers cannot leave
+		// the box.
+		proj := func(x []float64) float64 {
+			clamped := box.Clamp(append([]float64(nil), x...))
+			return obj(clamped)
+		}
 		res, err := local(proj, points[i])
 		if err != nil {
 			outs[i] = outcome{err: err}
@@ -142,7 +170,7 @@ func MultiStart(f Objective, box Bounds, local Local, cfg MSConfig) (*Result, er
 		}
 		evals := res.Evals
 		res.X = box.Clamp(res.X)
-		res.F = f(res.X)
+		res.F = obj(res.X)
 		evals++
 		outs[i] = outcome{res: res, evals: evals}
 	}
@@ -155,8 +183,9 @@ func MultiStart(f Objective, box Bounds, local Local, cfg MSConfig) (*Result, er
 		workers = len(points)
 	}
 	if workers <= 1 {
+		obj, reset := workerObjective()
 		for i := range points {
-			runStart(i)
+			runStart(i, obj, reset)
 			if outs[i].err != nil {
 				// Fail fast like the serial loop: later starts never run.
 				return nil, outs[i].err
@@ -169,8 +198,9 @@ func MultiStart(f Objective, box Bounds, local Local, cfg MSConfig) (*Result, er
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				obj, reset := workerObjective()
 				for i := range next {
-					runStart(i)
+					runStart(i, obj, reset)
 				}
 			}()
 		}

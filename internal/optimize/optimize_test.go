@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -366,6 +367,65 @@ func TestMultiStartParallelismInvariant(t *testing.T) {
 		}
 		if res.Evals != base.Evals {
 			t.Fatalf("parallelism %d: Evals = %d, want %d", settings[i+1], res.Evals, base.Evals)
+		}
+	}
+}
+
+// TestMultiStartWorkerObjectiveInvariant checks the per-worker objective
+// affinity path: a factory-built objective that carries per-start state
+// (standing in for the dispatch engine's warm LP basis) must produce the
+// identical Result for every worker count, because the reset hook fires
+// before each local search and scopes the state to that start.
+func TestMultiStartWorkerObjectiveInvariant(t *testing.T) {
+	box := Bounds{Lower: []float64{-3, -3, -3}, Upper: []float64{3, 3, 3}}
+	local := func(f Objective, x0 []float64) (*Result, error) {
+		return NelderMead(f, x0, NMConfig{MaxEvals: 200})
+	}
+	run := func(par int) (*Result, int64) {
+		var resets int64
+		factory := func() (Objective, func()) {
+			evals := 0 // per-worker state, reset at every start
+			obj := func(x []float64) float64 {
+				evals++
+				// The perturbation depends on the evaluation index since
+				// the last reset: results stay parallelism-invariant only
+				// if the driver really resets per start.
+				return multimodal(x) * (1 + 1e-12*float64(evals))
+			}
+			reset := func() {
+				evals = 0
+				atomic.AddInt64(&resets, 1)
+			}
+			return obj, reset
+		}
+		res, err := MultiStart(multimodal, box, local, MSConfig{
+			Starts:             9,
+			Seed:               17,
+			InitialPoints:      [][]float64{{1, 1, 1}},
+			Parallelism:        par,
+			NewWorkerObjective: factory,
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		return res, atomic.LoadInt64(&resets)
+	}
+	base, baseResets := run(1)
+	if baseResets != 10 {
+		t.Fatalf("serial run reset %d times, want one per start (10)", baseResets)
+	}
+	for _, par := range []int{4, 16} {
+		res, resets := run(par)
+		if resets != 10 {
+			t.Fatalf("parallelism %d reset %d times, want 10", par, resets)
+		}
+		if res.F != base.F || res.Evals != base.Evals {
+			t.Fatalf("parallelism %d: (F, Evals) = (%v, %d), want (%v, %d)", par, res.F, res.Evals, base.F, base.Evals)
+		}
+		for j := range base.X {
+			if res.X[j] != base.X[j] {
+				t.Fatalf("parallelism %d: X[%d] = %v, want %v", par, j, res.X[j], base.X[j])
+			}
 		}
 	}
 }
