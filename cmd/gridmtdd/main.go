@@ -1,0 +1,156 @@
+// Command gridmtdd is the long-running MTD planner daemon: an HTTP
+// front-end over the internal planner service, answering selection,
+// γ-evaluation, day-sweep and placement requests for the embedded case
+// registry with memoized case state — the second identical request is a
+// cache lookup, and different requests on one case share its factorized
+// engines.
+//
+// Usage:
+//
+//	gridmtdd [-addr 127.0.0.1:8642] [-backend auto] [-parallel 0]
+//
+// Endpoints (JSON in, JSON out):
+//
+//	GET  /healthz        {"ok":true}
+//	GET  /v1/cases       the case registry
+//	GET  /v1/stats       cache hit/miss counters
+//	POST /v1/select      planner.SelectRequest  -> planner.SelectResponse
+//	POST /v1/gamma       planner.GammaRequest   -> planner.GammaResponse
+//	POST /v1/daysweep    planner.DaySweepRequest -> planner.DaySweepResponse
+//	POST /v1/placement   planner.PlacementRequest -> planner.PlacementResponse
+//
+// A selection request is parameterized exactly like one mtdscan sweep
+// point, so
+//
+//	curl -s -X POST localhost:8642/v1/select -d \
+//	  '{"case":"ieee57","gamma_threshold":0.05,"starts":2,"max_evals":40,"seed":1,"attacks":50}'
+//
+// answers with the γ / η'(δ) / cost row `mtdscan -case ieee57 -from 0.05
+// -to 0.05` prints (the CI daemon-smoke job diffs the two).
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"gridmtd"
+	"gridmtd/internal/planner"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gridmtdd: ")
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8642", "listen address")
+		backend    = flag.String("backend", "auto", "linear-algebra backend: auto, dense or sparse")
+		parallel   = flag.Int("parallel", 0, "per-request search parallelism (0 = all cores); results are identical for any setting")
+		maxCases   = flag.Int("cases", 8, "case LRU capacity ((case, load-scale) entries)")
+		maxResults = flag.Int("results", 256, "response memo capacity")
+	)
+	flag.Parse()
+
+	b, err := gridmtd.ParseBackend(*backend)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The process default drives the γ-kernel seam; the planner config
+	// drives the dispatch engines. One daemon = one backend contract.
+	gridmtd.SetDefaultBackend(b)
+	if *parallel > 0 {
+		runtime.GOMAXPROCS(*parallel)
+	}
+
+	p := planner.New(planner.Config{
+		Backend:     b,
+		MaxCases:    *maxCases,
+		MaxResults:  *maxResults,
+		Parallelism: *parallel,
+	})
+	srv := &http.Server{Addr: *addr, Handler: newHandler(p)}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		log.Print("shutting down")
+		srv.Close()
+	}()
+
+	log.Printf("serving MTD planner on %s (backend %s)", *addr, *backend)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+// newHandler wires the planner's request types to the HTTP surface.
+func newHandler(p *planner.Planner) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /v1/cases", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, gridmtd.Cases())
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, p.Stats())
+	})
+	mux.HandleFunc("POST /v1/select", func(w http.ResponseWriter, r *http.Request) {
+		serve(w, r, func(req planner.SelectRequest) (any, error) { return p.Select(req) })
+	})
+	mux.HandleFunc("POST /v1/gamma", func(w http.ResponseWriter, r *http.Request) {
+		serve(w, r, func(req planner.GammaRequest) (any, error) { return p.Gamma(req) })
+	})
+	mux.HandleFunc("POST /v1/daysweep", func(w http.ResponseWriter, r *http.Request) {
+		serve(w, r, func(req planner.DaySweepRequest) (any, error) { return p.DaySweep(req) })
+	})
+	mux.HandleFunc("POST /v1/placement", func(w http.ResponseWriter, r *http.Request) {
+		serve(w, r, func(req planner.PlacementRequest) (any, error) { return p.Placement(req) })
+	})
+	return logRequests(mux)
+}
+
+// serve decodes one request body, runs the planner call and writes the
+// response, mapping planner errors to HTTP statuses.
+func serve[Req any](w http.ResponseWriter, r *http.Request, call func(Req) (any, error)) {
+	var req Req
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("invalid request: %v", err)})
+		return
+	}
+	resp, err := call(req)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, planner.ErrUnreachable) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, map[string]any{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+// logRequests is a minimal access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s (%.1f ms)", r.Method, r.URL.Path, float64(time.Since(start).Microseconds())/1e3)
+	})
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gridmtd/internal/planner"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(newHandler(planner.New(planner.Config{})))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthAndCases(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var cases []map[string]any
+	r2, err := http.Get(srv.URL + "/v1/cases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if err := json.NewDecoder(r2.Body).Decode(&cases); err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) < 5 {
+		t.Errorf("case listing has %d entries, want the full registry", len(cases))
+	}
+}
+
+func TestSelectRoundTripAndMemo(t *testing.T) {
+	srv := testServer(t)
+	req := planner.SelectRequest{
+		Case: "ieee14", GammaThreshold: 0.1, Starts: 2, Seed: 1, Attacks: 50,
+	}
+	var first planner.SelectResponse
+	if code := postJSON(t, srv.URL+"/v1/select", req, &first); code != http.StatusOK {
+		t.Fatalf("select status %d", code)
+	}
+	if first.CacheHit {
+		t.Error("first request reported a cache hit")
+	}
+	if first.Gamma < 0.1-2e-3 {
+		t.Errorf("served γ=%v below the requested threshold", first.Gamma)
+	}
+	if len(first.Eta) == 0 || len(first.Reactances) == 0 {
+		t.Errorf("incomplete response: %+v", first)
+	}
+	var second planner.SelectResponse
+	if code := postJSON(t, srv.URL+"/v1/select", req, &second); code != http.StatusOK {
+		t.Fatalf("second select status %d", code)
+	}
+	if !second.CacheHit {
+		t.Error("second identical request missed the memo")
+	}
+	if second.Gamma != first.Gamma {
+		t.Errorf("memoized γ %v != first %v", second.Gamma, first.Gamma)
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	srv := testServer(t)
+	// Unknown case: unprocessable.
+	if code := postJSON(t, srv.URL+"/v1/select",
+		planner.SelectRequest{Case: "nope", GammaThreshold: 0.1}, nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("unknown case status %d, want 422", code)
+	}
+	// Unreachable threshold without fallback: conflict.
+	if code := postJSON(t, srv.URL+"/v1/select",
+		planner.SelectRequest{Case: "ieee14", GammaThreshold: 5, Starts: 2, Seed: 1, Attacks: 50}, nil); code != http.StatusConflict {
+		t.Errorf("unreachable threshold status %d, want 409", code)
+	}
+	// Malformed body: bad request.
+	resp, err := http.Post(srv.URL+"/v1/select", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestGammaEndpoint(t *testing.T) {
+	srv := testServer(t)
+	// γ of the nominal configuration against itself is zero.
+	var n struct {
+		Gamma float64 `json:"gamma"`
+	}
+	var xNew []float64
+	// Fetch branch count via the registry listing.
+	r, err := http.Get(srv.URL + "/v1/cases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cases []struct {
+		Name     string `json:"Name"`
+		Branches int    `json:"Branches"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&cases); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	branches := 0
+	for _, c := range cases {
+		if c.Name == "case4gs" {
+			branches = c.Branches
+		}
+	}
+	if branches == 0 {
+		t.Fatal("case4gs missing from the registry listing")
+	}
+	xNew = make([]float64, branches)
+	for i := range xNew {
+		xNew[i] = 0.1 // any valid positive reactance vector
+	}
+	if code := postJSON(t, srv.URL+"/v1/gamma",
+		planner.GammaRequest{Case: "case4gs", XNew: xNew}, &n); code != http.StatusOK {
+		t.Fatalf("gamma status %d", code)
+	}
+	if n.Gamma < 0 {
+		t.Errorf("γ = %v out of range", n.Gamma)
+	}
+}

@@ -77,73 +77,60 @@ func run(args []string, w io.Writer) error {
 		runtime.GOMAXPROCS(*parallel)
 	}
 
-	n, err := gridmtd.CaseByName(*caseName)
-	if err != nil {
+	if _, err := gridmtd.CaseByName(*caseName); err != nil {
 		return err
 	}
-	if *scale != 1.0 {
-		n.ScaleLoads(*scale)
+	var grid []float64
+	for gth := *from; gth <= *to+1e-9; gth += *step {
+		grid = append(grid, gth)
 	}
-	if err := n.Validate(); err != nil {
+
+	// The sweep is one scenario: the runner shares a single dispatch-OPF
+	// engine and γ engine across the pre-perturbation OPF and every sweep
+	// point, chaining each point's solution as the next warm start —
+	// exactly the arithmetic the historical per-point loop performed.
+	res, err := gridmtd.RunScenario(gridmtd.Scenario{
+		Kind:      gridmtd.ScenarioGammaSweep,
+		Case:      *caseName,
+		LoadScale: *scale,
+		GammaGrid: grid,
+		Effectiveness: gridmtd.EffectivenessConfig{
+			NumAttacks: *attacks,
+			Sigma:      *sigma,
+			Alpha:      *alpha,
+			Seed:       *seed,
+		},
+		SelectStarts: *starts,
+		MaxEvals:     *maxEvals,
+		Seed:         *seed,
+		OPFStarts:    *starts,
+		OPFMaxEvals:  *maxEvals,
+		OPFSeed:      *seed,
+	})
+	if err != nil {
 		return err
 	}
 
-	pre, err := gridmtd.SolveOPFWithDFACTS(n, gridmtd.DFACTSOPFConfig{Starts: *starts, MaxEvals: *maxEvals, Seed: *seed})
-	if err != nil {
-		return fmt.Errorf("pre-perturbation OPF: %w", err)
-	}
-	z, err := gridmtd.OperatingMeasurements(n, pre.Reactances)
-	if err != nil {
-		return err
-	}
-	effCfg := gridmtd.EffectivenessConfig{
-		NumAttacks: *attacks,
-		Sigma:      *sigma,
-		Alpha:      *alpha,
-		Seed:       *seed,
-	}
-	set, err := gridmtd.SampleAttacks(n, pre.Reactances, z, effCfg)
-	if err != nil {
-		return err
-	}
-
+	n := res.Net
 	fmt.Fprintf(w, "case %s, load %.1f MW, no-MTD cost %.1f $/h, σ=%g, α=%g\n\n",
-		n.Name, n.TotalLoadMW(), pre.CostPerHour, *sigma, *alpha)
+		n.Name, n.TotalLoadMW(), res.Baseline.CostPerHour, *sigma, *alpha)
 	fmt.Fprintf(w, "%8s  %8s  %9s  %9s  %9s  %9s  %10s\n",
 		"γ_th", "γ", "η'(0.5)", "η'(0.8)", "η'(0.9)", "η'(0.95)", "cost +%")
 
 	var records [][]string
 	records = append(records, []string{"gamma_th", "gamma", "eta_0.5", "eta_0.8", "eta_0.9", "eta_0.95", "cost_increase"})
 
-	var warm [][]float64
-	for gth := *from; gth <= *to+1e-9; gth += *step {
-		sel, err := gridmtd.SelectMTD(n, pre.Reactances, gridmtd.MTDSelectConfig{
-			GammaThreshold: gth,
-			Starts:         *starts,
-			MaxEvals:       *maxEvals,
-			Seed:           *seed,
-			BaselineCost:   pre.CostPerHour,
-			WarmStarts:     warm,
-		})
-		if errors.Is(err, gridmtd.ErrGammaUnreachable) {
-			fmt.Fprintf(w, "%8.2f  -- beyond the D-FACTS hardware's reach --\n", gth)
-			break
-		}
-		if err != nil {
-			return err
-		}
-		eff, err := gridmtd.EvaluateAttacks(n, set, sel.Reactances, effCfg)
-		if err != nil {
-			return err
-		}
+	for i, r := range res.Rows {
 		fmt.Fprintf(w, "%8.2f  %8.3f  %9.3f  %9.3f  %9.3f  %9.3f  %9.2f%%\n",
-			gth, eff.Gamma, eff.Eta[0], eff.Eta[1], eff.Eta[2], eff.Eta[3], 100*sel.CostIncrease)
+			grid[i], r.Gamma, r.Eta[0], r.Eta[1], r.Eta[2], r.Eta[3], 100*r.CostIncrease)
 		records = append(records, []string{
-			fmtF(gth), fmtF(eff.Gamma),
-			fmtF(eff.Eta[0]), fmtF(eff.Eta[1]), fmtF(eff.Eta[2]), fmtF(eff.Eta[3]),
-			fmtF(sel.CostIncrease),
+			fmtF(grid[i]), fmtF(r.Gamma),
+			fmtF(r.Eta[0]), fmtF(r.Eta[1]), fmtF(r.Eta[2]), fmtF(r.Eta[3]),
+			fmtF(r.CostIncrease),
 		})
-		warm = [][]float64{n.DFACTSSetting(sel.Reactances)}
+	}
+	if res.Exhausted {
+		fmt.Fprintf(w, "%8.2f  -- beyond the D-FACTS hardware's reach --\n", res.ExhaustedAt)
 	}
 
 	if *csvPath != "" {

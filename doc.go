@@ -27,12 +27,36 @@
 //		eff.Gamma, eff.Eta[3], 100*sel.CostIncrease)
 //
 // Five IEEE cases are embedded and served through a registry
-// (CaseByName/Cases): the paper's 4-, 14- and 30-bus systems plus 57- and
-// 118-bus systems with calibrated ratings. Everything — the runnable
-// programs, cmd/mtdexp's case-generic experiments, cmd/mtdscan's frontier
-// sweeps — takes a -case flag; on the ≥57-bus cases the susceptance
-// solves route transparently through a sparse Cholesky backend (PERF.md
-// records the crossover).
+// (CaseByName/Cases): the paper's 4-, 14- and 30-bus systems, 57- and
+// 118-bus systems with calibrated ratings, and a 300-bus scaling case.
+// Everything — the runnable programs, cmd/mtdexp's case-generic
+// experiments, cmd/mtdscan's frontier sweeps — takes a -case flag; on the
+// ≥57-bus cases the susceptance solves route transparently through a
+// sparse Cholesky backend (PERF.md records the crossover).
+//
+// # Scenarios and the planner service
+//
+// Repeated-evaluation studies are described declaratively as a Scenario
+// (case × loading × attack model × sweep × budgets × seed) and executed
+// by a runner that shares one dispatch-OPF engine per case across every
+// evaluation unit:
+//
+//	res, _ := gridmtd.RunScenario(gridmtd.Scenario{
+//		Kind:         gridmtd.ScenarioGammaSweep,
+//		Case:         "ieee57",
+//		GammaGrid:    []float64{0.05, 0.10, 0.15},
+//		SelectStarts: 6, Seed: 1, OPFStarts: 6, OPFSeed: 1,
+//	})
+//
+// The experiments, the example programs and cmd/mtdscan all run on this
+// layer (dense-path outputs are bitwise identical to the historical
+// bespoke loops, and identical for every worker count). Long-running
+// deployments use the Planner — an LRU of factorized cases plus a memo
+// of finished responses — either in-process (NewPlanner) or over HTTP
+// via the cmd/gridmtdd daemon (select / γ / day-sweep / placement
+// endpoints; a repeated request is a cache lookup). The placement
+// scenario (ScenarioPlacement) greedily searches D-FACTS device subsets
+// for the deployment maximizing the reachable γ.
 //
 // The runnable programs under examples/ walk through the full defender
 // workflow, the cost-effectiveness tradeoff, a 24-hour operating day and
@@ -49,6 +73,7 @@
 // flow (internal/dcflow), state estimation and BDD (internal/se), FDI
 // attacks (internal/attack), principal angles (internal/subspace), DC
 // OPF (internal/opf), the MTD algorithms (internal/core), load profiles
-// (internal/loadprofile) and the daily/learning simulations
-// (internal/sim).
+// (internal/loadprofile), the daily/learning simulations (internal/sim),
+// the scenario layer (internal/scenario) and the planner service
+// (internal/planner, served by cmd/gridmtdd).
 package gridmtd

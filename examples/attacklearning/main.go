@@ -2,7 +2,8 @@
 // update interval (paper Section IV-A): an eavesdropping attacker estimates
 // the column space of the measurement matrix from observed SCADA data
 // (subspace method), the estimate improving with every sample — until the
-// defender perturbs the reactances and invalidates it.
+// defender perturbs the reactances and invalidates it. The curve and the
+// staleness probe are one Learning scenario.
 //
 // Run with: go run ./examples/attacklearning [-case ieee118]
 package main
@@ -21,45 +22,40 @@ func main() {
 	caseName := flag.String("case", "ieee14", "registered case the attacker eavesdrops on")
 	flag.Parse()
 
-	n, err := gridmtd.CaseByName(*caseName)
+	res, err := gridmtd.RunScenario(gridmtd.Scenario{
+		Kind:          gridmtd.ScenarioLearning,
+		Case:          *caseName,
+		SampleGrid:    []int{15, 30, 60, 120, 250, 500, 1000},
+		LearnSigma:    0.0015,
+		LearnJitterMW: 2,
+		Seed:          5,
+		ProbeStarts:   4,
+		ProbeSeed:     6,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	x := n.Reactances()
+	n := res.Net
 
 	fmt.Println("attacker's subspace estimation error vs samples observed")
 	fmt.Printf("%10s  %18s\n", "samples", "γ(estimate, true)")
-	var last *gridmtd.LearningOutcome
-	for _, k := range []int{15, 30, 60, 120, 250, 500, 1000} {
-		out, err := gridmtd.SimulateLearning(n, x, gridmtd.LearningConfig{
-			Samples:  k,
-			Sigma:    0.0015,
-			JitterMW: 2,
-			Seed:     5,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%10d  %18.4f\n", k, out.SubspaceError)
-		last = out
+	for _, r := range res.Rows {
+		fmt.Printf("%10d  %18.4f\n", r.Samples, r.SubspaceError)
 	}
 	fmt.Println("\n(the paper estimates 500-1000 samples for a usable model, i.e. hours of")
 	fmt.Println(" eavesdropping at SCADA rates — hence hourly MTD updates outpace the attacker)")
 
-	// Now the defender moves: a max-γ perturbation.
-	sel, err := gridmtd.MaxGamma(n, x, gridmtd.MaxGammaConfig{Starts: 4, Seed: 6})
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Now the defender moves: the scenario's max-γ perturbation.
+	sel := res.Learning.Selection
 	fmt.Printf("\ndefender perturbs reactances: γ(H, H') = %.3f\n", sel.Gamma)
 
 	// The attacker's hard-won estimate is now stale: its angle to the NEW
 	// column space is large again.
-	angles := gridmtd.PrincipalAngles(n, x, sel.Reactances)
+	angles := gridmtd.PrincipalAngles(n, n.Reactances(), sel.Reactances)
 	fmt.Printf("principal angles old-vs-new span %.4f .. %.4f rad\n",
 		angles[0], angles[len(angles)-1])
-	if last != nil {
-		g := gridmtd.LearnedModelGamma(n, sel.Reactances, last)
+	if res.Learning.Last != nil {
+		g := res.Learning.Stale
 		fmt.Printf("attacker's learned model vs new configuration: γ = %.3f -> %s\n",
 			g, staleness(g))
 	}

@@ -8,11 +8,14 @@
 //     (γ ≥ 0.3) and show the same attack now lights up the detector.
 //  4. Report the insurance premium: the MTD's operational cost.
 //
+// The operating point, the MTD selection and the population-level η'(δ)
+// evaluation are one single-point γ-sweep scenario; the attack
+// demonstration plays out against its results.
+//
 // Run with: go run ./examples/quickstart [-case ieee118] [-gamma 0.3]
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -28,27 +31,48 @@ func main() {
 	gammaTh := flag.Float64("gamma", 0.3, "γ threshold for the designed MTD")
 	flag.Parse()
 
-	n, err := gridmtd.CaseByName(*caseName)
+	probe, err := gridmtd.CaseByName(*caseName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("case %s: %d buses, %d branches, %.0f MW load\n",
-		n.Name, n.N(), n.L(), n.TotalLoadMW())
 
 	// Search budgets: the paper-sized cases afford the full multi-start
 	// protocol; on the ≥57-bus cases a γ evaluation costs milliseconds
 	// rather than microseconds, so the demo trims the budget (results stay
 	// deterministic, just less exhaustively optimized).
 	starts, maxEvals := 6, 0
-	if n.N() >= 50 {
-		starts, maxEvals = 2, 30*len(n.DFACTSIndices())
+	if probe.N() >= 50 {
+		starts, maxEvals = 2, 30*len(probe.DFACTSIndices())
 	}
 
-	// 1. Operating point: dispatch and D-FACTS reactances from the OPF.
-	pre, err := gridmtd.SolveOPFWithDFACTS(n, gridmtd.DFACTSOPFConfig{Starts: starts + 2, Seed: 1})
+	// One scenario computes the whole defender side: the pre-perturbation
+	// problem-(1) operating point, the γ-constrained selection (falling
+	// back to the hardware's best design when the threshold is out of
+	// reach) and the population-level effectiveness against 200 random
+	// attacks — all on one shared dispatch engine.
+	res, err := gridmtd.RunScenario(gridmtd.Scenario{
+		Kind:            gridmtd.ScenarioGammaSweep,
+		Case:            *caseName,
+		GammaGrid:       []float64{*gammaTh},
+		CapWithMaxGamma: true,
+		SelectStarts:    starts,
+		MaxEvals:        maxEvals,
+		Seed:            2,
+		OPFStarts:       starts + 2,
+		OPFSeed:         1,
+		Effectiveness:   gridmtd.EffectivenessConfig{NumAttacks: 200, Seed: 3},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	n, pre := res.Net, res.Baseline
+	if len(res.Rows) == 0 {
+		log.Fatalf("no operable MTD design on case %s", *caseName)
+	}
+	mtd := res.Rows[len(res.Rows)-1]
+
+	fmt.Printf("case %s: %d buses, %d branches, %.0f MW load\n",
+		n.Name, n.N(), n.L(), n.TotalLoadMW())
 	fmt.Printf("pre-perturbation OPF cost: %.1f $/h\n\n", pre.CostPerHour)
 
 	z, err := gridmtd.OperatingMeasurements(n, pre.Reactances)
@@ -91,28 +115,13 @@ func main() {
 	}
 	fmt.Printf("detection probability with noise: %.4f (= false-positive rate)\n\n", pd)
 
-	// 3. The defender perturbs the D-FACTS reactances with γ >= γ_th. If
-	// the requested threshold is beyond the hardware's reach on this case,
-	// fall back to the best operable design (MaxGamma).
-	sel, err := gridmtd.SelectMTD(n, pre.Reactances, gridmtd.MTDSelectConfig{
-		GammaThreshold: *gammaTh,
-		Starts:         starts,
-		MaxEvals:       maxEvals,
-		Seed:           2,
-		BaselineCost:   pre.CostPerHour,
-	})
-	if errors.Is(err, gridmtd.ErrGammaUnreachable) {
+	// 3. The defender's perturbation, from the scenario above.
+	if res.Exhausted {
 		fmt.Printf("γ_th = %.2f is beyond this case's D-FACTS reach; using the max-γ design\n", *gammaTh)
-		sel, err = gridmtd.MaxGamma(n, pre.Reactances, gridmtd.MaxGammaConfig{
-			Starts: starts, Seed: 2, BaselineCost: pre.CostPerHour,
-		})
 	}
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("MTD applied: γ(H, H') = %.3f rad\n", sel.Gamma)
+	fmt.Printf("MTD applied: γ(H, H') = %.3f rad\n", mtd.Gamma)
 
-	estNew, err := gridmtd.NewEstimator(n, sel.Reactances)
+	estNew, err := gridmtd.NewEstimator(n, mtd.Reactances)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -126,21 +135,15 @@ func main() {
 	}
 	fmt.Printf("same attack after MTD: residual component %.4f -> detection probability %.4f\n",
 		estNew.ResidualComponent(atk.A), pdNew)
-	fmt.Printf("stealthy by Proposition 1? %v\n\n", gridmtd.IsUndetectable(n, sel.Reactances, atk.A))
+	fmt.Printf("stealthy by Proposition 1? %v\n\n", gridmtd.IsUndetectable(n, mtd.Reactances, atk.A))
 
 	// 4. The premium.
 	fmt.Printf("MTD operational cost: %.1f $/h vs %.1f $/h baseline (+%.2f%%)\n",
-		sel.OPF.CostPerHour, sel.BaselineCost, 100*sel.CostIncrease)
+		mtd.MTDCost, mtd.BaselineCost, 100*mtd.CostIncrease)
 
-	// Population view: 200 random attacks.
-	eff, err := gridmtd.Effectiveness(n, pre.Reactances, sel.Reactances, z,
-		gridmtd.EffectivenessConfig{NumAttacks: 200, Seed: 3})
-	if err != nil {
-		log.Fatal(err)
-	}
-	for i, d := range eff.Deltas {
-		fmt.Printf("η'(%.2f) = %.2f  ", d, eff.Eta[i])
-		_ = i
+	// Population view: 200 random attacks (evaluated by the scenario).
+	for i, d := range mtd.Deltas {
+		fmt.Printf("η'(%.2f) = %.2f  ", d, mtd.Eta[i])
 	}
 	fmt.Println()
 }

@@ -2,13 +2,14 @@
 // reactance perturbations of prior work (the Figs. 7-8 comparison): random
 // ±2% keys achieve tiny subspace separation with wildly variable
 // effectiveness, while the γ-constrained design delivers a guaranteed
-// detection level at known cost.
+// detection level at known cost. Both sides are scenarios — a RandomKeys
+// study for the prior-work keyspace and a single-point γ sweep for the
+// designed MTD — sharing the runner's per-case engines.
 //
 // Run with: go run ./examples/randombaseline [-case ieee57]
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -23,65 +24,77 @@ func main() {
 	caseName := flag.String("case", "ieee14", "registered case to compare on")
 	flag.Parse()
 
-	n, err := gridmtd.CaseByName(*caseName)
+	// Resolve the case once and hand the same network to both scenarios:
+	// the runner keys its dispatch-engine cache on the pointer, so the
+	// keyspace study and the designed-MTD selection below genuinely share
+	// one engine.
+	net, err := gridmtd.CaseByName(*caseName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pre, err := gridmtd.SolveOPFWithDFACTS(n, gridmtd.DFACTSOPFConfig{Starts: 8, Seed: 1})
-	if err != nil {
-		log.Fatal(err)
-	}
-	z, err := gridmtd.OperatingMeasurements(n, pre.Reactances)
-	if err != nil {
-		log.Fatal(err)
-	}
-	attacks, err := gridmtd.SampleAttacks(n, pre.Reactances, z,
-		gridmtd.EffectivenessConfig{NumAttacks: 400, Seed: 2})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	evaluate := func(x []float64) (*gridmtd.EffectivenessResult, error) {
-		return gridmtd.EvaluateAttacks(n, attacks, x,
-			gridmtd.EffectivenessConfig{NumAttacks: 400, Seed: 2})
-	}
+	runner := gridmtd.NewScenarioRunner()
+	attackCfg := gridmtd.EffectivenessConfig{NumAttacks: 400, Seed: 2}
 
 	// Prior work's keyspace: random D-FACTS settings whose OPF cost stays
 	// within 2% of the optimum.
+	const trials = 10
+	keys, err := runner.Run(gridmtd.Scenario{
+		Kind:          gridmtd.ScenarioRandomKeys,
+		Net:           net,
+		Trials:        trials,
+		CostBudget:    0.02,
+		OPFStarts:     8,
+		OPFSeed:       1,
+		Seed:          3,
+		Effectiveness: attackCfg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("random keyspace perturbations (2% OPF-cost budget, prior work):")
 	fmt.Printf("%8s  %8s  %10s  %10s  %12s\n", "trial", "γ", "η'(0.5)", "η'(0.9)", "undetectable")
-	rng := rand.New(rand.NewSource(3))
-	const trials = 10
 	meets := 0
-	for trial := 1; trial <= trials; trial++ {
-		xRand, _, _, err := gridmtd.RandomKeyWithinCost(rng, n, pre.CostPerHour, 0.02, 0)
-		if err != nil {
-			log.Fatal(err)
-		}
-		eff, err := evaluate(xRand)
-		if err != nil {
-			log.Fatal(err)
-		}
-		eta05, _ := eff.EtaAt(0.5)
-		eta09, _ := eff.EtaAt(0.9)
-		if eta09 >= 0.9 {
+	for _, r := range keys.Rows {
+		if r.Eta[2] >= 0.9 {
 			meets++
 		}
 		fmt.Printf("%8d  %8.4f  %10.3f  %10.3f  %11.1f%%\n",
-			trial, eff.Gamma, eta05, eta09, 100*eff.UndetectableFraction)
+			r.Trial, r.Gamma, r.Eta[0], r.Eta[2], 100*r.Undetectable)
 	}
 	fmt.Printf("keys achieving η'(0.9) ≥ 0.9: %d/%d\n\n", meets, trials)
 
 	// Naive literal ±2% reactance jitter: even weaker (an ablation of the
 	// keyspace reading; γ stays near zero and nothing is ever detected).
+	n, pre := keys.Net, keys.Baseline
+	z, err := gridmtd.OperatingMeasurements(n, pre.Reactances)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacks, err := gridmtd.SampleAttacks(n, pre.Reactances, z, attackCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("naive ±2% reactance jitter (ablation):")
+	// Historically the jitter trials continued the keyspace sampler's RNG
+	// stream; replay the draws the scenario consumed (one box sample of
+	// len(DFACTSIndices) floats per draw) so the ablation rows stay
+	// identical to the pre-scenario program.
+	rng := rand.New(rand.NewSource(3))
+	consumed := 0
+	for _, r := range keys.Rows {
+		consumed += r.Draws
+	}
+	for i := 0; i < consumed*len(n.DFACTSIndices()); i++ {
+		rng.Float64()
+	}
 	operating := n.WithReactances(pre.Reactances)
 	for trial := 1; trial <= 3; trial++ {
 		xRand, err := gridmtd.RandomPerturbation(rng, operating, 0.02)
 		if err != nil {
 			log.Fatal(err)
 		}
-		eff, err := evaluate(xRand)
+		eff, err := gridmtd.EvaluateAttacks(n, attacks, xRand, attackCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -94,33 +107,29 @@ func main() {
 	// within the 14-bus hardware's reach; larger cases with sparser
 	// D-FACTS coverage fall back to their best operable design.
 	gammaTh := 0.35
-	sel, err := gridmtd.SelectMTD(n, pre.Reactances, gridmtd.MTDSelectConfig{
-		GammaThreshold: gammaTh,
-		Starts:         6,
-		Seed:           4,
-		BaselineCost:   pre.CostPerHour,
+	designed, err := runner.Run(gridmtd.Scenario{
+		Kind:            gridmtd.ScenarioGammaSweep,
+		Net:             net,
+		GammaGrid:       []float64{gammaTh},
+		CapWithMaxGamma: true,
+		SelectStarts:    6,
+		Seed:            4,
+		OPFStarts:       8,
+		OPFSeed:         1,
+		Effectiveness:   attackCfg,
 	})
-	fellBack := false
-	if errors.Is(err, gridmtd.ErrGammaUnreachable) {
-		fmt.Printf("γ_th = %.2f is beyond this case's D-FACTS reach; using the max-γ design\n", gammaTh)
-		sel, err = gridmtd.MaxGamma(n, pre.Reactances, gridmtd.MaxGammaConfig{
-			Starts: 6, Seed: 4, BaselineCost: pre.CostPerHour,
-		})
-		fellBack = true
-	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	if fellBack {
+	if len(designed.Rows) == 0 {
+		log.Fatalf("no operable MTD design on case %s", *caseName)
+	}
+	sel := designed.Rows[len(designed.Rows)-1]
+	if designed.Exhausted {
+		fmt.Printf("γ_th = %.2f is beyond this case's D-FACTS reach; using the max-γ design\n", gammaTh)
 		gammaTh = sel.Gamma
 	}
-	eff, err := evaluate(sel.Reactances)
-	if err != nil {
-		log.Fatal(err)
-	}
-	eta05, _ := eff.EtaAt(0.5)
-	eta09, _ := eff.EtaAt(0.9)
 	fmt.Printf("designed MTD (problem (4), γ_th = %.2f):\n", gammaTh)
 	fmt.Printf("γ = %.4f, η'(0.5) = %.3f, η'(0.9) = %.3f, undetectable %.1f%%, cost +%.2f%%\n",
-		eff.Gamma, eta05, eta09, 100*eff.UndetectableFraction, 100*sel.CostIncrease)
+		sel.Gamma, sel.Eta[0], sel.Eta[2], 100*sel.Undetectable, 100*sel.CostIncrease)
 }

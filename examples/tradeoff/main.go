@@ -7,7 +7,6 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -32,51 +31,38 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	n.ScaleLoads(factors[17]) // 6 PM
 
-	pre, err := gridmtd.SolveOPFWithDFACTS(n, gridmtd.DFACTSOPFConfig{Starts: 8, Seed: 1})
-	if err != nil {
-		log.Fatal(err)
+	// The frontier is one γ-sweep scenario at the 6 PM operating point:
+	// one shared dispatch-OPF engine and γ engine serve the operating-point
+	// OPF and every sweep selection, each point warm-starting the next.
+	var grid []float64
+	for gth := 0.05; gth <= 0.45+1e-9; gth += 0.05 {
+		grid = append(grid, gth)
 	}
-	z, err := gridmtd.OperatingMeasurements(n, pre.Reactances)
-	if err != nil {
-		log.Fatal(err)
-	}
-	attacks, err := gridmtd.SampleAttacks(n, pre.Reactances, z,
-		gridmtd.EffectivenessConfig{NumAttacks: 400, Seed: 2})
+	res, err := gridmtd.RunScenario(gridmtd.Scenario{
+		Kind:          gridmtd.ScenarioGammaSweep,
+		Case:          *caseName,
+		LoadScale:     factors[17], // 6 PM
+		GammaGrid:     grid,
+		Effectiveness: gridmtd.EffectivenessConfig{NumAttacks: 400, Seed: 2},
+		SelectStarts:  6,
+		Seed:          3,
+		OPFStarts:     8,
+		OPFSeed:       1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("6 PM operating point: load %.0f MW, no-MTD cost %.1f $/h\n\n",
-		n.TotalLoadMW(), pre.CostPerHour)
+		res.Net.TotalLoadMW(), res.Baseline.CostPerHour)
 	fmt.Printf("%8s  %8s  %10s  %10s  %12s\n", "γ_th", "γ", "η'(0.9)", "η'(0.95)", "cost premium")
 
-	var warm [][]float64
-	for gth := 0.05; gth <= 0.45; gth += 0.05 {
-		sel, err := gridmtd.SelectMTD(n, pre.Reactances, gridmtd.MTDSelectConfig{
-			GammaThreshold: gth,
-			Starts:         6,
-			Seed:           3,
-			BaselineCost:   pre.CostPerHour,
-			WarmStarts:     warm,
-		})
-		if err != nil {
-			if errors.Is(err, gridmtd.ErrGammaUnreachable) {
-				fmt.Printf("%8.2f  -- beyond the D-FACTS hardware's reach --\n", gth)
-				break
-			}
-			log.Fatal(err)
-		}
-		eff, err := gridmtd.EvaluateAttacks(n, attacks, sel.Reactances,
-			gridmtd.EffectivenessConfig{NumAttacks: 400, Seed: 2})
-		if err != nil {
-			log.Fatal(err)
-		}
-		eta09, _ := eff.EtaAt(0.9)
-		eta095, _ := eff.EtaAt(0.95)
+	for i, r := range res.Rows {
 		fmt.Printf("%8.2f  %8.3f  %10.3f  %10.3f  %11.2f%%\n",
-			gth, eff.Gamma, eta09, eta095, 100*sel.CostIncrease)
-		warm = [][]float64{n.DFACTSSetting(sel.Reactances)}
+			grid[i], r.Gamma, r.Eta[2], r.Eta[3], 100*r.CostIncrease)
+	}
+	if res.Exhausted {
+		fmt.Printf("%8.2f  -- beyond the D-FACTS hardware's reach --\n", res.ExhaustedAt)
 	}
 }

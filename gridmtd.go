@@ -13,6 +13,8 @@ import (
 	"gridmtd/internal/loadprofile"
 	"gridmtd/internal/mat"
 	"gridmtd/internal/opf"
+	"gridmtd/internal/planner"
+	"gridmtd/internal/scenario"
 	"gridmtd/internal/se"
 	"gridmtd/internal/sim"
 	"gridmtd/internal/subspace"
@@ -331,6 +333,94 @@ func PrincipalAngles(n *Network, xOld, xNew []float64) []float64 {
 func OperationalCost(baselineCost, mtdCost float64) float64 {
 	return core.OperationalCost(baselineCost, mtdCost)
 }
+
+// ---- Scenario layer ---------------------------------------------------------
+
+// Scenario declaratively describes one study — case, loading, attacker
+// model, sweep and budgets — and compiles to a deterministic batch of
+// evaluation units. Every repeated-evaluation workload (the experiments,
+// the examples, mtdscan, the gridmtdd planner service) is a Scenario; the
+// runner shares one dispatch-OPF engine per case across all of a
+// scenario's units.
+type Scenario = scenario.Spec
+
+// ScenarioKind selects a Scenario's workload.
+type ScenarioKind = scenario.Kind
+
+// Scenario workload kinds.
+const (
+	// ScenarioGammaSweep solves problem (4) along a γ-threshold grid
+	// (Figs. 6/9, mtdscan, single selection requests).
+	ScenarioGammaSweep = scenario.GammaSweep
+	// ScenarioDaySweep runs the Section VII-C hourly operating day with one
+	// dispatch engine for the whole day (Figs. 10-11, dailyops).
+	ScenarioDaySweep = scenario.DaySweep
+	// ScenarioRandomKeys draws prior-work random keyspace perturbations
+	// under an OPF-cost budget (Figs. 7-8, the random baseline).
+	ScenarioRandomKeys = scenario.RandomKeys
+	// ScenarioLearning runs the attacker's subspace-learning curve and the
+	// MTD staleness probe (Section IV-A).
+	ScenarioLearning = scenario.Learning
+	// ScenarioPlacement greedily searches D-FACTS device subsets for the
+	// deployment maximizing the reachable γ.
+	ScenarioPlacement = scenario.Placement
+)
+
+// ScenarioRow is one evaluation unit's outcome.
+type ScenarioRow = scenario.Row
+
+// ScenarioResult is one executed Scenario.
+type ScenarioResult = scenario.Result
+
+// ScenarioRunner executes scenarios against shared per-case engines; one
+// long-lived runner amortizes engine construction across runs on the same
+// network.
+type ScenarioRunner = scenario.Runner
+
+// PlacementSpec parameterizes the placement-study scenario.
+type PlacementSpec = scenario.PlacementSpec
+
+// NewScenarioRunner returns an empty scenario runner.
+func NewScenarioRunner() *ScenarioRunner { return scenario.NewRunner() }
+
+// RunScenario compiles and executes one scenario on a fresh runner.
+func RunScenario(s Scenario) (*ScenarioResult, error) { return scenario.NewRunner().Run(s) }
+
+// ---- Planner service --------------------------------------------------------
+
+// Planner is the long-running, concurrency-safe selection front-end: it
+// answers MTD selection, γ-evaluation, day-sweep and placement requests
+// with an LRU of factorized cases and a memo of finished responses, so
+// repeated and related requests amortize all engine state. cmd/gridmtdd
+// serves one over HTTP.
+type Planner = planner.Planner
+
+// PlannerConfig tunes a Planner's backend, cache capacities and
+// per-request parallelism.
+type PlannerConfig = planner.Config
+
+// PlannerStats counts a Planner's cache traffic.
+type PlannerStats = planner.Stats
+
+// Planner request/response pairs.
+type (
+	SelectRequest     = planner.SelectRequest
+	SelectResponse    = planner.SelectResponse
+	GammaRequest      = planner.GammaRequest
+	GammaResponse     = planner.GammaResponse
+	DaySweepRequest   = planner.DaySweepRequest
+	DaySweepResponse  = planner.DaySweepResponse
+	PlacementRequest  = planner.PlacementRequest
+	PlacementResponse = planner.PlacementResponse
+)
+
+// ErrGammaUnreachableRequest is returned by Planner.Select when the
+// requested γ threshold is beyond the case's D-FACTS reach and no max-γ
+// fallback was requested.
+var ErrGammaUnreachableRequest = planner.ErrUnreachable
+
+// NewPlanner builds a planner service instance.
+func NewPlanner(cfg PlannerConfig) *Planner { return planner.New(cfg) }
 
 // ---- Simulations -----------------------------------------------------------
 

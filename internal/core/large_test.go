@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"gridmtd/internal/grid"
+	"gridmtd/internal/mat"
 	"gridmtd/internal/opf"
 	"gridmtd/internal/subspace"
 )
@@ -143,5 +144,58 @@ func TestSelectMTDIEEE118SparseSmoke(t *testing.T) {
 	rel := (denseCost - sel.OPF.CostPerHour) / denseCost
 	if rel < -1e-6 || rel > 1e-6 {
 		t.Fatalf("dense cost %.6f vs sparse-path cost %.6f (rel %g)", denseCost, sel.OPF.CostPerHour, rel)
+	}
+}
+
+// TestIEEE300SparseSmoke is the 300-bus scaling smoke: the registry's
+// largest case must resolve to the sparse backend, dispatch at its
+// calibrated ratings, and evaluate γ through the fast kernels at a device
+// corner. (A full 300-bus selection costs ~1 s per candidate — the
+// selection machinery itself is smoked at 118 buses; this keeps the
+// registry's largest case exercising the sparse dispatch and γ paths in
+// seconds.)
+func TestIEEE300SparseSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("300-bus solves take seconds")
+	}
+	n, err := grid.CaseByName("ieee300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := grid.NewBFactorizer(n).Backend(); got != grid.SparseBackend {
+		t.Fatalf("auto backend on ieee300 = %v, want sparse", got)
+	}
+	engine, err := opf.NewDispatchEngine(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dispatch at the calibrated ratings, nominal reactances and at the
+	// D-FACTS upper corner (the calibration leaves both operable).
+	res, err := engine.Solve(n.Reactances())
+	if err != nil {
+		t.Fatalf("nominal dispatch: %v", err)
+	}
+	if math.Abs(mat.SumVec(res.DispatchMW)-n.TotalLoadMW()) > 1e-6*n.TotalLoadMW() {
+		t.Fatalf("dispatch does not balance the %.0f MW demand", n.TotalLoadMW())
+	}
+	_, hi := n.DFACTSBounds()
+	xCorner := n.ExpandDFACTS(hi)
+	cornerCost, err := engine.Cost(xCorner)
+	if err != nil {
+		t.Fatalf("corner dispatch: %v", err)
+	}
+	if cornerCost < res.CostPerHour {
+		t.Fatalf("corner cost %.1f below the nominal optimum %.1f", cornerCost, res.CostPerHour)
+	}
+	// The fast-kernel γ at the corner must clear the smoke threshold (the
+	// 12-device deployment reaches ~0.16 rad) and agree with itself across
+	// evaluator and session paths.
+	ev := NewGammaEvaluator(n, n.Reactances())
+	g := ev.Gamma(xCorner)
+	if g < 0.05 {
+		t.Fatalf("corner γ = %.4f, want a usable MTD range", g)
+	}
+	if gs := ev.NewSession().Gamma(xCorner); gs != g {
+		t.Fatalf("session γ %.12f != evaluator γ %.12f", gs, g)
 	}
 }

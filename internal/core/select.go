@@ -110,25 +110,58 @@ func SelectMTD(n *grid.Network, xOld []float64, cfg SelectConfig) (*Selection, e
 	return selectMTD(n, xOld, cfg, eng)
 }
 
-// engines bundles the cached evaluators one pre-perturbation configuration
+// Engines bundles the cached evaluators one pre-perturbation configuration
 // needs: the γ-evaluation engine keyed by x_old and the dispatch-OPF
-// engine. Callers running several searches against the same x_old (e.g.
-// the γ-threshold bisection) build them once.
-type engines struct {
+// engine. Callers running several searches against the same x_old (the
+// γ-threshold bisection, a γ sweep, the planner service) build them once
+// via NewEngines; batched drivers that already hold a dispatch engine for
+// the case share it via NewEnginesShared, so only the (x_old-keyed) γ side
+// is rebuilt per configuration.
+type Engines struct {
 	gamma    *GammaEvaluator
 	dispatch *opf.DispatchEngine
 }
 
-func newEngines(n *grid.Network, xOld []float64) (*engines, error) {
+// NewEngines builds the evaluator bundle for the pre-perturbation
+// reactance vector xOld, constructing a fresh dispatch engine.
+func NewEngines(n *grid.Network, xOld []float64) (*Engines, error) {
 	de, err := opf.NewDispatchEngine(n)
 	if err != nil {
 		return nil, fmt.Errorf("core: dispatch engine: %w", err)
 	}
-	return &engines{gamma: NewGammaEvaluator(n, xOld), dispatch: de}, nil
+	return NewEnginesShared(n, xOld, de), nil
+}
+
+// NewEnginesShared builds the evaluator bundle around an existing dispatch
+// engine for the same network (which must have been constructed for n).
+func NewEnginesShared(n *grid.Network, xOld []float64, dispatch *opf.DispatchEngine) *Engines {
+	return &Engines{gamma: NewGammaEvaluator(n, xOld), dispatch: dispatch}
+}
+
+// Dispatch exposes the bundle's dispatch-OPF engine.
+func (e *Engines) Dispatch() *opf.DispatchEngine { return e.dispatch }
+
+// Gamma exposes the bundle's γ evaluator (keyed by the xOld the bundle was
+// built for).
+func (e *Engines) Gamma() *GammaEvaluator { return e.gamma }
+
+func newEngines(n *grid.Network, xOld []float64) (*Engines, error) {
+	return NewEngines(n, xOld)
+}
+
+// SelectMTDWith is SelectMTD against a pre-built evaluator bundle (whose γ
+// engine must be keyed by the same xOld).
+func SelectMTDWith(eng *Engines, n *grid.Network, xOld []float64, cfg SelectConfig) (*Selection, error) {
+	return selectMTD(n, xOld, cfg, eng)
+}
+
+// MaxGammaWith is MaxGamma against a pre-built evaluator bundle.
+func MaxGammaWith(eng *Engines, n *grid.Network, xOld []float64, cfg MaxGammaConfig) (*Selection, error) {
+	return maxGamma(n, xOld, cfg, eng)
 }
 
 // selectMTD is SelectMTD against pre-built engines.
-func selectMTD(n *grid.Network, xOld []float64, cfg SelectConfig, eng *engines) (*Selection, error) {
+func selectMTD(n *grid.Network, xOld []float64, cfg SelectConfig, eng *Engines) (*Selection, error) {
 	idx := n.DFACTSIndices()
 	if len(idx) == 0 {
 		return nil, ErrNoDFACTS
@@ -246,7 +279,7 @@ func MaxGamma(n *grid.Network, xOld []float64, cfg MaxGammaConfig) (*Selection, 
 }
 
 // maxGamma is MaxGamma against pre-built engines.
-func maxGamma(n *grid.Network, xOld []float64, cfg MaxGammaConfig, eng *engines) (*Selection, error) {
+func maxGamma(n *grid.Network, xOld []float64, cfg MaxGammaConfig, eng *Engines) (*Selection, error) {
 	idx := n.DFACTSIndices()
 	if len(idx) == 0 {
 		return nil, ErrNoDFACTS
@@ -428,6 +461,19 @@ func bestCorner(newGammaOf func() func([]float64) float64, lo, hi []float64, d, 
 // vector, its OPF cost, and the number of draws consumed. maxDraws bounds
 // rejection sampling (default 1000 when <= 0).
 func RandomKeyWithinCost(rng *rand.Rand, n *grid.Network, baselineCost, costFrac float64, maxDraws int) ([]float64, float64, int, error) {
+	engine, err := opf.NewDispatchEngine(n)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("core: dispatch engine: %w", err)
+	}
+	return RandomKeyWithinCostEngine(rng, n, engine, baselineCost, costFrac, maxDraws)
+}
+
+// RandomKeyWithinCostEngine is RandomKeyWithinCost against a pre-built
+// dispatch engine for the same network, so keyspace studies drawing many
+// keys on one case (Figs. 7-8, the random-baseline example) amortize the
+// engine construction. Each call opens a fresh engine session, so the draw
+// sequence and accepted key are identical to RandomKeyWithinCost.
+func RandomKeyWithinCostEngine(rng *rand.Rand, n *grid.Network, engine *opf.DispatchEngine, baselineCost, costFrac float64, maxDraws int) ([]float64, float64, int, error) {
 	idx := n.DFACTSIndices()
 	if len(idx) == 0 {
 		return nil, 0, 0, ErrNoDFACTS
@@ -437,10 +483,6 @@ func RandomKeyWithinCost(rng *rand.Rand, n *grid.Network, baselineCost, costFrac
 	}
 	if maxDraws <= 0 {
 		maxDraws = 1000
-	}
-	engine, err := opf.NewDispatchEngine(n)
-	if err != nil {
-		return nil, 0, 0, fmt.Errorf("core: dispatch engine: %w", err)
 	}
 	// The rejection loop is sequential, so a single session is safe and
 	// deterministic; on the sparse path its warm LP basis carries across

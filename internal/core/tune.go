@@ -45,18 +45,26 @@ func (c TuneConfig) withDefaults() TuneConfig {
 // returned with its (best achievable) effectiveness and no error, matching
 // the paper's "as effective as the hardware allows" fallback.
 func TuneGammaThreshold(n *grid.Network, xOld, zOld []float64, cfg TuneConfig) (*Selection, *EffectivenessResult, error) {
-	cfg = cfg.withDefaults()
-	cfg.Effectiveness.Deltas = []float64{cfg.TargetDelta}
-
-	// Build the cached evaluators once: the γ engine (keyed by xOld), the
-	// dispatch engine, and the attack set. Every bisection iteration reuses
-	// them; the attack sampler is reseeded per Effectiveness call in the
-	// uncached path, so hoisting it out of the loop reproduces exactly the
-	// same attacks.
 	eng, err := newEngines(n, xOld)
 	if err != nil {
 		return nil, nil, err
 	}
+	return TuneGammaThresholdWith(eng, n, xOld, zOld, cfg)
+}
+
+// TuneGammaThresholdWith is TuneGammaThreshold against a pre-built
+// evaluator bundle (γ engine keyed by xOld). Day sweeps build the dispatch
+// engine once per day and pass an hourly NewEnginesShared bundle here, so
+// only the γ side is rebuilt as the attacker's knowledge moves.
+func TuneGammaThresholdWith(eng *Engines, n *grid.Network, xOld, zOld []float64, cfg TuneConfig) (*Selection, *EffectivenessResult, error) {
+	cfg = cfg.withDefaults()
+	cfg.Effectiveness.Deltas = []float64{cfg.TargetDelta}
+
+	// The cached evaluators — the γ engine (keyed by xOld), the dispatch
+	// engine, and the attack set — are built once. Every bisection
+	// iteration reuses them; the attack sampler is reseeded per
+	// Effectiveness call in the uncached path, so hoisting it out of the
+	// loop reproduces exactly the same attacks.
 	attacks, err := SampleAttacks(n, xOld, zOld, cfg.Effectiveness)
 	if err != nil {
 		return nil, nil, err

@@ -8,7 +8,7 @@ import (
 	"gridmtd/internal/grid"
 	"gridmtd/internal/impact"
 	"gridmtd/internal/opf"
-	"gridmtd/internal/sim"
+	"gridmtd/internal/scenario"
 )
 
 // ImpactConfig controls the Section VII-D damage quantification.
@@ -59,7 +59,13 @@ func RunImpact(cfg ImpactConfig) (*ImpactResult, error) {
 	factor := cfg.PeakLoadMW / n.TotalLoadMW()
 	n.ScaleLoads(factor)
 
-	pre, err := opf.SolveDFACTS(n, opf.DFACTSConfig{Starts: cfg.OPFStarts, Seed: cfg.Seed})
+	// One dispatch engine serves the stressed-system OPF and every solve
+	// of the γ-threshold tuning below.
+	engine, err := opf.NewDispatchEngine(n)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: impact engine: %w", err)
+	}
+	pre, err := opf.SolveDFACTSEngine(engine, opf.DFACTSConfig{Starts: cfg.OPFStarts, Seed: cfg.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: impact OPF: %w", err)
 	}
@@ -73,7 +79,7 @@ func RunImpact(cfg ImpactConfig) (*ImpactResult, error) {
 		return nil, err
 	}
 
-	sel, eff, err := core.TuneGammaThreshold(n, pre.Reactances, z, core.TuneConfig{
+	sel, eff, err := core.TuneGammaThresholdWith(core.NewEnginesShared(n, pre.Reactances, engine), n, pre.Reactances, z, core.TuneConfig{
 		TargetDelta:   0.9,
 		TargetEta:     0.9,
 		Iterations:    4,
@@ -117,35 +123,34 @@ type LearningRow struct {
 // RunLearning reproduces the Section IV-A argument on the given network:
 // the attacker's subspace-estimation error vs number of eavesdropped
 // measurements, and the staleness induced by one max-γ MTD perturbation.
-// A nil network runs the paper's IEEE 14-bus protocol.
+// A nil network runs the paper's IEEE 14-bus protocol. The curve and the
+// staleness probe form one Learning scenario.
 func RunLearning(n *grid.Network, seed int64, sampleGrid []int) ([]LearningRow, float64, error) {
-	if n == nil {
-		n = grid.CaseIEEE14()
+	build := func() *grid.Network { return grid.CaseIEEE14() }
+	if n != nil {
+		build = func() *grid.Network { return n }
 	}
-	x := n.Reactances()
-	rows := make([]LearningRow, 0, len(sampleGrid))
-	var last *sim.LearningOutcome
-	for _, k := range sampleGrid {
-		out, err := sim.SimulateLearning(n, x, sim.LearningConfig{
-			Samples:  k,
-			Sigma:    0.0015,
-			JitterMW: 2,
-			Seed:     seed,
-		})
-		if err != nil {
-			return nil, 0, err
-		}
-		rows = append(rows, LearningRow{Samples: k, SubspaceError: out.SubspaceError})
-		last = out
-	}
-	// Staleness of the best estimate after a max-γ MTD.
-	sel, err := core.MaxGamma(n, x, core.MaxGammaConfig{Starts: 4, Seed: seed, BaselineCost: 1})
+	res, err := scenario.NewRunner().Run(scenario.Spec{
+		Kind:              scenario.Learning,
+		Network:           build,
+		SampleGrid:        sampleGrid,
+		LearnSigma:        0.0015,
+		LearnJitterMW:     2,
+		Seed:              seed,
+		ProbeStarts:       4,
+		ProbeSeed:         seed,
+		ProbeBaselineCost: 1,
+	})
 	if err != nil {
 		return nil, 0, err
 	}
+	rows := make([]LearningRow, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		rows = append(rows, LearningRow{Samples: r.Samples, SubspaceError: r.SubspaceError})
+	}
 	stale := 0.0
-	if last != nil {
-		stale = sim.BasisGamma(n, sel.Reactances, last)
+	if res.Learning != nil {
+		stale = res.Learning.Stale
 	}
 	return rows, stale, nil
 }

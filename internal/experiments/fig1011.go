@@ -7,6 +7,7 @@ import (
 	"gridmtd/internal/core"
 	"gridmtd/internal/grid"
 	"gridmtd/internal/loadprofile"
+	"gridmtd/internal/scenario"
 	"gridmtd/internal/sim"
 )
 
@@ -49,50 +50,42 @@ func DefaultDailyConfig() DailyConfig {
 }
 
 // RunDaily executes the day-long loop and returns the hourly records that
-// Figs. 10 and 11 plot.
+// Figs. 10 and 11 plot. The day is a scenario.Spec: the runner (through
+// sim.RunDay) builds the dispatch-OPF engine once for the whole sweep
+// instead of once per hour, with records identical to the historical
+// per-hour construction (bitwise on the dense backend).
 func RunDaily(cfg DailyConfig) ([]sim.HourResult, error) {
 	build := cfg.Network
 	if build == nil {
 		build = grid.CaseIEEE14
 	}
-	n := build()
-	if cfg.PeakLoadMW <= 0 {
-		cfg.PeakLoadMW = 0.85 * n.TotalLoadMW()
-	}
-	factors, err := loadprofile.ScaleToPeak(loadprofile.NYWinterWeekday(), n.TotalLoadMW(), cfg.PeakLoadMW)
-	if err != nil {
-		return nil, err
-	}
-	selected := factors
-	hourIdx := cfg.Hours
-	if len(hourIdx) > 0 {
-		selected = make([]float64, 0, len(hourIdx))
-		for _, h := range hourIdx {
-			if h < 0 || h >= len(factors) {
-				return nil, fmt.Errorf("experiments: hour index %d out of range", h)
-			}
-			selected = append(selected, factors[h])
-		}
-	} else {
-		hourIdx = make([]int, len(factors))
-		for i := range factors {
-			hourIdx[i] = i
-		}
-	}
-	results, err := sim.RunDay(sim.DayConfig{
-		Net:         n,
-		LoadFactors: selected,
-		Tune:        cfg.Tune,
-		OPFStarts:   cfg.OPFStarts,
-		Warmup:      true,
-		Seed:        cfg.Seed,
+	res, err := scenario.NewRunner().Run(scenario.Spec{
+		Kind:       scenario.DaySweep,
+		Network:    build,
+		PeakLoadMW: cfg.PeakLoadMW,
+		Hours:      cfg.Hours,
+		Warmup:     true,
+		Tune:       cfg.Tune,
+		OPFStarts:  cfg.OPFStarts,
+		Seed:       cfg.Seed,
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiments: daily: %w", err)
 	}
-	// Relabel with the profile's hour indices.
-	for i := range results {
-		results[i].Hour = hourIdx[i]
+	results := make([]sim.HourResult, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		results = append(results, sim.HourResult{
+			Hour:           r.Hour,
+			TotalLoadMW:    r.TotalLoadMW,
+			BaselineCost:   r.BaselineCost,
+			MTDCost:        r.MTDCost,
+			CostIncrease:   r.CostIncrease,
+			GammaThreshold: r.GammaThreshold,
+			GammaOldMTD:    r.Gamma,
+			GammaOldNew:    r.GammaOldNew,
+			GammaNewMTD:    r.GammaNewMTD,
+			Eta:            r.Eta[0],
+		})
 	}
 	return results, nil
 }

@@ -7,7 +7,7 @@ import (
 
 	"gridmtd/internal/core"
 	"gridmtd/internal/grid"
-	"gridmtd/internal/opf"
+	"gridmtd/internal/scenario"
 )
 
 // Fig6Config controls the effectiveness-vs-γ sweep of Fig. 6.
@@ -81,83 +81,38 @@ type Fig6Row struct {
 
 // RunFig6 executes the sweep: pre-perturbation state from problem (1),
 // a fixed 1000-attack set, then one problem-(4) solve per γ_th with the
-// same attack set evaluated after each.
+// same attack set evaluated after each. The sweep is a scenario.Spec —
+// the scenario runner shares one dispatch-OPF engine and one γ engine
+// across every sweep point — and the rows are identical to the historical
+// per-point engine construction (bitwise on the dense backend).
 func RunFig6(cfg Fig6Config) ([]Fig6Row, error) {
 	if cfg.Network == nil {
 		return nil, errors.New("experiments: Fig6Config.Network is nil")
 	}
-	n := cfg.Network()
-	pre, err := opf.SolveDFACTS(n, opf.DFACTSConfig{Starts: cfg.SelectStarts, Seed: cfg.Seed})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig6 pre-perturbation OPF: %w", err)
-	}
-	xt := pre.Reactances
-	zt, err := core.OperatingMeasurements(n, xt)
-	if err != nil {
-		return nil, err
-	}
 	effCfg := cfg.Effectiveness
 	effCfg.Seed = cfg.Seed
-	attacks, err := core.SampleAttacks(n, xt, zt, effCfg)
+	res, err := scenario.NewRunner().Run(scenario.Spec{
+		Kind:            scenario.GammaSweep,
+		Network:         cfg.Network,
+		GammaGrid:       cfg.GammaGrid,
+		CapWithMaxGamma: true,
+		SelectStarts:    cfg.SelectStarts,
+		Seed:            cfg.Seed,
+		OPFStarts:       cfg.SelectStarts,
+		OPFSeed:         cfg.Seed,
+		Effectiveness:   effCfg,
+	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiments: fig6: %w", err)
 	}
-
-	rows := make([]Fig6Row, 0, len(cfg.GammaGrid)+1)
-	var warm [][]float64
-	exhausted := false
-	for _, gth := range cfg.GammaGrid {
-		sel, err := core.SelectMTD(n, xt, core.SelectConfig{
-			GammaThreshold: gth,
-			Starts:         cfg.SelectStarts,
-			Seed:           cfg.Seed,
-			BaselineCost:   pre.CostPerHour,
-			WarmStarts:     warm,
-		})
-		if errors.Is(err, core.ErrConstraintUnreachable) {
-			exhausted = true
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig6 γ_th=%.2f: %w", gth, err)
-		}
-		eff, err := core.EvaluateAttacks(n, attacks, sel.Reactances, effCfg)
-		if err != nil {
-			return nil, err
-		}
+	rows := make([]Fig6Row, 0, len(res.Rows))
+	for _, r := range res.Rows {
 		rows = append(rows, Fig6Row{
-			GammaTarget:  gth,
-			Gamma:        eff.Gamma,
-			Deltas:       eff.Deltas,
-			Eta:          eff.Eta,
-			CostIncrease: sel.CostIncrease,
-		})
-		warm = [][]float64{n.DFACTSSetting(sel.Reactances)}
-	}
-	if exhausted {
-		// Cap the sweep with the hardware's best (max-γ) design. On the
-		// calibrated large cases the max-γ box corner can be operationally
-		// infeasible (no dispatch satisfies the line ratings there); the
-		// sweep then simply ends at the last reachable threshold.
-		sel, err := core.MaxGamma(n, xt, core.MaxGammaConfig{
-			Starts: cfg.SelectStarts, Seed: cfg.Seed, BaselineCost: pre.CostPerHour,
-		})
-		if errors.Is(err, opf.ErrInfeasible) {
-			return rows, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		eff, err := core.EvaluateAttacks(n, attacks, sel.Reactances, effCfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Fig6Row{
-			GammaTarget:  0,
-			Gamma:        eff.Gamma,
-			Deltas:       eff.Deltas,
-			Eta:          eff.Eta,
-			CostIncrease: sel.CostIncrease,
+			GammaTarget:  r.GammaTarget,
+			Gamma:        r.Gamma,
+			Deltas:       r.Deltas,
+			Eta:          r.Eta,
+			CostIncrease: r.CostIncrease,
 		})
 	}
 	return rows, nil

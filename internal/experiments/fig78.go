@@ -3,11 +3,10 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"gridmtd/internal/core"
 	"gridmtd/internal/grid"
-	"gridmtd/internal/opf"
+	"gridmtd/internal/scenario"
 )
 
 // Fig7Config controls the random-perturbation baseline comparison.
@@ -45,49 +44,36 @@ type Fig7Row struct {
 	Eta   []float64 // aligned with the configured DeltaGrid
 }
 
-// fig7Setup prepares the shared pre-perturbation state, attack set and
-// no-MTD cost.
-func fig7Setup(cfg *Fig7Config) (*grid.Network, []float64, *core.AttackSet, float64, error) {
-	n := grid.CaseIEEE14()
-	pre, err := opf.SolveDFACTS(n, opf.DFACTSConfig{Starts: cfg.OPFStarts, Seed: cfg.Seed})
-	if err != nil {
-		return nil, nil, nil, 0, fmt.Errorf("experiments: fig7/8 pre-perturbation OPF: %w", err)
+// fig7Spec translates a Fig7Config into the RandomKeys scenario the runner
+// executes: one shared dispatch engine serves the pre-perturbation OPF and
+// every keyspace draw, one attack set serves every evaluation.
+func fig7Spec(cfg Fig7Config, trials int) scenario.Spec {
+	effCfg := cfg.Effectiveness
+	effCfg.Deltas = cfg.DeltaGrid
+	effCfg.Seed = cfg.Seed
+	return scenario.Spec{
+		Kind:          scenario.RandomKeys,
+		Network:       func() *grid.Network { return grid.CaseIEEE14() },
+		Trials:        trials,
+		CostBudget:    cfg.CostBudget,
+		OPFStarts:     cfg.OPFStarts,
+		OPFSeed:       cfg.Seed,
+		Seed:          cfg.Seed,
+		Effectiveness: effCfg,
 	}
-	xt := pre.Reactances
-	zt, err := core.OperatingMeasurements(n, xt)
-	if err != nil {
-		return nil, nil, nil, 0, err
-	}
-	cfg.Effectiveness.Deltas = cfg.DeltaGrid
-	cfg.Effectiveness.Seed = cfg.Seed
-	attacks, err := core.SampleAttacks(n, xt, zt, cfg.Effectiveness)
-	if err != nil {
-		return nil, nil, nil, 0, err
-	}
-	return n, xt, attacks, pre.CostPerHour, nil
 }
 
 // RunFig7 reproduces Fig. 7: η'(δ) for a handful of random keyspace
 // perturbations (prior work's MTD — random D-FACTS settings whose OPF cost
 // stays within 2% of the optimum), showing high across-trial variability.
 func RunFig7(cfg Fig7Config) ([]Fig7Row, error) {
-	n, _, attacks, baseCost, err := fig7Setup(&cfg)
+	res, err := scenario.NewRunner().Run(fig7Spec(cfg, cfg.Trials))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiments: fig7: %w", err)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	rows := make([]Fig7Row, 0, cfg.Trials)
-	for trial := 0; trial < cfg.Trials; trial++ {
-		xRand, _, _, err := core.RandomKeyWithinCost(rng, n, baseCost, cfg.CostBudget, 0)
-		if err != nil {
-			return nil, err
-		}
-		eff, err := core.EvaluateAttacks(n, attacks, xRand, cfg.Effectiveness)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Fig7Row{Trial: trial + 1, Gamma: eff.Gamma, Eta: eff.Eta})
+	rows := make([]Fig7Row, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		rows = append(rows, Fig7Row{Trial: r.Trial, Gamma: r.Gamma, Eta: r.Eta})
 	}
 	return rows, nil
 }
@@ -134,27 +120,18 @@ type Fig8Row struct {
 }
 
 // RunFig8 reproduces Fig. 8: the fraction of the random-perturbation
-// keyspace achieving η'(δ) ≥ 0.9, as a function of δ.
+// keyspace achieving η'(δ) ≥ 0.9, as a function of δ — the same RandomKeys
+// scenario as Fig. 7 at keyspace scale, aggregated per δ.
 func RunFig8(cfg Fig8Config) ([]Fig8Row, error) {
 	f7 := cfg.Fig7
-	n, _, attacks, baseCost, err := fig7Setup(&f7)
+	res, err := scenario.NewRunner().Run(fig7Spec(f7, cfg.Keys))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiments: fig8: %w", err)
 	}
-	rng := rand.New(rand.NewSource(f7.Seed))
-
 	counts := make([]int, len(f7.DeltaGrid))
-	for k := 0; k < cfg.Keys; k++ {
-		xRand, _, _, err := core.RandomKeyWithinCost(rng, n, baseCost, f7.CostBudget, 0)
-		if err != nil {
-			return nil, err
-		}
-		eff, err := core.EvaluateAttacks(n, attacks, xRand, f7.Effectiveness)
-		if err != nil {
-			return nil, err
-		}
+	for _, r := range res.Rows {
 		for i := range f7.DeltaGrid {
-			if eff.Eta[i] >= cfg.EtaTarget {
+			if r.Eta[i] >= cfg.EtaTarget {
 				counts[i]++
 			}
 		}

@@ -1,14 +1,12 @@
 package experiments
 
 import (
-	"errors"
 	"fmt"
 	"io"
 
 	"gridmtd/internal/core"
 	"gridmtd/internal/grid"
-	"gridmtd/internal/loadprofile"
-	"gridmtd/internal/opf"
+	"gridmtd/internal/scenario"
 )
 
 // Fig9Config controls the cost-benefit tradeoff experiment at a single
@@ -57,104 +55,41 @@ type Fig9Row struct {
 // RunFig9 reproduces Fig. 9: the tradeoff between η'(δ) and the MTD
 // operational cost at the 6 PM operating point. The attacker's knowledge
 // H_t is the 5 PM no-MTD configuration; cost is measured against the 6 PM
-// no-MTD OPF (problem (1)).
+// no-MTD OPF (problem (1)). The whole protocol — both hourly OPFs and the
+// γ sweep — is one scenario.Spec sharing a single dispatch engine.
 func RunFig9(cfg Fig9Config) ([]Fig9Row, error) {
 	build := cfg.Network
 	if build == nil {
 		build = grid.CaseIEEE14
 	}
-	base := build()
-	if cfg.PeakLoadMW <= 0 {
-		cfg.PeakLoadMW = 0.85 * base.TotalLoadMW()
-	}
-	factors, err := loadprofile.ScaleToPeak(loadprofile.NYWinterWeekday(), base.TotalLoadMW(), cfg.PeakLoadMW)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.Hour <= 0 || cfg.Hour >= len(factors) {
-		return nil, fmt.Errorf("experiments: fig9 hour %d out of range", cfg.Hour)
-	}
-
-	// Attacker knowledge: previous hour's no-MTD configuration.
-	prevNet := base.Clone()
-	prevNet.ScaleLoads(factors[cfg.Hour-1])
-	prev, err := opf.SolveDFACTS(prevNet, opf.DFACTSConfig{Starts: cfg.SelectStarts, Seed: cfg.Seed})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig9 previous-hour OPF: %w", err)
-	}
-	zOld, err := core.OperatingMeasurements(prevNet, prev.Reactances)
-	if err != nil {
-		return nil, err
-	}
-
-	// Current hour.
-	net := base.Clone()
-	net.ScaleLoads(factors[cfg.Hour])
-	noMTD, err := opf.SolveDFACTS(net, opf.DFACTSConfig{Starts: cfg.SelectStarts, Seed: cfg.Seed + 1})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig9 current-hour OPF: %w", err)
-	}
-
 	effCfg := cfg.Effectiveness
 	effCfg.Seed = cfg.Seed
-	attacks, err := core.SampleAttacks(net, prev.Reactances, zOld, effCfg)
+	res, err := scenario.NewRunner().Run(scenario.Spec{
+		Kind:            scenario.GammaSweep,
+		Network:         build,
+		PeakLoadMW:      cfg.PeakLoadMW,
+		Hour:            cfg.Hour,
+		StaleAttacker:   true,
+		GammaGrid:       cfg.GammaGrid,
+		CapWithMaxGamma: true,
+		SelectStarts:    cfg.SelectStarts,
+		Seed:            cfg.Seed,
+		OPFStarts:       cfg.SelectStarts,
+		OPFSeed:         cfg.Seed,
+		Effectiveness:   effCfg,
+	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiments: fig9: %w", err)
 	}
-
-	rows := make([]Fig9Row, 0, len(cfg.GammaGrid)+1)
-	var warm [][]float64
-	appendPoint := func(sel *core.Selection, target float64) error {
-		eff, err := core.EvaluateAttacks(net, attacks, sel.Reactances, effCfg)
-		if err != nil {
-			return err
-		}
+	rows := make([]Fig9Row, 0, len(res.Rows))
+	for _, r := range res.Rows {
 		rows = append(rows, Fig9Row{
-			GammaTarget:  target,
-			Gamma:        eff.Gamma,
-			Deltas:       eff.Deltas,
-			Eta:          eff.Eta,
-			CostIncrease: sel.CostIncrease,
+			GammaTarget:  r.GammaTarget,
+			Gamma:        r.Gamma,
+			Deltas:       r.Deltas,
+			Eta:          r.Eta,
+			CostIncrease: r.CostIncrease,
 		})
-		warm = [][]float64{net.DFACTSSetting(sel.Reactances)}
-		return nil
-	}
-
-	exhausted := false
-	for _, gth := range cfg.GammaGrid {
-		sel, err := core.SelectMTD(net, prev.Reactances, core.SelectConfig{
-			GammaThreshold: gth,
-			Starts:         cfg.SelectStarts,
-			Seed:           cfg.Seed,
-			BaselineCost:   noMTD.CostPerHour,
-			WarmStarts:     warm,
-		})
-		if errors.Is(err, core.ErrConstraintUnreachable) {
-			exhausted = true
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig9 γ_th=%.2f: %w", gth, err)
-		}
-		if err := appendPoint(sel, gth); err != nil {
-			return nil, err
-		}
-	}
-	if exhausted {
-		sel, err := core.MaxGamma(net, prev.Reactances, core.MaxGammaConfig{
-			Starts: cfg.SelectStarts, Seed: cfg.Seed, BaselineCost: noMTD.CostPerHour,
-		})
-		if errors.Is(err, opf.ErrInfeasible) {
-			// The max-γ corner cannot be operated on this case's ratings;
-			// the tradeoff ends at the last reachable threshold.
-			return rows, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		if err := appendPoint(sel, 0); err != nil {
-			return nil, err
-		}
 	}
 	return rows, nil
 }

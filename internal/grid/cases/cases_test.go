@@ -3,7 +3,7 @@ package cases
 import "testing"
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"case4gs", "ieee14", "ieee30", "ieee57", "ieee118"}
+	want := []string{"case4gs", "ieee14", "ieee30", "ieee57", "ieee118", "ieee300"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -88,6 +88,7 @@ func TestCanonicalSizes(t *testing.T) {
 		{"ieee30", 30, 41, 6, 283.4},
 		{"ieee57", 57, 78, 7, 1250.8},
 		{"ieee118", 118, 179, 54, 4242},
+		{"ieee300", 300, 411, 69, 23524.7},
 	} {
 		s, ok := ByName(tc.name)
 		if !ok {

@@ -235,8 +235,16 @@ func (e *DispatchEngine) buildProblem(w *dispatchWorkspace, x []float64) (*lp.Pr
 // Cost returns the optimal generation cost ($/h) for reactances x without
 // materializing flows and angles — the form the selection search's inner
 // loop wants. The value is bitwise identical to Solve(x).CostPerHour.
+//
+// Pooled solves always start from a cold LP basis: sync.Pool hands out
+// workspaces in a scheduling- and GC-dependent order, so any warm state
+// carried across pooled calls would make results depend on that order.
+// Dropping it keeps every engine-level solve a pure function of (loads, x)
+// — the arithmetic a freshly constructed engine performs — and leaves warm
+// solving to the explicitly scoped per-worker sessions.
 func (e *DispatchEngine) Cost(x []float64) (float64, error) {
 	w := e.pool.Get().(*dispatchWorkspace)
+	w.dropWarmStart()
 	sol, err := e.prepare(w, x)
 	e.pool.Put(w)
 	if err != nil {
@@ -246,11 +254,21 @@ func (e *DispatchEngine) Cost(x []float64) (float64, error) {
 }
 
 // Solve returns the full OPF result for reactances x, including the
-// verifying DC power flow, exactly as SolveDispatch does.
+// verifying DC power flow, exactly as SolveDispatch does. Like Cost, a
+// pooled solve always starts from a cold LP basis.
 func (e *DispatchEngine) Solve(x []float64) (*Result, error) {
 	w := e.pool.Get().(*dispatchWorkspace)
 	defer e.pool.Put(w)
+	w.dropWarmStart()
 	return e.solve(w, x)
+}
+
+// dropWarmStart discards the workspace's warm LP basis (no-op on the
+// dense path).
+func (w *dispatchWorkspace) dropWarmStart() {
+	if w.rsolver != nil {
+		w.rsolver.Invalidate()
+	}
 }
 
 // solve is Solve against an explicit workspace.

@@ -60,6 +60,11 @@ type DFACTSConfig struct {
 	// Parallelism bounds the number of concurrent local searches (0 =
 	// GOMAXPROCS). The result is identical for any setting.
 	Parallelism int
+	// Initial, when non-nil, is the full reactance vector whose D-FACTS
+	// setting seeds the search instead of the network's nominal reactances
+	// (day-sweep loops that keep yesterday's devices installed pass the
+	// installed vector here).
+	Initial []float64
 }
 
 func (c DFACTSConfig) withDefaults(dim int) DFACTSConfig {
@@ -77,18 +82,27 @@ func (c DFACTSConfig) withDefaults(dim int) DFACTSConfig {
 // D-FACTS devices reduce to SolveDispatch at the current reactances
 // (paper footnote 1).
 func SolveDFACTS(n *grid.Network, cfg DFACTSConfig) (*Result, error) {
+	engine, err := NewDispatchEngine(n)
+	if err != nil {
+		return nil, err
+	}
+	return SolveDFACTSEngine(engine, cfg)
+}
+
+// SolveDFACTSEngine is SolveDFACTS against a pre-built dispatch engine —
+// the form batched drivers (day sweeps, the planner service) use so one
+// engine's cached LP skeleton and factorizer workspaces serve every solve
+// on a case. The arithmetic is identical to SolveDFACTS.
+func SolveDFACTSEngine(engine *DispatchEngine, cfg DFACTSConfig) (*Result, error) {
+	n := engine.n
 	idx := n.DFACTSIndices()
 	if len(idx) == 0 {
-		return SolveDispatch(n, n.Reactances())
+		return engine.Solve(n.Reactances())
 	}
 	cfg = cfg.withDefaults(len(idx))
 	lo, hi := n.DFACTSBounds()
 	box := optimize.Bounds{Lower: lo, Upper: hi}
 
-	engine, err := NewDispatchEngine(n)
-	if err != nil {
-		return nil, err
-	}
 	// Per-worker engine sessions: no pool churn per evaluation, and on the
 	// sparse path the warm LP basis is scoped to one local search so the
 	// result is identical for every worker count. The driver-level
@@ -107,10 +121,14 @@ func SolveDFACTS(n *grid.Network, cfg DFACTSConfig) (*Result, error) {
 	local := func(f optimize.Objective, x0 []float64) (*optimize.Result, error) {
 		return optimize.NelderMead(f, x0, optimize.NMConfig{MaxEvals: cfg.MaxEvals})
 	}
+	initial := cfg.Initial
+	if initial == nil {
+		initial = n.Reactances()
+	}
 	best, err := optimize.MultiStart(obj, box, local, optimize.MSConfig{
 		Starts:             cfg.Starts,
 		Seed:               cfg.Seed,
-		InitialPoints:      [][]float64{n.DFACTSSetting(n.Reactances())},
+		InitialPoints:      [][]float64{n.DFACTSSetting(initial)},
 		Parallelism:        cfg.Parallelism,
 		NewWorkerObjective: newWorkerObj,
 	})

@@ -1,0 +1,603 @@
+// Package planner is the long-running selection front-end of the
+// reproduction: a concurrency-safe service object answering MTD selection,
+// γ-evaluation, day-sweep and placement requests against the embedded case
+// registry. It amortizes everything amortizable across requests:
+//
+//   - an LRU of resolved cases (one immutable network per (case, load
+//     scale) pair), whose dispatch-OPF engines the scenario runner caches
+//     by network pointer — so the factorizer workspaces, LP skeletons and
+//     warm simplex bases survive from request to request;
+//   - a memo LRU of finished responses keyed by the full request
+//     parameterization (case, setpoint, budgets, seeds), so a repeated
+//     request is a map lookup instead of a multi-start search.
+//
+// Requests with identical keys share one computation (the second caller
+// waits for the first); requests with different keys compute concurrently.
+// cmd/gridmtdd serves this planner over HTTP.
+package planner
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gridmtd/internal/core"
+	"gridmtd/internal/grid"
+	"gridmtd/internal/opf"
+	"gridmtd/internal/scenario"
+)
+
+// ErrUnreachable is returned by Select when the requested γ threshold is
+// beyond the case's D-FACTS reach and no max-γ fallback was requested.
+var ErrUnreachable = errors.New("planner: gamma threshold unreachable within D-FACTS limits")
+
+// Config tunes a Planner.
+type Config struct {
+	// Backend forces the dispatch engines' linear-algebra backend
+	// (AutoBackend picks by case size).
+	Backend grid.Backend
+	// MaxCases bounds the case LRU (default 8 (case, scale) entries).
+	MaxCases int
+	// MaxResults bounds the response memo LRU (default 256).
+	MaxResults int
+	// Parallelism bounds each request's internal search parallelism
+	// (0 = GOMAXPROCS). Results are identical for any setting.
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxCases <= 0 {
+		c.MaxCases = 8
+	}
+	if c.MaxResults <= 0 {
+		c.MaxResults = 256
+	}
+	return c
+}
+
+// Stats counts cache traffic.
+type Stats struct {
+	CaseHits     int64 `json:"case_hits"`
+	CaseMisses   int64 `json:"case_misses"`
+	ResultHits   int64 `json:"result_hits"`
+	ResultMisses int64 `json:"result_misses"`
+}
+
+// Planner is the long-running selection service. Safe for concurrent use.
+type Planner struct {
+	cfg    Config
+	runner *scenario.Runner
+
+	mu      sync.Mutex
+	cases   map[string]*caseEntry
+	caseLRU *list.List // front = most recent; values are case keys
+	results map[string]*resultEntry
+	resLRU  *list.List
+	stats   Stats
+}
+
+type caseEntry struct {
+	once sync.Once
+	net  *grid.Network
+	err  error
+	elem *list.Element
+}
+
+type resultEntry struct {
+	once    sync.Once
+	resp    any
+	err     error
+	elapsed time.Duration
+	elem    *list.Element
+}
+
+// New builds a planner.
+func New(cfg Config) *Planner {
+	return &Planner{
+		cfg:     cfg.withDefaults(),
+		runner:  scenario.NewRunner(),
+		cases:   map[string]*caseEntry{},
+		caseLRU: list.New(),
+		results: map[string]*resultEntry{},
+		resLRU:  list.New(),
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (p *Planner) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// caseFor resolves the immutable network of a (case, load scale) pair
+// through the LRU. The returned network must never be mutated — the
+// scenario runner keys its engine cache on the pointer.
+func (p *Planner) caseFor(name string, scale float64) (*grid.Network, error) {
+	if scale == 0 {
+		scale = 1
+	}
+	key := fmt.Sprintf("%s|%g", name, scale)
+	p.mu.Lock()
+	e, ok := p.cases[key]
+	if ok {
+		p.stats.CaseHits++
+		p.caseLRU.MoveToFront(e.elem)
+	} else {
+		p.stats.CaseMisses++
+		e = &caseEntry{}
+		e.elem = p.caseLRU.PushFront(key)
+		p.cases[key] = e
+		for p.caseLRU.Len() > p.cfg.MaxCases {
+			old := p.caseLRU.Back()
+			p.caseLRU.Remove(old)
+			delete(p.cases, old.Value.(string))
+		}
+	}
+	p.mu.Unlock()
+	e.once.Do(func() {
+		n, err := grid.CaseByName(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		if scale != 1 {
+			n.ScaleLoads(scale)
+		}
+		e.net = n
+	})
+	return e.net, e.err
+}
+
+// memo runs compute under the response memo: the first request with a key
+// computes, every later identical request returns the stored response.
+func (p *Planner) memo(key string, compute func() (any, error)) (resp any, elapsed time.Duration, hit bool, err error) {
+	p.mu.Lock()
+	e, ok := p.results[key]
+	if ok {
+		p.stats.ResultHits++
+		p.resLRU.MoveToFront(e.elem)
+	} else {
+		p.stats.ResultMisses++
+		e = &resultEntry{}
+		e.elem = p.resLRU.PushFront(key)
+		p.results[key] = e
+		for p.resLRU.Len() > p.cfg.MaxResults {
+			old := p.resLRU.Back()
+			p.resLRU.Remove(old)
+			delete(p.results, old.Value.(string))
+		}
+	}
+	p.mu.Unlock()
+	first := false
+	e.once.Do(func() {
+		first = true
+		start := time.Now()
+		e.resp, e.err = compute()
+		e.elapsed = time.Since(start)
+	})
+	return e.resp, e.elapsed, ok && !first, e.err
+}
+
+// ---- Select ----------------------------------------------------------------
+
+// SelectRequest asks for one problem-(4) selection, parameterized exactly
+// like one mtdscan sweep point: the attacker's knowledge defaults to the
+// case's problem-(1) solution at the requested loads (XOld overrides it),
+// and the response carries the achieved γ, the η'(δ) curve against the
+// request's attack model, and the operational cost.
+type SelectRequest struct {
+	Case           string  `json:"case"`
+	GammaThreshold float64 `json:"gamma_threshold"`
+	// MaxGamma falls back to the hardware's best design when the threshold
+	// is unreachable (or is the request itself when GammaThreshold is 0).
+	MaxGamma  bool    `json:"max_gamma,omitempty"`
+	LoadScale float64 `json:"load_scale,omitempty"`
+	// XOld optionally fixes the attacker-known reactance vector.
+	XOld     []float64 `json:"x_old,omitempty"`
+	Starts   int       `json:"starts,omitempty"`
+	MaxEvals int       `json:"max_evals,omitempty"`
+	Seed     int64     `json:"seed,omitempty"`
+	Attacks  int       `json:"attacks,omitempty"`
+	Sigma    float64   `json:"sigma,omitempty"`
+	Alpha    float64   `json:"alpha,omitempty"`
+}
+
+// SelectResponse is a served selection.
+type SelectResponse struct {
+	Case             string    `json:"case"`
+	GammaThreshold   float64   `json:"gamma_threshold"`
+	Gamma            float64   `json:"gamma"`
+	Deltas           []float64 `json:"deltas"`
+	Eta              []float64 `json:"eta"`
+	CostIncrease     float64   `json:"cost_increase"`
+	BaselineCost     float64   `json:"baseline_cost"`
+	CostPerHour      float64   `json:"cost_per_hour"`
+	Undetectable     float64   `json:"undetectable"`
+	Reactances       []float64 `json:"reactances"`
+	MaxGammaFallback bool      `json:"max_gamma_fallback,omitempty"`
+	CacheHit         bool      `json:"cache_hit"`
+	ElapsedMS        float64   `json:"elapsed_ms"`
+}
+
+func (r SelectRequest) key() string {
+	return fmt.Sprintf("select|%s|%g|%v|%g|%v|%d|%d|%d|%d|%g|%g",
+		r.Case, r.GammaThreshold, r.MaxGamma, r.LoadScale, r.XOld,
+		r.Starts, r.MaxEvals, r.Seed, r.Attacks, r.Sigma, r.Alpha)
+}
+
+func (r SelectRequest) withDefaults() SelectRequest {
+	if r.Starts <= 0 {
+		r.Starts = 6
+	}
+	return r
+}
+
+// Select serves one memoized selection request.
+func (p *Planner) Select(req SelectRequest) (*SelectResponse, error) {
+	req = req.withDefaults()
+	resp, elapsed, hit, err := p.memo(req.key(), func() (any, error) {
+		return p.computeSelect(req)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := *(resp.(*SelectResponse))
+	out.CacheHit = hit
+	out.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
+	return &out, nil
+}
+
+func (p *Planner) computeSelect(req SelectRequest) (*SelectResponse, error) {
+	n, err := p.caseFor(req.Case, req.LoadScale)
+	if err != nil {
+		return nil, err
+	}
+	effCfg := core.EffectivenessConfig{
+		NumAttacks: req.Attacks, Sigma: req.Sigma, Alpha: req.Alpha, Seed: req.Seed,
+	}
+	if len(req.XOld) > 0 {
+		return p.selectExplicitXOld(req, n, effCfg)
+	}
+	spec := scenario.Spec{
+		Kind:            scenario.GammaSweep,
+		Net:             n,
+		Backend:         p.cfg.Backend,
+		GammaGrid:       []float64{req.GammaThreshold},
+		CapWithMaxGamma: req.MaxGamma,
+		SelectStarts:    req.Starts,
+		MaxEvals:        req.MaxEvals,
+		Seed:            req.Seed,
+		OPFStarts:       req.Starts,
+		OPFMaxEvals:     req.MaxEvals,
+		OPFSeed:         req.Seed,
+		Effectiveness:   effCfg,
+		Parallelism:     p.cfg.Parallelism,
+	}
+	if req.MaxGamma && req.GammaThreshold <= 0 {
+		// A pure max-γ request: an unreachable sentinel threshold forces
+		// the sweep straight into its max-γ cap.
+		spec.GammaGrid = []float64{1e9}
+	}
+	res, err := p.runner.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rows) == 0 {
+		if res.Exhausted && !req.MaxGamma {
+			return nil, fmt.Errorf("%w: γ_th=%g on %s", ErrUnreachable, req.GammaThreshold, req.Case)
+		}
+		return nil, fmt.Errorf("planner: no operable design on %s (max-γ corner infeasible)", req.Case)
+	}
+	row := res.Rows[len(res.Rows)-1]
+	return &SelectResponse{
+		Case:             req.Case,
+		GammaThreshold:   req.GammaThreshold,
+		Gamma:            row.Gamma,
+		Deltas:           row.Deltas,
+		Eta:              row.Eta,
+		CostIncrease:     row.CostIncrease,
+		BaselineCost:     row.BaselineCost,
+		CostPerHour:      row.MTDCost,
+		Undetectable:     row.Undetectable,
+		Reactances:       row.Reactances,
+		MaxGammaFallback: req.MaxGamma && row.GammaTarget == 0,
+	}, nil
+}
+
+// selectExplicitXOld serves a request whose attacker knowledge is given:
+// the planner works directly on the shared engines (the setpoint hash —
+// case, scale, x_old — keys the γ engine, the dispatch engine comes from
+// the runner's cache).
+func (p *Planner) selectExplicitXOld(req SelectRequest, n *grid.Network, effCfg core.EffectivenessConfig) (*SelectResponse, error) {
+	if len(req.XOld) != n.L() {
+		return nil, fmt.Errorf("planner: x_old has %d entries, case %s has %d branches", len(req.XOld), req.Case, n.L())
+	}
+	eng, err := p.runner.DispatchEngine(n, p.cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := opf.SolveDFACTSEngine(eng, opf.DFACTSConfig{
+		Starts: req.Starts, MaxEvals: req.MaxEvals, Seed: req.Seed, Parallelism: p.cfg.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	engines := core.NewEnginesShared(n, req.XOld, eng)
+	selCfg := core.SelectConfig{
+		GammaThreshold: req.GammaThreshold,
+		Starts:         req.Starts,
+		MaxEvals:       req.MaxEvals,
+		Seed:           req.Seed,
+		BaselineCost:   baseline.CostPerHour,
+		Parallelism:    p.cfg.Parallelism,
+	}
+	sel, err := core.SelectMTDWith(engines, n, req.XOld, selCfg)
+	fellBack := false
+	if errors.Is(err, core.ErrConstraintUnreachable) || (req.MaxGamma && req.GammaThreshold <= 0) {
+		if !req.MaxGamma {
+			return nil, fmt.Errorf("%w: γ_th=%g on %s", ErrUnreachable, req.GammaThreshold, req.Case)
+		}
+		fellBack = err != nil
+		sel, err = core.MaxGammaWith(engines, n, req.XOld, core.MaxGammaConfig{
+			Starts: req.Starts, MaxEvals: req.MaxEvals, Seed: req.Seed,
+			BaselineCost: baseline.CostPerHour, Parallelism: p.cfg.Parallelism,
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	zOld, err := core.OperatingMeasurements(n, req.XOld)
+	if err != nil {
+		return nil, err
+	}
+	attacks, err := core.SampleAttacks(n, req.XOld, zOld, effCfg)
+	if err != nil {
+		return nil, err
+	}
+	eff, err := core.EvaluateAttacks(n, attacks, sel.Reactances, effCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SelectResponse{
+		Case:             req.Case,
+		GammaThreshold:   req.GammaThreshold,
+		Gamma:            eff.Gamma,
+		Deltas:           eff.Deltas,
+		Eta:              eff.Eta,
+		CostIncrease:     sel.CostIncrease,
+		BaselineCost:     sel.BaselineCost,
+		CostPerHour:      sel.OPF.CostPerHour,
+		Undetectable:     eff.UndetectableFraction,
+		Reactances:       sel.Reactances,
+		MaxGammaFallback: fellBack,
+	}, nil
+}
+
+// ---- Gamma -----------------------------------------------------------------
+
+// GammaRequest asks for the subspace separation between two reactance
+// settings of a case (XOld empty = the case's nominal reactances).
+type GammaRequest struct {
+	Case string    `json:"case"`
+	XOld []float64 `json:"x_old,omitempty"`
+	XNew []float64 `json:"x_new"`
+}
+
+// GammaResponse carries γ(H(x_old), H(x_new)).
+type GammaResponse struct {
+	Case      string  `json:"case"`
+	Gamma     float64 `json:"gamma"`
+	CacheHit  bool    `json:"cache_hit"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// Gamma serves one memoized γ evaluation.
+func (p *Planner) Gamma(req GammaRequest) (*GammaResponse, error) {
+	key := fmt.Sprintf("gamma|%s|%v|%v", req.Case, req.XOld, req.XNew)
+	resp, elapsed, hit, err := p.memo(key, func() (any, error) {
+		n, err := p.caseFor(req.Case, 1)
+		if err != nil {
+			return nil, err
+		}
+		xOld := req.XOld
+		if len(xOld) == 0 {
+			xOld = n.Reactances()
+		}
+		if len(xOld) != n.L() || len(req.XNew) != n.L() {
+			return nil, fmt.Errorf("planner: reactance vectors must have %d entries for case %s", n.L(), req.Case)
+		}
+		return &GammaResponse{Case: req.Case, Gamma: core.Gamma(n, xOld, req.XNew)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := *(resp.(*GammaResponse))
+	out.CacheHit = hit
+	out.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
+	return &out, nil
+}
+
+// ---- Day sweep -------------------------------------------------------------
+
+// DaySweepRequest asks for a (subset of a) Section VII-C operating day.
+// The defaults are service-sized: quick tuning budgets on three
+// representative hours; pass explicit fields for the full protocol.
+type DaySweepRequest struct {
+	Case        string  `json:"case"`
+	Hours       []int   `json:"hours,omitempty"`
+	PeakLoadMW  float64 `json:"peak_load_mw,omitempty"`
+	TargetDelta float64 `json:"target_delta,omitempty"`
+	TargetEta   float64 `json:"target_eta,omitempty"`
+	Iterations  int     `json:"iterations,omitempty"`
+	Attacks     int     `json:"attacks,omitempty"`
+	Starts      int     `json:"starts,omitempty"`
+	OPFStarts   int     `json:"opf_starts,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+}
+
+// DaySweepHour is one served hour.
+type DaySweepHour struct {
+	Hour         int     `json:"hour"`
+	TotalLoadMW  float64 `json:"total_load_mw"`
+	BaselineCost float64 `json:"baseline_cost"`
+	MTDCost      float64 `json:"mtd_cost"`
+	CostIncrease float64 `json:"cost_increase"`
+	Gamma        float64 `json:"gamma"`
+	Eta          float64 `json:"eta"`
+}
+
+// DaySweepResponse is a served day sweep.
+type DaySweepResponse struct {
+	Case      string         `json:"case"`
+	Hours     []DaySweepHour `json:"hours"`
+	CacheHit  bool           `json:"cache_hit"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+}
+
+func (r DaySweepRequest) withDefaults() DaySweepRequest {
+	if len(r.Hours) == 0 {
+		r.Hours = []int{2, 8, 17} // trough, shoulder, peak
+	}
+	if r.TargetDelta <= 0 {
+		r.TargetDelta = 0.9
+	}
+	if r.TargetEta <= 0 {
+		r.TargetEta = 0.9
+	}
+	if r.Iterations <= 0 {
+		r.Iterations = 2
+	}
+	if r.Attacks <= 0 {
+		r.Attacks = 100
+	}
+	if r.Starts <= 0 {
+		r.Starts = 2
+	}
+	if r.OPFStarts <= 0 {
+		r.OPFStarts = 3
+	}
+	return r
+}
+
+// DaySweep serves one memoized day sweep.
+func (p *Planner) DaySweep(req DaySweepRequest) (*DaySweepResponse, error) {
+	req = req.withDefaults()
+	key := fmt.Sprintf("day|%s|%v|%g|%g|%g|%d|%d|%d|%d|%d",
+		req.Case, req.Hours, req.PeakLoadMW, req.TargetDelta, req.TargetEta,
+		req.Iterations, req.Attacks, req.Starts, req.OPFStarts, req.Seed)
+	resp, elapsed, hit, err := p.memo(key, func() (any, error) {
+		n, err := p.caseFor(req.Case, 1)
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.runner.Run(scenario.Spec{
+			Kind:       scenario.DaySweep,
+			Net:        n,
+			Backend:    p.cfg.Backend,
+			Hours:      req.Hours,
+			PeakLoadMW: req.PeakLoadMW,
+			Warmup:     true,
+			Tune: core.TuneConfig{
+				TargetDelta: req.TargetDelta,
+				TargetEta:   req.TargetEta,
+				Iterations:  req.Iterations,
+				Effectiveness: core.EffectivenessConfig{
+					NumAttacks: req.Attacks,
+				},
+				Select: core.SelectConfig{Starts: req.Starts, Parallelism: p.cfg.Parallelism},
+			},
+			OPFStarts:   req.OPFStarts,
+			Seed:        req.Seed,
+			Parallelism: p.cfg.Parallelism,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out := &DaySweepResponse{Case: req.Case}
+		for _, r := range res.Rows {
+			out.Hours = append(out.Hours, DaySweepHour{
+				Hour:         r.Hour,
+				TotalLoadMW:  r.TotalLoadMW,
+				BaselineCost: r.BaselineCost,
+				MTDCost:      r.MTDCost,
+				CostIncrease: r.CostIncrease,
+				Gamma:        r.Gamma,
+				Eta:          r.Eta[0],
+			})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := *(resp.(*DaySweepResponse))
+	out.CacheHit = hit
+	out.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
+	return &out, nil
+}
+
+// ---- Placement -------------------------------------------------------------
+
+// PlacementRequest asks for a greedy D-FACTS placement study.
+type PlacementRequest struct {
+	Case    string `json:"case"`
+	Devices int    `json:"devices,omitempty"`
+	Pool    []int  `json:"pool,omitempty"`
+}
+
+// PlacementRound is one greedy round's deployment.
+type PlacementRound struct {
+	Devices      []int   `json:"devices"`
+	Gamma        float64 `json:"gamma"`
+	CostIncrease float64 `json:"cost_increase,omitempty"`
+	CostKnown    bool    `json:"cost_known"`
+}
+
+// PlacementResponse is a served placement study.
+type PlacementResponse struct {
+	Case      string           `json:"case"`
+	Rounds    []PlacementRound `json:"rounds"`
+	CacheHit  bool             `json:"cache_hit"`
+	ElapsedMS float64          `json:"elapsed_ms"`
+}
+
+// Placement serves one memoized placement study.
+func (p *Planner) Placement(req PlacementRequest) (*PlacementResponse, error) {
+	key := fmt.Sprintf("placement|%s|%d|%v", req.Case, req.Devices, req.Pool)
+	resp, elapsed, hit, err := p.memo(key, func() (any, error) {
+		n, err := p.caseFor(req.Case, 1)
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.runner.Run(scenario.Spec{
+			Kind:        scenario.Placement,
+			Net:         n,
+			Backend:     p.cfg.Backend,
+			Placement:   scenario.PlacementSpec{Devices: req.Devices, Pool: req.Pool},
+			Parallelism: p.cfg.Parallelism,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out := &PlacementResponse{Case: req.Case}
+		for _, r := range res.Rows {
+			out.Rounds = append(out.Rounds, PlacementRound{
+				Devices:      r.Devices,
+				Gamma:        r.Gamma,
+				CostIncrease: r.CostIncrease,
+				CostKnown:    r.CostKnown,
+			})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := *(resp.(*PlacementResponse))
+	out.CacheHit = hit
+	out.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
+	return &out, nil
+}

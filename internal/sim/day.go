@@ -87,6 +87,17 @@ type DayConfig struct {
 //
 // Hour 0 uses its own configuration as the attacker knowledge (γ = 0
 // drift), matching the paper's first sample.
+//
+// One work network and one dispatch-OPF engine serve the whole day: the
+// engine reads loads fresh on every solve and takes the reactances as an
+// explicit argument, so mutating the work network's loads (and, under
+// PersistReactances, its installed reactances) hour by hour performs
+// exactly the arithmetic the historical per-hour engine construction
+// performed — on the dense path the hourly records are bitwise identical —
+// while the LP skeleton, the factorizer workspaces and (on the sparse
+// path) the warm simplex bases are built once per day instead of once per
+// hour. Only the γ engine is rebuilt hourly, because it is keyed by the
+// attacker's (hourly-moving) knowledge x_t.
 func RunDay(cfg DayConfig) ([]HourResult, error) {
 	if cfg.Net == nil {
 		return nil, errors.New("sim: nil network")
@@ -114,20 +125,27 @@ func RunDay(cfg DayConfig) ([]HourResult, error) {
 		firstRecorded = 1
 	}
 
+	net := cfg.Net.Clone()
+	engine, err := opf.NewDispatchEngine(net)
+	if err != nil {
+		return nil, fmt.Errorf("sim: dispatch engine: %w", err)
+	}
+	loads := make([]float64, len(baseLoads))
+
 	results := make([]HourResult, 0, len(factors))
 	for h, factor := range factors {
-		net := cfg.Net.Clone()
-		loads := make([]float64, len(baseLoads))
 		for i, l := range baseLoads {
 			loads[i] = l * factor
 		}
 		net.SetLoadsMW(loads)
+		startX := []float64(nil) // nominal reactances
 		if cfg.PersistReactances && installedX != nil {
-			net = net.WithReactances(installedX)
+			net.SetReactances(installedX)
+			startX = installedX
 		}
 
 		// Step 1: no-MTD OPF (problem (1)).
-		noMTD, err := opf.SolveDFACTS(net, opf.DFACTSConfig{Starts: cfg.OPFStarts, Seed: cfg.Seed + int64(h)})
+		noMTD, err := opf.SolveDFACTSEngine(engine, opf.DFACTSConfig{Starts: cfg.OPFStarts, Seed: cfg.Seed + int64(h), Initial: startX})
 		if err != nil {
 			return nil, fmt.Errorf("sim: hour %d no-MTD OPF: %w", h, err)
 		}
@@ -147,7 +165,7 @@ func RunDay(cfg DayConfig) ([]HourResult, error) {
 		tuneCfg.Select.BaselineCost = noMTD.CostPerHour
 		tuneCfg.Select.Seed = cfg.Seed + int64(h)
 		tuneCfg.Effectiveness.Seed = cfg.Seed + int64(h)
-		sel, eff, err := core.TuneGammaThreshold(net, xOld, zOld, tuneCfg)
+		sel, eff, err := core.TuneGammaThresholdWith(core.NewEnginesShared(net, xOld, engine), net, xOld, zOld, tuneCfg)
 		if err != nil {
 			return nil, fmt.Errorf("sim: hour %d MTD selection: %w", h, err)
 		}
