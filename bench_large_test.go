@@ -159,6 +159,48 @@ func BenchmarkGammaIEEE118(b *testing.B) {
 	}
 }
 
+// benchGammaBackend measures one cached candidate-γ evaluation through an
+// explicit γ backend — the unit the γ-backend layer exists to make cheap.
+// The candidate sits at the 75% point of the device box, the same point
+// BenchmarkGammaIEEE118 uses.
+func benchGammaBackend(b *testing.B, caseName string, gb gridmtd.GammaBackend) {
+	n := benchCase(b, caseName)
+	x := n.Reactances()
+	lo, hi := n.DFACTSBounds()
+	xd := make([]float64, len(lo))
+	for i := range xd {
+		xd[i] = 0.25*lo[i] + 0.75*hi[i]
+	}
+	ev := gridmtd.NewGammaEvaluatorBackend(n, x, gb)
+	if got := ev.Backend(); got != gridmtd.EffectiveGammaBackend(gb) {
+		b.Fatalf("evaluator degraded to the %v backend", got)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.GammaDFACTS(xd)
+	}
+}
+
+func BenchmarkGammaBackend118Exact(b *testing.B) {
+	benchGammaBackend(b, "ieee118", gridmtd.GammaExact)
+}
+func BenchmarkGammaBackend118Sparse(b *testing.B) {
+	benchGammaBackend(b, "ieee118", gridmtd.GammaSparse)
+}
+func BenchmarkGammaBackend118Sketch(b *testing.B) {
+	benchGammaBackend(b, "ieee118", gridmtd.GammaSketch)
+}
+func BenchmarkGammaBackend300Exact(b *testing.B) {
+	benchGammaBackend(b, "ieee300", gridmtd.GammaExact)
+}
+func BenchmarkGammaBackend300Sparse(b *testing.B) {
+	benchGammaBackend(b, "ieee300", gridmtd.GammaSparse)
+}
+func BenchmarkGammaBackend300Sketch(b *testing.B) {
+	benchGammaBackend(b, "ieee300", gridmtd.GammaSketch)
+}
+
 // BenchmarkSelectMTDIEEE118Quick measures the quick-mode 118-bus selection
 // (1 start, 30 evaluations) — the CI smoke's workload.
 func BenchmarkSelectMTDIEEE118Quick(b *testing.B) {

@@ -7,17 +7,23 @@
 //
 // Usage:
 //
-//	gridmtdd [-addr 127.0.0.1:8642] [-backend auto] [-parallel 0]
+//	gridmtdd [-addr 127.0.0.1:8642] [-backend auto] [-gamma auto] [-parallel 0] [-timeout 2m]
 //
 // Endpoints (JSON in, JSON out):
 //
 //	GET  /healthz        {"ok":true}
 //	GET  /v1/cases       the case registry
-//	GET  /v1/stats       cache hit/miss counters
+//	GET  /v1/stats       cache hit/miss counters + γ backends served
 //	POST /v1/select      planner.SelectRequest  -> planner.SelectResponse
 //	POST /v1/gamma       planner.GammaRequest   -> planner.GammaResponse
 //	POST /v1/daysweep    planner.DaySweepRequest -> planner.DaySweepResponse
 //	POST /v1/placement   planner.PlacementRequest -> planner.PlacementResponse
+//
+// Service hardening: every POST endpoint runs under a per-request deadline
+// (-timeout; exceeding it answers 503 while the abandoned computation's
+// result still lands in the memo for the retry), and SIGINT/SIGTERM
+// trigger a graceful shutdown that stops accepting connections and drains
+// in-flight requests before exiting.
 //
 // A selection request is parameterized exactly like one mtdscan sweep
 // point, so
@@ -26,15 +32,19 @@
 //	  '{"case":"ieee57","gamma_threshold":0.05,"starts":2,"max_evals":40,"seed":1,"attacks":50}'
 //
 // answers with the γ / η'(δ) / cost row `mtdscan -case ieee57 -from 0.05
-// -to 0.05` prints (the CI daemon-smoke job diffs the two).
+// -to 0.05` prints (the CI daemon-smoke job diffs the two). Adding
+// "gamma_backend":"sketch" runs the same search on the sketched γ probe —
+// the served γ/η' values stay exact (see the planner's tolerance contract).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -52,9 +62,11 @@ func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:8642", "listen address")
 		backend    = flag.String("backend", "auto", "linear-algebra backend: auto, dense or sparse")
+		gammaBk    = flag.String("gamma", "auto", "default γ-evaluation backend: auto, exact, sparse or sketch (requests may override per call)")
 		parallel   = flag.Int("parallel", 0, "per-request search parallelism (0 = all cores); results are identical for any setting")
 		maxCases   = flag.Int("cases", 8, "case LRU capacity ((case, load-scale) entries)")
 		maxResults = flag.Int("results", 256, "response memo capacity")
+		timeout    = flag.Duration("timeout", 2*time.Minute, "per-request deadline (0 disables it)")
 	)
 	flag.Parse()
 
@@ -65,6 +77,12 @@ func main() {
 	// The process default drives the γ-kernel seam; the planner config
 	// drives the dispatch engines. One daemon = one backend contract.
 	gridmtd.SetDefaultBackend(b)
+	gb, err := gridmtd.ParseGammaBackend(*gammaBk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Requests without an explicit gamma_backend resolve to this default.
+	gridmtd.SetDefaultGammaBackend(gb)
 	if *parallel > 0 {
 		runtime.GOMAXPROCS(*parallel)
 	}
@@ -75,24 +93,49 @@ func main() {
 		MaxResults:  *maxResults,
 		Parallelism: *parallel,
 	})
-	srv := &http.Server{Addr: *addr, Handler: newHandler(p)}
+	srv := &http.Server{Addr: *addr, Handler: newHandler(p, *timeout)}
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-stop
-		log.Print("shutting down")
-		srv.Close()
-	}()
-
-	log.Printf("serving MTD planner on %s (backend %s)", *addr, *backend)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		log.Fatal(err)
 	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	log.Printf("serving MTD planner on %s (backend %s, gamma %s, request timeout %s)", *addr, *backend, *gammaBk, *timeout)
+	if err := serveUntilSignal(srv, ln, stop); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained; bye")
 }
 
-// newHandler wires the planner's request types to the HTTP surface.
-func newHandler(p *planner.Planner) http.Handler {
+// shutdownGrace bounds how long a graceful shutdown waits for in-flight
+// requests before giving up and closing their connections.
+const shutdownGrace = 15 * time.Second
+
+// serveUntilSignal serves on ln until a signal arrives, then shuts down
+// gracefully: the listener closes immediately, in-flight requests get
+// shutdownGrace to finish, and the function returns once everything is
+// drained (nil) or the grace period expired (the Shutdown error).
+func serveUntilSignal(srv *http.Server, ln net.Listener, stop <-chan os.Signal) error {
+	done := make(chan error, 1)
+	go func() {
+		<-stop
+		log.Print("signal received, draining in-flight requests")
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-done
+}
+
+// newHandler wires the planner's request types to the HTTP surface. Every
+// POST endpoint runs under the per-request deadline; the health, registry
+// and stats GETs answer instantly and stay outside it.
+func newHandler(p *planner.Planner, timeout time.Duration) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
@@ -103,19 +146,41 @@ func newHandler(p *planner.Planner) http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, p.Stats())
 	})
-	mux.HandleFunc("POST /v1/select", func(w http.ResponseWriter, r *http.Request) {
+	post := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, withDeadline(h, timeout))
+	}
+	post("POST /v1/select", func(w http.ResponseWriter, r *http.Request) {
 		serve(w, r, func(req planner.SelectRequest) (any, error) { return p.Select(req) })
 	})
-	mux.HandleFunc("POST /v1/gamma", func(w http.ResponseWriter, r *http.Request) {
+	post("POST /v1/gamma", func(w http.ResponseWriter, r *http.Request) {
 		serve(w, r, func(req planner.GammaRequest) (any, error) { return p.Gamma(req) })
 	})
-	mux.HandleFunc("POST /v1/daysweep", func(w http.ResponseWriter, r *http.Request) {
+	post("POST /v1/daysweep", func(w http.ResponseWriter, r *http.Request) {
 		serve(w, r, func(req planner.DaySweepRequest) (any, error) { return p.DaySweep(req) })
 	})
-	mux.HandleFunc("POST /v1/placement", func(w http.ResponseWriter, r *http.Request) {
+	post("POST /v1/placement", func(w http.ResponseWriter, r *http.Request) {
 		serve(w, r, func(req planner.PlacementRequest) (any, error) { return p.Placement(req) })
 	})
 	return logRequests(mux)
+}
+
+// withDeadline bounds one request's wall clock: past the timeout the
+// client gets 503 with a JSON error body. The planner's memo still
+// completes the abandoned computation, so an immediate retry of the same
+// request is a cache hit rather than a second search.
+func withDeadline(h http.Handler, timeout time.Duration) http.Handler {
+	if timeout <= 0 {
+		return h
+	}
+	body, _ := json.Marshal(map[string]any{"error": fmt.Sprintf("request deadline (%s) exceeded; retry to pick up the memoized result", timeout)})
+	th := http.TimeoutHandler(h, timeout, string(body))
+	// TimeoutHandler writes its 503 body without a Content-Type; pre-set
+	// it on the real writer so the deadline error is JSON-typed like every
+	// other response (the success path overwrites with the same value).
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		th.ServeHTTP(w, r)
+	})
 }
 
 // serve decodes one request body, runs the planner call and writes the

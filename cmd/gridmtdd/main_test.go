@@ -3,16 +3,21 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"strings"
 	"testing"
+	"time"
 
 	"gridmtd/internal/planner"
 )
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(newHandler(planner.New(planner.Config{})))
+	srv := httptest.NewServer(newHandler(planner.New(planner.Config{}), time.Minute))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -110,6 +115,76 @@ func TestErrorStatuses(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("malformed body status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRequestDeadline pins the service-hardening contract: a compute
+// endpoint that cannot finish inside the per-request deadline answers 503,
+// while the instant GET endpoints stay outside the deadline entirely.
+func TestRequestDeadline(t *testing.T) {
+	// A deadline no real selection can meet makes the timeout deterministic.
+	srv := httptest.NewServer(newHandler(planner.New(planner.Config{}), time.Nanosecond))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/select", "application/json",
+		strings.NewReader(`{"case":"ieee14","gamma_threshold":0.1,"starts":1,"seed":1,"attacks":20}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deadline-exceeded status %d, want 503 (body %q)", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("503 Content-Type %q, want application/json like every other response", ct)
+	}
+	if !strings.Contains(string(body), "deadline") {
+		t.Errorf("503 body %q does not explain the deadline", body)
+	}
+	if r2, err := http.Get(srv.URL + "/healthz"); err != nil || r2.StatusCode != http.StatusOK {
+		t.Fatalf("healthz under a nanosecond deadline: %v / %v", err, r2)
+	} else {
+		r2.Body.Close()
+	}
+}
+
+// TestGracefulShutdown pins the SIGTERM path: the signal stops the
+// listener, in-flight work drains, and serveUntilSignal returns cleanly.
+func TestGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: newHandler(planner.New(planner.Config{}), time.Minute)}
+	stop := make(chan os.Signal, 1)
+	served := make(chan error, 1)
+	go func() { served <- serveUntilSignal(srv, ln, stop) }()
+
+	url := "http://" + ln.Addr().String()
+	// Wait for the listener to answer, then shut down mid-session.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stop <- os.Interrupt
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(shutdownGrace + 5*time.Second):
+		t.Fatal("serveUntilSignal did not return after the signal")
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("listener still accepting connections after shutdown")
 	}
 }
 

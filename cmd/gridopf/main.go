@@ -42,7 +42,8 @@ func run(args []string, w io.Writer) error {
 		alpha    = fs.Float64("alpha", 5e-4, "BDD false-positive rate")
 		starts   = fs.Int("starts", 8, "multi-start budget for the D-FACTS search")
 		seed     = fs.Int64("seed", 1, "random seed")
-		backend  = fs.String("backend", "auto", "linear-algebra backend: auto, dense or sparse (A/B runs without code edits)")
+		backend  = fs.String("backend", "auto", "linear-algebra backend: auto, dense or sparse ('list' describes them)")
+		gammaBk  = fs.String("gamma", "auto", "γ-evaluation backend: auto, exact, sparse or sketch ('list' describes them)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,11 +52,24 @@ func run(args []string, w io.Writer) error {
 		gridmtd.FormatCases(w)
 		return nil
 	}
+	if strings.EqualFold(*backend, "list") {
+		gridmtd.FormatBackends(w)
+		return nil
+	}
+	if strings.EqualFold(*gammaBk, "list") {
+		gridmtd.FormatGammaBackends(w)
+		return nil
+	}
 	b, err := gridmtd.ParseBackend(*backend)
 	if err != nil {
 		return err
 	}
 	gridmtd.SetDefaultBackend(b)
+	gb, err := gridmtd.ParseGammaBackend(*gammaBk)
+	if err != nil {
+		return err
+	}
+	gridmtd.SetDefaultGammaBackend(gb)
 
 	n, err := gridmtd.CaseByName(*caseName)
 	if err != nil {

@@ -52,7 +52,8 @@ func run(args []string, stdout io.Writer) error {
 		quick    = fs.Bool("quick", false, "use reduced sampling budgets")
 		out      = fs.String("out", "", "also write the output to this file")
 		parallel = fs.Int("parallel", 0, "worker parallelism for the multi-start searches and η' sweeps (0 = all cores, 1 = serial); results are identical for any setting")
-		backend  = fs.String("backend", "auto", "linear-algebra backend: auto, dense or sparse (A/B runs without code edits)")
+		backend  = fs.String("backend", "auto", "linear-algebra backend: auto, dense or sparse ('list' describes them)")
+		gammaBk  = fs.String("gamma", "auto", "γ-evaluation backend: auto, exact, sparse or sketch ('list' describes them)")
 		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -63,12 +64,25 @@ func run(args []string, stdout io.Writer) error {
 		gridmtd.FormatCases(stdout)
 		return nil
 	}
+	if strings.EqualFold(*backend, "list") {
+		gridmtd.FormatBackends(stdout)
+		return nil
+	}
+	if strings.EqualFold(*gammaBk, "list") {
+		gridmtd.FormatGammaBackends(stdout)
+		return nil
+	}
 
 	b, err := gridmtd.ParseBackend(*backend)
 	if err != nil {
 		return err
 	}
 	gridmtd.SetDefaultBackend(b)
+	gb, err := gridmtd.ParseGammaBackend(*gammaBk)
+	if err != nil {
+		return err
+	}
+	gridmtd.SetDefaultGammaBackend(gb)
 
 	if *parallel > 0 {
 		// The engine parallelism knobs default to GOMAXPROCS, so capping

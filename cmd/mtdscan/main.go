@@ -11,6 +11,8 @@
 //	mtdscan -case ieee118 -from 0.05 -to 0.30 -attacks 200
 //	mtdscan -case ieee30 -scale 0.9 -sigma 0.0005 -attacks 500
 //	mtdscan -case ieee118 -backend dense -parallel 1
+//	mtdscan -case ieee118 -gamma sketch
+//	mtdscan -gamma list
 //	mtdscan -case ieee14 -csv frontier.csv
 package main
 
@@ -51,7 +53,8 @@ func run(args []string, w io.Writer) error {
 		maxEvals = fs.Int("maxevals", 0, "objective evaluations per local search (0 = solver default; lower it for quick large-case scans)")
 		seed     = fs.Int64("seed", 1, "random seed")
 		parallel = fs.Int("parallel", 0, "worker parallelism for the selection searches (0 = all cores, 1 = serial); results are identical for any setting")
-		backend  = fs.String("backend", "auto", "linear-algebra backend: auto, dense or sparse (A/B runs without code edits)")
+		backend  = fs.String("backend", "auto", "linear-algebra backend: auto, dense or sparse ('list' describes them)")
+		gammaBk  = fs.String("gamma", "auto", "γ-evaluation backend: auto, exact, sparse or sketch ('list' describes them)")
 		csvPath  = fs.String("csv", "", "also write the frontier to this CSV file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -59,6 +62,14 @@ func run(args []string, w io.Writer) error {
 	}
 	if strings.EqualFold(*caseName, "list") {
 		gridmtd.FormatCases(w)
+		return nil
+	}
+	if strings.EqualFold(*backend, "list") {
+		gridmtd.FormatBackends(w)
+		return nil
+	}
+	if strings.EqualFold(*gammaBk, "list") {
+		gridmtd.FormatGammaBackends(w)
 		return nil
 	}
 	if *step <= 0 || *to < *from {
@@ -69,6 +80,11 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	gridmtd.SetDefaultBackend(b)
+	gb, err := gridmtd.ParseGammaBackend(*gammaBk)
+	if err != nil {
+		return err
+	}
+	gridmtd.SetDefaultGammaBackend(gb)
 	if *parallel > 0 {
 		// The engine parallelism knobs default to GOMAXPROCS, so capping it
 		// caps every parallel path at once; outputs are identical for any

@@ -36,6 +36,49 @@ func TestRunCaseList(t *testing.T) {
 	}
 }
 
+// TestBackendDiscoverability pins the "-gamma list"/"-backend list"
+// surface and the requirement that a bad flag value's error names every
+// valid choice (mirroring "-case list").
+func TestBackendDiscoverability(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-gamma", "list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"auto", "exact", "sparse", "sketch"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("gamma backend list missing %s:\n%s", want, buf.String())
+		}
+	}
+	buf.Reset()
+	if err := run([]string{"-backend", "list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"auto", "dense", "sparse"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("backend list missing %s:\n%s", want, buf.String())
+		}
+	}
+
+	err := run([]string{"-gamma", "bogus"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("expected error for unknown gamma backend")
+	}
+	for _, want := range []string{"auto", "exact", "sparse", "sketch"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("gamma flag error %q does not list %q", err, want)
+		}
+	}
+	err = run([]string{"-backend", "bogus"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("expected error for unknown backend")
+	}
+	for _, want := range []string{"auto", "dense", "sparse"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("backend flag error %q does not list %q", err, want)
+		}
+	}
+}
+
 func TestRunRejectsBadRange(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-from", "0.5", "-to", "0.1"}, &buf); err == nil {

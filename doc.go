@@ -58,6 +58,33 @@
 // scenario (ScenarioPlacement) greedily searches D-FACTS device subsets
 // for the deployment maximizing the reachable γ.
 //
+// # γ backends
+//
+// γ evaluation — the largest principal angle between measurement column
+// spaces, the hot path of every selection search — runs on a pluggable
+// backend layer (GammaBackend, selected like the linear-algebra Backend
+// seam, via the -gamma flag, Scenario.GammaBackend or a planner request's
+// gamma_backend field):
+//
+//   - exact (the default): the reference principal-angle pipeline —
+//     bitwise-reproducible below the 50-bus sparse threshold, the
+//     multi-accumulator fast kernels above it (1e-9 agreement).
+//   - sparse: CSC-aware Gram-Schmidt over the reduced measurement rows,
+//     skipping structural zeros via topology-fixed column supports; agrees
+//     with exact to 1e-9 rad.
+//   - sketch: no basis is formed at all — candidate Gram matrices revalue
+//     a fixed sparse pattern (Eᵀ·D·G·D·E), orthonormality lives implicitly
+//     in their sparse Cholesky factors, and sin²γ comes from a seeded
+//     Lanczos iteration. ~30× per candidate at 118 buses and ~100× at 300
+//     (PERF.md), under a documented 1e-6 error bound (measured ≤ 1e-12)
+//     with automatic exact fallback near the rank cutoff.
+//
+// Approximate backends only ever guide searches: SelectMTD/MaxGamma
+// re-check the winning candidate exactly, and the placement study
+// re-checks each greedy round's winner, so every reported γ is exact.
+// "-gamma list" (and "-backend list") on the commands describe the
+// choices.
+//
 // The runnable programs under examples/ walk through the full defender
 // workflow, the cost-effectiveness tradeoff, a 24-hour operating day and
 // the attacker's learning process; cmd/mtdexp regenerates every table and

@@ -128,6 +128,51 @@ func ParseBackend(s string) (Backend, error) { return grid.ParseBackend(s) }
 // -backend flag, so dense-vs-sparse A/B runs need no code edits.
 func SetDefaultBackend(b Backend) { grid.SetDefaultBackend(b) }
 
+// GammaBackend names a γ-evaluation strategy: exact (the reference
+// principal-angle pipeline, bitwise below the sparse threshold and
+// fast-kernel 1e-9 above it), sparse (CSC-aware Gram-Schmidt skipping
+// structural zeros, 1e-9 agreement) or sketch (sparse-Gram Cholesky plus
+// seeded randomized Lanczos under a documented error bound with automatic
+// exact fallback). Selected through the same seam pattern as Backend.
+type GammaBackend = core.GammaBackend
+
+// γ-backend choices for NewGammaEvaluatorBackend and SetDefaultGammaBackend.
+const (
+	GammaAuto   = core.AutoGamma
+	GammaExact  = core.ExactGamma
+	GammaSparse = core.SparseGamma
+	GammaSketch = core.SketchGamma
+)
+
+// ParseGammaBackend parses a -gamma flag value ("auto", "exact", "sparse",
+// "sketch"); the error for an unknown value lists every valid choice.
+func ParseGammaBackend(s string) (GammaBackend, error) { return subspace.ParseGammaBackend(s) }
+
+// SetDefaultGammaBackend overrides what the automatic γ-backend choice
+// resolves to for every γ engine constructed afterwards — the hook behind
+// the cmds' -gamma flag, so backend A/B runs need no code edits.
+func SetDefaultGammaBackend(b GammaBackend) { subspace.SetDefaultGammaBackend(b) }
+
+// EffectiveGammaBackend resolves a possibly-auto γ-backend choice: the
+// process default first, then exact.
+func EffectiveGammaBackend(b GammaBackend) GammaBackend { return subspace.EffectiveGammaBackend(b) }
+
+// FormatGammaBackends writes the γ-backend listing to w, one line per
+// backend — the shared renderer behind every command's "-gamma list".
+func FormatGammaBackends(w io.Writer) {
+	for _, gb := range subspace.GammaBackends() {
+		fmt.Fprintf(w, "%-8s %s\n", gb.Name, gb.Desc)
+	}
+}
+
+// FormatBackends writes the linear-algebra backend listing to w — the
+// renderer behind "-backend list".
+func FormatBackends(w io.Writer) {
+	for _, b := range grid.Backends() {
+		fmt.Fprintf(w, "%-8s %s\n", b.Name, b.Desc)
+	}
+}
+
 // OPFResult is a solved optimal power flow.
 type OPFResult = opf.Result
 
@@ -320,6 +365,13 @@ type GammaEvaluator = core.GammaEvaluator
 // reactance vector xOld.
 func NewGammaEvaluator(n *Network, xOld []float64) *GammaEvaluator {
 	return core.NewGammaEvaluator(n, xOld)
+}
+
+// NewGammaEvaluatorBackend is NewGammaEvaluator with an explicit γ-backend
+// choice (see GammaBackend; the evaluator's Backend method reports what
+// actually serves).
+func NewGammaEvaluatorBackend(n *Network, xOld []float64, gb GammaBackend) *GammaEvaluator {
+	return core.NewGammaEvaluatorBackend(n, xOld, gb)
 }
 
 // PrincipalAngles returns all principal angles between the column spaces

@@ -8,72 +8,164 @@ import (
 	"gridmtd/internal/subspace"
 )
 
+// GammaBackend selects the γ-evaluation strategy (re-exported from the
+// subspace layer so the scenario/planner layers and the facade never
+// import subspace directly): the exact reference evaluator, the CSC-aware
+// sparse Gram-Schmidt, or the randomized sketch. See subspace.GammaBackend
+// for the per-backend contracts.
+type GammaBackend = subspace.GammaBackend
+
+// γ-backend choices for NewGammaEvaluatorBackend and the -gamma flag.
+const (
+	AutoGamma   = subspace.AutoGamma
+	ExactGamma  = subspace.ExactGamma
+	SparseGamma = subspace.SparseGamma
+	SketchGamma = subspace.SketchGamma
+)
+
 // GammaEvaluator evaluates γ(H(x_old), H(x')) for many candidates x'
-// against a fixed pre-perturbation configuration x_old. It orthonormalizes
-// H(x_old) exactly once at construction and keeps per-goroutine workspaces
-// (candidate-H buffer, Gram-Schmidt basis, cross-Gram matrix, SVD scratch)
-// in a pool, so each evaluation performs only the candidate-side work and
-// allocates nothing in steady state. Every floating-point operation matches
-// the uncached subspace.Gamma path, so results are bitwise identical.
+// against a fixed pre-perturbation configuration x_old. It prepares the
+// x_old side exactly once at construction and keeps per-goroutine
+// workspaces in a pool, so each evaluation performs only the
+// candidate-side work and allocates nothing in steady state.
 //
 // A GammaEvaluator is safe for concurrent use; the parallel multi-start
 // search shares one evaluator across all workers.
 //
-// At or above grid.SparseThreshold buses the evaluator selects the
-// multi-accumulator/blocked large-case kernels (subspace.Workspace.Fast):
-// the Gram-Schmidt, cross-Gram and Jacobi reductions run with broken
-// dependency chains, which changes summation orders, so large-case γ
-// values agree with the uncached subspace.Gamma only to rounding (well
-// inside 1e-9). Below the threshold every floating-point operation matches
-// the uncached path bitwise, as before.
+// The candidate-side strategy is the pluggable γ-backend layer
+// (subspace.GammaBackend, selected like grid.BFactorizer's seam):
+//
+//   - ExactGamma (the default): the reference principal-angle pipeline.
+//     Below grid.SparseThreshold buses every float operation matches the
+//     uncached subspace.Gamma bitwise; at or above it the
+//     multi-accumulator/blocked kernels and the reduced [p; √2·f]
+//     representation run under the 1e-9-agreement contract, following the
+//     resolved grid backend (-backend dense keeps the bitwise path even on
+//     large cases).
+//   - SparseGamma: CSC-aware Gram-Schmidt over the reduced rows, skipping
+//     structural zeros via topology-fixed column supports. 1e-9 agreement
+//     with the exact evaluator.
+//   - SketchGamma: the sparse-Gram Cholesky + seeded-Lanczos evaluator
+//     (subspace.SketchEvaluator) — no dense basis is formed at all. It
+//     carries the documented sketch error bound, is deterministic per
+//     seed, and falls back to the exact path automatically whenever it
+//     cannot certify the bound; SelectMTD/MaxGamma additionally re-check
+//     the winning candidate exactly, so reported γ values stay exact.
 type GammaEvaluator struct {
-	n    *grid.Network
-	fast bool
-	qOld *subspace.Basis
-	pool sync.Pool // *gammaWorkspace
+	n       *grid.Network
+	backend GammaBackend // resolved: Exact, Sparse or Sketch
+	fast    bool         // exact-path kernel family (the grid-backend seam)
+	qOld    *subspace.Basis
+	basisBk subspace.BasisBackend     // candidate orthonormalizer (exact/sparse)
+	sketch  *subspace.SketchEvaluator // non-nil iff backend == SketchGamma
+	pool    sync.Pool                 // *gammaWorkspace
 }
 
 type gammaWorkspace struct {
-	ht    *mat.Dense // candidate Hᵀ, (N-1)×M
-	ws    subspace.Workspace
-	xFull []float64 // expanded reactance buffer, length L
+	ht     *mat.Dense // candidate Hᵀ, (N-1)×M (or reduced (N-1)×(N+L))
+	ws     subspace.Workspace
+	xFull  []float64 // expanded reactance buffer, length L
+	d      []float64 // sketch: candidate diagonal 1/x_l, length L
+	sketch *subspace.SketchSession
 }
 
 // NewGammaEvaluator builds an evaluator for the pre-perturbation reactance
-// vector xOld (full length-L vector).
+// vector xOld (full length-L vector) on the default γ backend (the -gamma
+// process default; exact when none is set).
 func NewGammaEvaluator(n *grid.Network, xOld []float64) *GammaEvaluator {
-	// The fast kernels follow the resolved backend choice (including the
-	// -backend process default), so a dense-forced run is the historical
-	// bitwise path end to end and a sparse-forced run gets the whole fast
-	// family — γ and LP always sit on the same side of the contract.
+	return NewGammaEvaluatorBackend(n, xOld, AutoGamma)
+}
+
+// NewGammaEvaluatorBackend is NewGammaEvaluator with an explicit γ-backend
+// choice. A sketch construction that cannot certify its contract (a
+// rank-deficient x_old Gram matrix) degrades to the exact backend, so the
+// returned evaluator is always usable; Backend() reports what actually
+// serves.
+func NewGammaEvaluatorBackend(n *grid.Network, xOld []float64, gb GammaBackend) *GammaEvaluator {
+	gb = subspace.EffectiveGammaBackend(gb)
+	// The exact path's kernel family follows the resolved grid backend
+	// (including the -backend process default), so a dense-forced run is
+	// the historical bitwise path end to end and a sparse-forced run gets
+	// the whole fast family — γ and LP always sit on the same side of the
+	// contract.
 	fast := grid.EffectiveBackend(n, grid.AutoBackend) == grid.SparseBackend
-	var qOld *subspace.Basis
-	if fast {
-		// The fast path works in the reduced γ-equivalent representation
-		// (flow block once, √2-weighted): identical angles from 38% fewer
-		// reduction rows — see Network.MeasurementMatrixTGammaInto.
+	e := &GammaEvaluator{n: n, backend: gb, fast: fast}
+
+	switch gb {
+	case SketchGamma:
+		et, g := n.GammaSketchOperands()
+		d := make([]float64, n.L())
+		invInto(d, xOld)
+		sk, err := subspace.NewSketchEvaluator(et, g, d, subspace.SketchConfig{Seed: 1})
+		if err != nil {
+			e.backend = ExactGamma
+		} else {
+			e.sketch = sk
+		}
+		// The exact side below doubles as the sketch's fallback (and the
+		// SelectMTD/MaxGamma winner re-check), so it is always prepared.
+	case SparseGamma:
 		ht := mat.NewDense(n.N()-1, n.GammaAmbient())
 		n.MeasurementMatrixTGammaInto(xOld, ht)
-		qOld = subspace.ComputeBasisTFast(ht, 0)
-	} else {
-		ht := mat.NewDense(n.N()-1, n.M())
-		n.MeasurementMatrixTInto(xOld, ht)
-		qOld = subspace.ComputeBasisT(ht, 0)
+		e.basisBk = subspace.NewSparseBasisBackend(ht)
+		var ws subspace.Workspace
+		ws.Backend = e.basisBk
+		e.qOld = ws.BasisT(ht, 0)
 	}
-	e := &GammaEvaluator{n: n, fast: fast, qOld: qOld}
+
+	if e.qOld == nil {
+		// Exact x_old basis (also the sketch fallback side).
+		if fast {
+			// The fast path works in the reduced γ-equivalent representation
+			// (flow block once, √2-weighted): identical angles from 38% fewer
+			// reduction rows — see Network.MeasurementMatrixTGammaInto.
+			ht := mat.NewDense(n.N()-1, n.GammaAmbient())
+			n.MeasurementMatrixTGammaInto(xOld, ht)
+			e.qOld = subspace.ComputeBasisTFast(ht, 0)
+		} else {
+			ht := mat.NewDense(n.N()-1, n.M())
+			n.MeasurementMatrixTInto(xOld, ht)
+			e.qOld = subspace.ComputeBasisT(ht, 0)
+		}
+	}
+
 	e.pool.New = func() any {
 		cols := n.M()
-		if fast {
+		if e.exactReduced() || e.backend == SparseGamma {
 			cols = n.GammaAmbient()
 		}
 		w := &gammaWorkspace{
 			ht:    mat.NewDense(n.N()-1, cols),
 			xFull: make([]float64, n.L()),
 		}
-		w.ws.Fast = fast
+		switch e.backend {
+		case SparseGamma:
+			w.ws.Backend = e.basisBk
+		case SketchGamma:
+			w.ws.Fast = e.fast
+			w.d = make([]float64, n.L())
+			w.sketch = e.sketch.NewSession()
+		default:
+			w.ws.Fast = e.fast
+		}
 		return w
 	}
 	return e
+}
+
+// Backend reports the resolved γ backend actually serving this evaluator.
+func (e *GammaEvaluator) Backend() GammaBackend { return e.backend }
+
+// exactReduced reports whether the exact path (primary or fallback) works
+// in the reduced representation.
+func (e *GammaEvaluator) exactReduced() bool { return e.fast }
+
+// invInto fills d with 1/x.
+func invInto(d, x []float64) []float64 {
+	for i, v := range x {
+		d[i] = 1 / v
+	}
+	return d
 }
 
 // Gamma returns γ(H(x_old), H(x)) for a full reactance vector x.
@@ -96,14 +188,67 @@ func (e *GammaEvaluator) GammaDFACTS(xd []float64) float64 {
 	return g
 }
 
+// GammaExact returns γ through the exact path regardless of the
+// evaluator's backend — the re-check SelectMTD/MaxGamma apply to a
+// sketch-guided winner, and the reference the agreement tests compare
+// against. For exact and sparse evaluators it is the regular evaluation
+// (the sparse backend's 1e-9 contract needs no re-check).
+func (e *GammaEvaluator) GammaExact(x []float64) float64 {
+	w := e.pool.Get().(*gammaWorkspace)
+	var g float64
+	if e.backend == SketchGamma {
+		g = e.exactGamma(w, x)
+	} else {
+		g = e.gamma(w, x)
+	}
+	e.pool.Put(w)
+	return g
+}
+
+// GammaDFACTSExact is GammaExact in the D-FACTS-setting form.
+func (e *GammaEvaluator) GammaDFACTSExact(xd []float64) float64 {
+	w := e.pool.Get().(*gammaWorkspace)
+	e.n.ExpandDFACTSInto(xd, w.xFull)
+	var g float64
+	if e.backend == SketchGamma {
+		g = e.exactGamma(w, w.xFull)
+	} else {
+		g = e.gamma(w, w.xFull)
+	}
+	e.pool.Put(w)
+	return g
+}
+
 func (e *GammaEvaluator) gamma(w *gammaWorkspace, x []float64) float64 {
-	if e.fast {
+	switch e.backend {
+	case SketchGamma:
+		if g, ok := w.sketch.Gamma(invInto(w.d, x)); ok {
+			return g
+		}
+		return e.exactGamma(w, x) // automatic exact fallback
+	case SparseGamma:
+		e.n.MeasurementMatrixTGammaInto(x, w.ht)
+		qNew := w.ws.BasisT(w.ht, 0)
+		return w.ws.GammaBases(e.qOld, qNew)
+	default:
+		return e.exactGamma(w, x)
+	}
+}
+
+// exactGamma is the reference candidate evaluation (the pre-backend-layer
+// path): dense MGS on the bitwise or fast kernel family per the grid seam.
+func (e *GammaEvaluator) exactGamma(w *gammaWorkspace, x []float64) float64 {
+	saved := w.ws.Backend
+	w.ws.Backend = nil // exact path honors ws.Fast
+	if e.exactReduced() {
 		e.n.MeasurementMatrixTGammaInto(x, w.ht)
 	} else {
 		e.n.MeasurementMatrixTInto(x, w.ht)
 	}
 	qNew := w.ws.BasisT(w.ht, 0)
-	return w.ws.GammaBases(e.qOld, qNew)
+	g := w.ws.GammaBases(e.qOld, qNew)
+	w.ws.Backend = saved
+	return g
 }
 
 // GammaSession is a single-goroutine view of a GammaEvaluator: it owns one

@@ -133,9 +133,17 @@ func NewEngines(n *grid.Network, xOld []float64) (*Engines, error) {
 }
 
 // NewEnginesShared builds the evaluator bundle around an existing dispatch
-// engine for the same network (which must have been constructed for n).
+// engine for the same network (which must have been constructed for n),
+// with the default γ backend.
 func NewEnginesShared(n *grid.Network, xOld []float64, dispatch *opf.DispatchEngine) *Engines {
-	return &Engines{gamma: NewGammaEvaluator(n, xOld), dispatch: dispatch}
+	return NewEnginesSharedBackend(n, xOld, dispatch, AutoGamma)
+}
+
+// NewEnginesSharedBackend is NewEnginesShared with an explicit γ-backend
+// choice — the hook the scenario layer and the planner service thread
+// their per-spec/per-request GammaBackend through.
+func NewEnginesSharedBackend(n *grid.Network, xOld []float64, dispatch *opf.DispatchEngine, gb GammaBackend) *Engines {
+	return &Engines{gamma: NewGammaEvaluatorBackend(n, xOld, gb), dispatch: dispatch}
 }
 
 // Dispatch exposes the bundle's dispatch-OPF engine.
@@ -176,8 +184,6 @@ func selectMTD(n *grid.Network, xOld []float64, cfg SelectConfig, eng *Engines) 
 			return nil, err
 		}
 	}
-
-	gammaOf := eng.gamma.GammaDFACTS
 
 	// Each multi-start worker gets its own engine sessions (no pool churn
 	// per evaluation) and, on the sparse path, its own warm LP basis; the
@@ -222,7 +228,12 @@ func selectMTD(n *grid.Network, xOld []float64, cfg SelectConfig, eng *Engines) 
 		return nil, fmt.Errorf("core: problem (4) search: %w", err)
 	}
 
-	gamma := gammaOf(best.X)
+	// Tolerance contract: an approximate γ backend may guide the search,
+	// but the winner is validated — and reported — through the exact
+	// evaluator, so GammaTol keeps its historical meaning (search slack,
+	// not search slack plus sketch error). For exact and sparse backends
+	// GammaDFACTSExact is the regular evaluation.
+	gamma := eng.gamma.GammaDFACTSExact(best.X)
 	if gamma < cfg.GammaThreshold-cfg.GammaTol {
 		return nil, fmt.Errorf("%w: best γ %.4f < threshold %.4f", ErrConstraintUnreachable, gamma, cfg.GammaThreshold)
 	}
@@ -339,6 +350,13 @@ func maxGamma(n *grid.Network, xOld []float64, cfg MaxGammaConfig, eng *Engines)
 	if g := -res.F; g > bestG {
 		bestG = g
 		bestX = res.X
+	}
+	// Same tolerance contract as selectMTD: the reported γ (and the backoff
+	// ladder's thresholds, which are fractions of it) come from the exact
+	// evaluator even when an approximate backend guided the corner poll and
+	// the local searches.
+	if eng.gamma.Backend() == SketchGamma {
+		bestG = eng.gamma.GammaDFACTSExact(bestX)
 	}
 
 	baselineCost := cfg.BaselineCost

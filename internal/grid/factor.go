@@ -62,6 +62,18 @@ func SetDefaultBackend(b Backend) { defaultBackend.Store(int32(b)) }
 // (AutoBackend when none is set).
 func CurrentDefaultBackend() Backend { return Backend(defaultBackend.Load()) }
 
+// Backends lists the selectable linear-algebra backends with one-line
+// descriptions, in flag-value order — the shared source for the cmds'
+// "-backend list" discoverability output (kept next to ParseBackend so the
+// two stay in sync).
+func Backends() []struct{ Name, Desc string } {
+	return []struct{ Name, Desc string }{
+		{"auto", "dense below the sparse threshold (50 buses), sparse at or above it"},
+		{"dense", "historical dense LU path, bitwise-reproducible outputs"},
+		{"sparse", "CSC + min-degree + sparse Cholesky, warm simplex, fast γ kernels (1e-9)"},
+	}
+}
+
 // ParseBackend parses a -backend flag value: "auto", "dense" or "sparse".
 func ParseBackend(s string) (Backend, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {

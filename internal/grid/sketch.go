@@ -1,0 +1,69 @@
+package grid
+
+import (
+	"math"
+
+	"gridmtd/internal/mat"
+)
+
+// GammaSketchOperands returns the topology-fixed operands of the γ-sketch
+// backend's structural factorization. In the reduced γ-equivalent
+// representation (see MeasurementMatrixTGammaInto) every candidate column
+// matrix factors as B(x) = Ĉ·D(x)·E with
+//
+//	Ĉ = [A; √2·I]  ((N+L)×L, A the full bus-branch incidence),
+//	D(x) = diag(1/x_l),
+//	E  = Ãᵀ        (L×(N−1), the slack-reduced incidence transpose),
+//
+// so B(x₁)ᵀB(x₂) = Eᵀ·D₁·G·D₂·E with the sparse Gram kernel
+// G = ĈᵀĈ = AᵀA + 2I. The method returns Eᵀ in CSC form ((N−1)×L: column l
+// holds branch l's ±1 reduced-incidence entries — the row-contiguous layout
+// the sketch's scatter wants) and G (L×L). Both depend only on the
+// topology; one pair serves every reactance vector of the network.
+func (n *Network) GammaSketchOperands() (et, g *mat.CSC) {
+	nb1 := n.N() - 1
+	s := n.SlackBus - 1
+	nl := n.L()
+
+	// Eᵀ: entry (reducedCol(bus), branch) = ±1.
+	var eis, ejs []int
+	var evs []float64
+	for l, br := range n.Branches {
+		if c := reducedColIndex(br.From-1, s); c >= 0 {
+			eis, ejs, evs = append(eis, c), append(ejs, l), append(evs, 1)
+		}
+		if c := reducedColIndex(br.To-1, s); c >= 0 {
+			eis, ejs, evs = append(eis, c), append(ejs, l), append(evs, -1)
+		}
+	}
+	et = mat.NewCSCFromTriplets(nb1, nl, eis, ejs, evs)
+
+	// G = AᵀA + 2I: (AᵀA)_{lm} sums a_bl·a_bm over the buses both branches
+	// touch (full incidence, slack included), and the 2I is the √2-scaled
+	// flow block's contribution.
+	inc := make([][]int, n.N())     // incident branches per bus
+	sign := make([][]float64, n.N()) // ±1 orientation per incidence
+	for l, br := range n.Branches {
+		inc[br.From-1] = append(inc[br.From-1], l)
+		sign[br.From-1] = append(sign[br.From-1], 1)
+		inc[br.To-1] = append(inc[br.To-1], l)
+		sign[br.To-1] = append(sign[br.To-1], -1)
+	}
+	var gis, gjs []int
+	var gvs []float64
+	for b := range inc {
+		for i, li := range inc[b] {
+			for j, lj := range inc[b] {
+				gis, gjs = append(gis, li), append(gjs, lj)
+				gvs = append(gvs, sign[b][i]*sign[b][j])
+			}
+		}
+	}
+	sqrt2sq := math.Sqrt2 * math.Sqrt2 // the flow rows carry √2 exactly as built
+	for l := 0; l < nl; l++ {
+		gis, gjs = append(gis, l), append(gjs, l)
+		gvs = append(gvs, sqrt2sq)
+	}
+	g = mat.NewCSCFromTriplets(nl, nl, gis, gjs, gvs)
+	return et, g
+}

@@ -1,0 +1,78 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"gridmtd/internal/mat"
+)
+
+// TestGammaSketchOperandsIdentity verifies the structural factorization the
+// sketch backend rests on: for any two reactance vectors, the sparse
+// quadratic form Eᵀ·D₁·G·D₂·E must reproduce the Gram matrix of the
+// reduced [p; √2·f] representation's columns — i.e. the same inner
+// products the exact γ pipeline reduces over.
+func TestGammaSketchOperandsIdentity(t *testing.T) {
+	for _, name := range []string{"case4gs", "ieee14", "ieee57"} {
+		n, err := CaseByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		et, g := n.GammaSketchOperands()
+		k, l := n.N()-1, n.L()
+		if et.Rows() != k || et.Cols() != l || g.Rows() != l || g.Cols() != l {
+			t.Fatalf("%s: operand shapes (%dx%d, %dx%d)", name, et.Rows(), et.Cols(), g.Rows(), g.Cols())
+		}
+
+		x1 := n.Reactances()
+		x2 := n.Reactances()
+		for i := range x2 {
+			x2[i] *= 1 + 0.3*float64(i%5)/5
+		}
+		// Dense reference: rows of the reduced transposed builders are the
+		// candidate columns.
+		ht1 := mat.NewDense(k, n.GammaAmbient())
+		ht2 := mat.NewDense(k, n.GammaAmbient())
+		n.MeasurementMatrixTGammaInto(x1, ht1)
+		n.MeasurementMatrixTGammaInto(x2, ht2)
+
+		// Sparse route: M₁₂ = Eᵀ·D₁·G·D₂·E via dense intermediates (the
+		// test exercises the operands, not the scatter).
+		d1 := make([]float64, l)
+		d2 := make([]float64, l)
+		for i := 0; i < l; i++ {
+			d1[i], d2[i] = 1/x1[i], 1/x2[i]
+		}
+		gd := g.Dense()
+		etd := et.Dense()
+		// M[r][c] = Σ_{l,m} E[l][r]·d1[l]·G[l][m]·d2[m]·E[m][c]
+		for r := 0; r < k; r++ {
+			for c := 0; c < k; c++ {
+				var want float64
+				want = mat.Dot(ht1.RowView(r), ht2.RowView(c))
+				var got float64
+				for li := 0; li < l; li++ {
+					e1 := etd.At(r, li)
+					if e1 == 0 {
+						continue
+					}
+					for m := 0; m < l; m++ {
+						gv := gd.At(li, m)
+						if gv == 0 {
+							continue
+						}
+						e2 := etd.At(c, m)
+						if e2 == 0 {
+							continue
+						}
+						got += e1 * d1[li] * gv * d2[m] * e2
+					}
+				}
+				scale := math.Max(1, math.Abs(want))
+				if math.Abs(got-want) > 1e-9*scale {
+					t.Fatalf("%s: M[%d][%d] = %.12g via operands, %.12g via dense rows", name, r, c, got, want)
+				}
+			}
+		}
+	}
+}

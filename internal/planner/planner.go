@@ -27,6 +27,7 @@ import (
 	"gridmtd/internal/grid"
 	"gridmtd/internal/opf"
 	"gridmtd/internal/scenario"
+	"gridmtd/internal/subspace"
 )
 
 // ErrUnreachable is returned by Select when the requested γ threshold is
@@ -57,12 +58,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats counts cache traffic.
+// Stats counts cache traffic and which γ backend served the computed
+// (non-memoized) selection-style requests.
 type Stats struct {
 	CaseHits     int64 `json:"case_hits"`
 	CaseMisses   int64 `json:"case_misses"`
 	ResultHits   int64 `json:"result_hits"`
 	ResultMisses int64 `json:"result_misses"`
+	// GammaExactServed / GammaSparseServed / GammaSketchServed count
+	// computed requests by the γ backend that served their searches.
+	GammaExactServed  int64 `json:"gamma_exact_served"`
+	GammaSparseServed int64 `json:"gamma_sparse_served"`
+	GammaSketchServed int64 `json:"gamma_sketch_served"`
 }
 
 // Planner is the long-running selection service. Safe for concurrent use.
@@ -203,6 +210,10 @@ type SelectRequest struct {
 	Attacks  int       `json:"attacks,omitempty"`
 	Sigma    float64   `json:"sigma,omitempty"`
 	Alpha    float64   `json:"alpha,omitempty"`
+	// GammaBackend selects the γ-evaluation backend of the search ("auto",
+	// "exact", "sparse" or "sketch"; empty = auto). Approximate backends
+	// only guide the search — the served γ and η' values are exact.
+	GammaBackend string `json:"gamma_backend,omitempty"`
 }
 
 // SelectResponse is a served selection.
@@ -218,14 +229,17 @@ type SelectResponse struct {
 	Undetectable     float64   `json:"undetectable"`
 	Reactances       []float64 `json:"reactances"`
 	MaxGammaFallback bool      `json:"max_gamma_fallback,omitempty"`
-	CacheHit         bool      `json:"cache_hit"`
-	ElapsedMS        float64   `json:"elapsed_ms"`
+	// GammaBackend reports which γ backend served the search (the resolved
+	// value: "exact", "sparse" or "sketch").
+	GammaBackend string  `json:"gamma_backend"`
+	CacheHit     bool    `json:"cache_hit"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
 }
 
 func (r SelectRequest) key() string {
-	return fmt.Sprintf("select|%s|%g|%v|%g|%v|%d|%d|%d|%d|%g|%g",
+	return fmt.Sprintf("select|%s|%g|%v|%g|%v|%d|%d|%d|%d|%g|%g|%s",
 		r.Case, r.GammaThreshold, r.MaxGamma, r.LoadScale, r.XOld,
-		r.Starts, r.MaxEvals, r.Seed, r.Attacks, r.Sigma, r.Alpha)
+		r.Starts, r.MaxEvals, r.Seed, r.Attacks, r.Sigma, r.Alpha, r.GammaBackend)
 }
 
 func (r SelectRequest) withDefaults() SelectRequest {
@@ -238,8 +252,16 @@ func (r SelectRequest) withDefaults() SelectRequest {
 // Select serves one memoized selection request.
 func (p *Planner) Select(req SelectRequest) (*SelectResponse, error) {
 	req = req.withDefaults()
+	// Parse (and normalize) the γ backend before the memo: a bad value
+	// never occupies an LRU slot, and every spelling of one backend
+	// ("", "auto", "Exact", ...) that resolves identically shares one key.
+	gb, err := subspace.ParseGammaBackend(req.GammaBackend)
+	if err != nil {
+		return nil, fmt.Errorf("planner: %w", err)
+	}
+	req.GammaBackend = subspace.EffectiveGammaBackend(gb).String()
 	resp, elapsed, hit, err := p.memo(req.key(), func() (any, error) {
-		return p.computeSelect(req)
+		return p.computeSelect(req, gb)
 	})
 	if err != nil {
 		return nil, err
@@ -250,7 +272,7 @@ func (p *Planner) Select(req SelectRequest) (*SelectResponse, error) {
 	return &out, nil
 }
 
-func (p *Planner) computeSelect(req SelectRequest) (*SelectResponse, error) {
+func (p *Planner) computeSelect(req SelectRequest, gb core.GammaBackend) (*SelectResponse, error) {
 	n, err := p.caseFor(req.Case, req.LoadScale)
 	if err != nil {
 		return nil, err
@@ -259,12 +281,13 @@ func (p *Planner) computeSelect(req SelectRequest) (*SelectResponse, error) {
 		NumAttacks: req.Attacks, Sigma: req.Sigma, Alpha: req.Alpha, Seed: req.Seed,
 	}
 	if len(req.XOld) > 0 {
-		return p.selectExplicitXOld(req, n, effCfg)
+		return p.selectExplicitXOld(req, n, gb, effCfg)
 	}
 	spec := scenario.Spec{
 		Kind:            scenario.GammaSweep,
 		Net:             n,
 		Backend:         p.cfg.Backend,
+		GammaBackend:    gb,
 		GammaGrid:       []float64{req.GammaThreshold},
 		CapWithMaxGamma: req.MaxGamma,
 		SelectStarts:    req.Starts,
@@ -291,6 +314,12 @@ func (p *Planner) computeSelect(req SelectRequest) (*SelectResponse, error) {
 		}
 		return nil, fmt.Errorf("planner: no operable design on %s (max-γ corner infeasible)", req.Case)
 	}
+	// The runner reports the backend that actually served the search (a
+	// sketch request whose old-side Gram matrix defeats the construction
+	// degrades to exact) — that, not the requested value, is what the
+	// response and the served-backend counters record.
+	served := res.GammaBackendUsed
+	p.countGammaServed(served)
 	row := res.Rows[len(res.Rows)-1]
 	return &SelectResponse{
 		Case:             req.Case,
@@ -304,14 +333,31 @@ func (p *Planner) computeSelect(req SelectRequest) (*SelectResponse, error) {
 		Undetectable:     row.Undetectable,
 		Reactances:       row.Reactances,
 		MaxGammaFallback: req.MaxGamma && row.GammaTarget == 0,
+		GammaBackend:     served.String(),
 	}, nil
+}
+
+// countGammaServed records which γ backend actually served a computed
+// request (called only after a successful computation, with the engine's
+// resolved backend).
+func (p *Planner) countGammaServed(gb core.GammaBackend) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch subspace.EffectiveGammaBackend(gb) {
+	case core.SparseGamma:
+		p.stats.GammaSparseServed++
+	case core.SketchGamma:
+		p.stats.GammaSketchServed++
+	default:
+		p.stats.GammaExactServed++
+	}
 }
 
 // selectExplicitXOld serves a request whose attacker knowledge is given:
 // the planner works directly on the shared engines (the setpoint hash —
 // case, scale, x_old — keys the γ engine, the dispatch engine comes from
 // the runner's cache).
-func (p *Planner) selectExplicitXOld(req SelectRequest, n *grid.Network, effCfg core.EffectivenessConfig) (*SelectResponse, error) {
+func (p *Planner) selectExplicitXOld(req SelectRequest, n *grid.Network, gb core.GammaBackend, effCfg core.EffectivenessConfig) (*SelectResponse, error) {
 	if len(req.XOld) != n.L() {
 		return nil, fmt.Errorf("planner: x_old has %d entries, case %s has %d branches", len(req.XOld), req.Case, n.L())
 	}
@@ -325,7 +371,7 @@ func (p *Planner) selectExplicitXOld(req SelectRequest, n *grid.Network, effCfg 
 	if err != nil {
 		return nil, err
 	}
-	engines := core.NewEnginesShared(n, req.XOld, eng)
+	engines := core.NewEnginesSharedBackend(n, req.XOld, eng, gb)
 	selCfg := core.SelectConfig{
 		GammaThreshold: req.GammaThreshold,
 		Starts:         req.Starts,
@@ -361,6 +407,8 @@ func (p *Planner) selectExplicitXOld(req SelectRequest, n *grid.Network, effCfg 
 	if err != nil {
 		return nil, err
 	}
+	served := engines.Gamma().Backend()
+	p.countGammaServed(served)
 	return &SelectResponse{
 		Case:             req.Case,
 		GammaThreshold:   req.GammaThreshold,
@@ -373,6 +421,7 @@ func (p *Planner) selectExplicitXOld(req SelectRequest, n *grid.Network, effCfg 
 		Undetectable:     eff.UndetectableFraction,
 		Reactances:       sel.Reactances,
 		MaxGammaFallback: fellBack,
+		GammaBackend:     served.String(),
 	}, nil
 }
 
@@ -546,12 +595,18 @@ type PlacementRequest struct {
 	Case    string `json:"case"`
 	Devices int    `json:"devices,omitempty"`
 	Pool    []int  `json:"pool,omitempty"`
+	// AllBranches widens the pool to every branch of the case; pair it
+	// with GammaBackend "sketch" so the L-wide probe rounds stay cheap
+	// (each round's winner is re-checked exactly either way).
+	AllBranches  bool   `json:"all_branches,omitempty"`
+	GammaBackend string `json:"gamma_backend,omitempty"`
 }
 
 // PlacementRound is one greedy round's deployment.
 type PlacementRound struct {
 	Devices      []int   `json:"devices"`
 	Gamma        float64 `json:"gamma"`
+	ProbeGamma   float64 `json:"probe_gamma,omitempty"`
 	CostIncrease float64 `json:"cost_increase,omitempty"`
 	CostKnown    bool    `json:"cost_known"`
 }
@@ -566,27 +621,39 @@ type PlacementResponse struct {
 
 // Placement serves one memoized placement study.
 func (p *Planner) Placement(req PlacementRequest) (*PlacementResponse, error) {
-	key := fmt.Sprintf("placement|%s|%d|%v", req.Case, req.Devices, req.Pool)
+	// Same pre-memo parse/normalization as Select: bad values never enter
+	// the LRU, equivalent spellings share one key.
+	gb, err := subspace.ParseGammaBackend(req.GammaBackend)
+	if err != nil {
+		return nil, fmt.Errorf("planner: %w", err)
+	}
+	req.GammaBackend = subspace.EffectiveGammaBackend(gb).String()
+	key := fmt.Sprintf("placement|%s|%d|%v|%v|%s", req.Case, req.Devices, req.Pool, req.AllBranches, req.GammaBackend)
 	resp, elapsed, hit, err := p.memo(key, func() (any, error) {
 		n, err := p.caseFor(req.Case, 1)
 		if err != nil {
 			return nil, err
 		}
 		res, err := p.runner.Run(scenario.Spec{
-			Kind:        scenario.Placement,
-			Net:         n,
-			Backend:     p.cfg.Backend,
-			Placement:   scenario.PlacementSpec{Devices: req.Devices, Pool: req.Pool},
+			Kind:         scenario.Placement,
+			Net:          n,
+			Backend:      p.cfg.Backend,
+			GammaBackend: gb,
+			Placement: scenario.PlacementSpec{
+				Devices: req.Devices, Pool: req.Pool, AllBranches: req.AllBranches,
+			},
 			Parallelism: p.cfg.Parallelism,
 		})
 		if err != nil {
 			return nil, err
 		}
+		p.countGammaServed(res.GammaBackendUsed)
 		out := &PlacementResponse{Case: req.Case}
 		for _, r := range res.Rows {
 			out.Rounds = append(out.Rounds, PlacementRound{
 				Devices:      r.Devices,
 				Gamma:        r.Gamma,
+				ProbeGamma:   r.ProbeGamma,
 				CostIncrease: r.CostIncrease,
 				CostKnown:    r.CostKnown,
 			})

@@ -56,6 +56,50 @@ func TestSelectMemoized(t *testing.T) {
 	}
 }
 
+// TestSelectGammaBackendNormalizedAndReported pins the γ-backend request
+// surface: equivalent spellings share one memo entry, the response reports
+// the backend that served (not the raw request string), a bogus value is
+// rejected before it can occupy an LRU slot, and the served counters move.
+func TestSelectGammaBackendNormalizedAndReported(t *testing.T) {
+	p := New(Config{})
+	req := quickSelect(0.1)
+	req.GammaBackend = "Sketch"
+	first, err := p.Select(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.GammaBackend != "sketch" {
+		t.Errorf("served backend %q, want sketch", first.GammaBackend)
+	}
+	req.GammaBackend = "sketch"
+	second, err := p.Select(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Error("normalized spelling missed the memo")
+	}
+	// "auto" and "" and "exact" all resolve to exact under the default and
+	// must share one key: the second spelling is a hit.
+	req.GammaBackend = "auto"
+	if r, err := p.Select(req); err != nil || r.CacheHit {
+		t.Errorf("auto spelling: err=%v hit=%v (want fresh compute)", err, r.CacheHit)
+	}
+	req.GammaBackend = "exact"
+	if r, err := p.Select(req); err != nil || !r.CacheHit {
+		t.Errorf("exact spelling after auto: err=%v, cache hit=%v (want hit)", err, r)
+	}
+	req.GammaBackend = "bogus"
+	if _, err := p.Select(req); err == nil {
+		t.Error("bogus gamma backend accepted")
+	}
+	st := p.Stats()
+	if st.GammaSketchServed != 1 || st.GammaExactServed != 1 {
+		t.Errorf("served counters sketch=%d exact=%d, want 1/1 (memo hits and errors must not count)",
+			st.GammaSketchServed, st.GammaExactServed)
+	}
+}
+
 // TestSelectMatchesScenarioSweep pins request/CLI parity: a selection
 // request is exactly one mtdscan sweep point (both run the same
 // scenario), so the served numbers must match the sweep's row.

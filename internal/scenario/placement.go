@@ -43,9 +43,14 @@ func (st *execState) setupPlacement() error {
 	spec := st.spec.Placement
 	n := st.n
 	var pool []int
-	if len(spec.Pool) == 0 {
+	switch {
+	case len(spec.Pool) == 0 && spec.AllBranches:
+		for i := 0; i < n.L(); i++ {
+			pool = append(pool, i)
+		}
+	case len(spec.Pool) == 0:
 		pool = append(pool, n.DFACTSIndices()...)
-	} else {
+	default:
 		seen := make(map[int]bool)
 		for _, b := range spec.Pool {
 			if b < 1 || b > n.L() {
@@ -80,7 +85,7 @@ func (st *execState) setupPlacement() error {
 	}
 	x := n.Reactances()
 	st.pl = &placementState{
-		eval:     core.NewGammaEvaluator(n, x),
+		eval:     core.NewGammaEvaluatorBackend(n, x, st.spec.GammaBackend),
 		xNominal: x,
 		pool:     pool,
 		lo:       lo,
@@ -89,6 +94,7 @@ func (st *execState) setupPlacement() error {
 	if cost, err := eng.Cost(x); err == nil {
 		st.pl.baseCost, st.pl.baseOK = cost, true
 	}
+	st.res.GammaBackendUsed = st.pl.eval.Backend()
 	return nil
 }
 
@@ -203,8 +209,13 @@ func (st *execState) placementRound(round int) error {
 			xBest[br] = pl.lo[br]
 		}
 	}
+	// The greedy ranking ran on the (possibly approximate) probe backend;
+	// the recorded γ is the exact evaluator's value at the winning corner,
+	// so the frontier the study reports never inherits a probe error bound.
+	// On the exact backend GammaExact is the probe evaluation itself.
 	row := Row{
-		Gamma:      probes[best].gamma,
+		Gamma:      pl.eval.GammaExact(xBest),
+		ProbeGamma: probes[best].gamma,
 		Devices:    make([]int, len(pl.chosen)),
 		Reactances: xBest,
 	}

@@ -249,7 +249,8 @@ func (st *execState) setupGammaSweep() error {
 	if err != nil {
 		return err
 	}
-	st.engines = core.NewEnginesShared(st.n, st.xOld, st.eng)
+	st.engines = core.NewEnginesSharedBackend(st.n, st.xOld, st.eng, st.spec.GammaBackend)
+	st.res.GammaBackendUsed = st.engines.Gamma().Backend()
 	return nil
 }
 
@@ -362,6 +363,7 @@ func (st *execState) runDay() error {
 		OPFStarts:         spec.OPFStarts,
 		Warmup:            spec.Warmup,
 		PersistReactances: spec.PersistReactances,
+		GammaBackend:      spec.GammaBackend,
 		Seed:              spec.Seed,
 	})
 	if err != nil {
@@ -464,7 +466,9 @@ func (st *execState) learnProbe() error {
 		return err
 	}
 	x := st.n.Reactances()
-	sel, err := core.MaxGammaWith(core.NewEnginesShared(st.n, x, eng), st.n, x, core.MaxGammaConfig{
+	engines := core.NewEnginesSharedBackend(st.n, x, eng, st.spec.GammaBackend)
+	st.res.GammaBackendUsed = engines.Gamma().Backend()
+	sel, err := core.MaxGammaWith(engines, st.n, x, core.MaxGammaConfig{
 		Starts:       st.spec.ProbeStarts,
 		Seed:         st.spec.ProbeSeed,
 		BaselineCost: st.spec.ProbeBaselineCost,

@@ -95,6 +95,57 @@ func TestPlacementDeterministic(t *testing.T) {
 	}
 }
 
+// TestPlacementSketchProbeExactRecheck pins the widened-pool placement
+// protocol: with the sketched-γ probe ranking an all-branches pool, every
+// round's recorded γ is the exact evaluator's value at the winning corner
+// (not the probe's), the probe value sits within the sketch bound of it,
+// and the frontier stays monotone.
+func TestPlacementSketchProbeExactRecheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wide-pool placement probes are expensive")
+	}
+	res, err := NewRunner().Run(Spec{
+		Kind:         Placement,
+		Case:         "ieee14",
+		GammaBackend: core.SketchGamma,
+		Placement:    PlacementSpec{Devices: 2, AllBranches: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rounds, want 2", len(res.Rows))
+	}
+	n, err := grid.CaseByName("ieee14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := core.NewGammaEvaluatorBackend(n, n.Reactances(), core.ExactGamma)
+	for i, r := range res.Rows {
+		if want := exact.Gamma(r.Reactances); r.Gamma != want {
+			t.Errorf("round %d: recorded γ %.15g is not the exact re-check %.15g", i+1, r.Gamma, want)
+		}
+		if d := r.ProbeGamma - r.Gamma; d > 1e-6 || d < -1e-6 {
+			t.Errorf("round %d: probe γ %.12g vs exact %.12g beyond the sketch bound", i+1, r.ProbeGamma, r.Gamma)
+		}
+		if len(r.Devices) != i+1 {
+			t.Errorf("round %d deployment %v", i+1, r.Devices)
+		}
+	}
+	if res.Rows[1].Gamma < res.Rows[0].Gamma-1e-12 {
+		t.Errorf("widened-pool frontier not monotone: %v then %v", res.Rows[0].Gamma, res.Rows[1].Gamma)
+	}
+	// The wide pool must genuinely widen: an ieee14 pool is all 20
+	// branches, so the greedy winner may sit outside the embedded
+	// 6-device deployment — at minimum the search must have been free to
+	// choose any branch.
+	for _, dev := range res.Rows[1].Devices {
+		if dev < 1 || dev > n.L() {
+			t.Errorf("chosen device %d outside the branch range", dev)
+		}
+	}
+}
+
 // TestRandomKeysDeterministic pins the keyspace scenario: same Spec +
 // seed, same draws, across runs.
 func TestRandomKeysDeterministic(t *testing.T) {
