@@ -5,9 +5,11 @@ import (
 	"testing"
 
 	"gridmtd"
+	"gridmtd/internal/core"
 	"gridmtd/internal/grid"
 	"gridmtd/internal/mat"
 	"gridmtd/internal/opf"
+	"gridmtd/internal/planner"
 )
 
 // ---- Large-case benchmarks: dense vs sparse backend ------------------------
@@ -199,6 +201,62 @@ func BenchmarkGammaBackend300Sparse(b *testing.B) {
 }
 func BenchmarkGammaBackend300Sketch(b *testing.B) {
 	benchGammaBackend(b, "ieee300", gridmtd.GammaSketch)
+}
+
+// benchColdSelect measures one cold planner selection — a fresh planner
+// per iteration, so nothing is memoized and the measured time is the full
+// request: case build, baseline OPF, multi-start search (sketch-γ guided),
+// attack sampling/evaluation and the exact γ/η' reporting. This is the
+// end-to-end latency PERF.md's cold-selection table records, at the CI
+// smoke point (γ_th 0.05, 1 start, 30 evals, 20 attacks, sketch γ).
+func benchColdSelect(b *testing.B, caseName string) {
+	req := planner.SelectRequest{
+		Case: caseName, GammaThreshold: 0.05,
+		Starts: 1, MaxEvals: 30, Seed: 1, Attacks: 20,
+		GammaBackend: "sketch",
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := planner.New(planner.Config{})
+		if _, err := p.Select(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColdSelect118(b *testing.B) { benchColdSelect(b, "ieee118") }
+func BenchmarkColdSelect300(b *testing.B) { benchColdSelect(b, "ieee300") }
+
+// BenchmarkAttackEval118 measures one η'(δ) evaluation of a 200-attack set
+// on the 118-bus system through the sketched screening path (sparse-Gram
+// residuals with exact re-checks near the decision thresholds) — the
+// per-selection attack-evaluation unit the sketch accelerates.
+func BenchmarkAttackEval118(b *testing.B) {
+	n := benchCase(b, "ieee118")
+	xOld := n.Reactances()
+	zOld, err := core.OperatingMeasurements(n, xOld)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := gridmtd.EffectivenessConfig{NumAttacks: 200, Seed: 7, GammaBackend: gridmtd.GammaSketch}
+	set, err := gridmtd.SampleAttacks(n, xOld, zOld, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := n.DFACTSBounds()
+	xd := make([]float64, len(lo))
+	for i := range xd {
+		xd[i] = 0.25*lo[i] + 0.75*hi[i]
+	}
+	xNew := n.ExpandDFACTS(xd)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := gridmtd.EvaluateAttacks(n, set, xNew, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkSelectMTDIEEE118Quick measures the quick-mode 118-bus selection

@@ -95,6 +95,48 @@ func TestSelectRoundTripAndMemo(t *testing.T) {
 	}
 }
 
+// TestStatsServesLPCounters pins the /v1/stats surface: the response
+// carries the process-wide revised-simplex counter block alongside the
+// cache counters, so LP warm-path health is observable in production.
+func TestStatsServesLPCounters(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		CaseHits *int64 `json:"case_hits"`
+		LP       *struct {
+			Solves           *int `json:"solves"`
+			EtaUpdates       *int `json:"eta_updates"`
+			Refactorizations *int `json:"refactorizations"`
+			Fallbacks        *int `json:"fallbacks"`
+		} `json:"lp"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.CaseHits == nil {
+		t.Error("stats response missing case_hits")
+	}
+	if stats.LP == nil {
+		t.Fatal("stats response missing the lp counter block")
+	}
+	for name, p := range map[string]*int{
+		"solves":           stats.LP.Solves,
+		"eta_updates":      stats.LP.EtaUpdates,
+		"refactorizations": stats.LP.Refactorizations,
+		"fallbacks":        stats.LP.Fallbacks,
+	} {
+		if p == nil {
+			t.Errorf("lp block missing %q", name)
+		} else if *p < 0 {
+			t.Errorf("lp.%s = %d, want >= 0", name, *p)
+		}
+	}
+}
+
 func TestErrorStatuses(t *testing.T) {
 	srv := testServer(t)
 	// Unknown case: unprocessable.

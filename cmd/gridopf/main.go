@@ -19,7 +19,6 @@ import (
 	"io"
 	"math"
 	"os"
-	"strings"
 
 	"gridmtd"
 )
@@ -48,28 +47,9 @@ func run(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if strings.EqualFold(*caseName, "list") {
-		gridmtd.FormatCases(w)
-		return nil
-	}
-	if strings.EqualFold(*backend, "list") {
-		gridmtd.FormatBackends(w)
-		return nil
-	}
-	if strings.EqualFold(*gammaBk, "list") {
-		gridmtd.FormatGammaBackends(w)
-		return nil
-	}
-	b, err := gridmtd.ParseBackend(*backend)
-	if err != nil {
+	if handled, err := gridmtd.ResolveCommonFlags(w, *caseName, *backend, *gammaBk); handled || err != nil {
 		return err
 	}
-	gridmtd.SetDefaultBackend(b)
-	gb, err := gridmtd.ParseGammaBackend(*gammaBk)
-	if err != nil {
-		return err
-	}
-	gridmtd.SetDefaultGammaBackend(gb)
 
 	n, err := gridmtd.CaseByName(*caseName)
 	if err != nil {

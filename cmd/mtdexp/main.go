@@ -54,35 +54,16 @@ func run(args []string, stdout io.Writer) error {
 		parallel = fs.Int("parallel", 0, "worker parallelism for the multi-start searches and η' sweeps (0 = all cores, 1 = serial); results are identical for any setting")
 		backend  = fs.String("backend", "auto", "linear-algebra backend: auto, dense or sparse ('list' describes them)")
 		gammaBk  = fs.String("gamma", "auto", "γ-evaluation backend: auto, exact, sparse or sketch ('list' describes them)")
+		verbose  = fs.Bool("v", false, "append the process-wide dispatch-LP solver counters after the run")
 		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if strings.EqualFold(*caseName, "list") {
-		gridmtd.FormatCases(stdout)
-		return nil
-	}
-	if strings.EqualFold(*backend, "list") {
-		gridmtd.FormatBackends(stdout)
-		return nil
-	}
-	if strings.EqualFold(*gammaBk, "list") {
-		gridmtd.FormatGammaBackends(stdout)
-		return nil
-	}
-
-	b, err := gridmtd.ParseBackend(*backend)
-	if err != nil {
+	if handled, err := gridmtd.ResolveCommonFlags(stdout, *caseName, *backend, *gammaBk); handled || err != nil {
 		return err
 	}
-	gridmtd.SetDefaultBackend(b)
-	gb, err := gridmtd.ParseGammaBackend(*gammaBk)
-	if err != nil {
-		return err
-	}
-	gridmtd.SetDefaultGammaBackend(gb)
 
 	if *parallel > 0 {
 		// The engine parallelism knobs default to GOMAXPROCS, so capping
@@ -156,6 +137,9 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("experiment %s: %w", id, err)
 		}
 		fmt.Fprintf(w, "(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	if *verbose {
+		gridmtd.FormatLPStats(w, gridmtd.GlobalLPStats())
 	}
 	return nil
 }

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"gridmtd"
 )
 
 func TestListFlag(t *testing.T) {
@@ -36,6 +38,46 @@ func TestCaseListFlag(t *testing.T) {
 	for _, name := range []string{"case4gs", "ieee14", "ieee30", "ieee57", "ieee118"} {
 		if !strings.Contains(buf.String(), name) {
 			t.Errorf("case list missing %q:\n%s", name, buf.String())
+		}
+	}
+}
+
+// TestListingsMatchSharedRenderers pins the flag-dedup contract: the
+// listings delegate to the shared facade renderers, so mtdexp's bytes are
+// identical to mtdscan's and gridopf's.
+func TestListingsMatchSharedRenderers(t *testing.T) {
+	for _, tc := range []struct {
+		flag   string
+		render func(*bytes.Buffer)
+	}{
+		{"-case", func(b *bytes.Buffer) { gridmtd.FormatCases(b) }},
+		{"-backend", func(b *bytes.Buffer) { gridmtd.FormatBackends(b) }},
+		{"-gamma", func(b *bytes.Buffer) { gridmtd.FormatGammaBackends(b) }},
+	} {
+		var got, want bytes.Buffer
+		if err := run([]string{tc.flag, "list"}, &got); err != nil {
+			t.Fatalf("%s list: %v", tc.flag, err)
+		}
+		tc.render(&want)
+		if got.String() != want.String() {
+			t.Errorf("%s list diverged from the shared renderer:\n got %q\nwant %q",
+				tc.flag, got.String(), want.String())
+		}
+	}
+}
+
+// TestVerboseLPStats pins mtdexp -v: after a run the process-wide
+// dispatch-LP counter block is appended, making warm-path health (eta
+// updates vs refactorizations) observable from the CLI.
+func TestVerboseLPStats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table1", "-quick", "-v"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dispatch LP:", "eta updates", "refactorizations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-v output missing %q:\n%s", want, out)
 		}
 	}
 }

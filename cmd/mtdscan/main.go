@@ -25,7 +25,6 @@ import (
 	"os"
 	"runtime"
 	"strconv"
-	"strings"
 
 	"gridmtd"
 )
@@ -60,31 +59,12 @@ func run(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if strings.EqualFold(*caseName, "list") {
-		gridmtd.FormatCases(w)
-		return nil
-	}
-	if strings.EqualFold(*backend, "list") {
-		gridmtd.FormatBackends(w)
-		return nil
-	}
-	if strings.EqualFold(*gammaBk, "list") {
-		gridmtd.FormatGammaBackends(w)
-		return nil
+	if handled, err := gridmtd.ResolveCommonFlags(w, *caseName, *backend, *gammaBk); handled || err != nil {
+		return err
 	}
 	if *step <= 0 || *to < *from {
 		return errors.New("invalid gamma sweep range")
 	}
-	b, err := gridmtd.ParseBackend(*backend)
-	if err != nil {
-		return err
-	}
-	gridmtd.SetDefaultBackend(b)
-	gb, err := gridmtd.ParseGammaBackend(*gammaBk)
-	if err != nil {
-		return err
-	}
-	gridmtd.SetDefaultGammaBackend(gb)
 	if *parallel > 0 {
 		// The engine parallelism knobs default to GOMAXPROCS, so capping it
 		// caps every parallel path at once; outputs are identical for any

@@ -79,6 +79,30 @@ func TestBackendDiscoverability(t *testing.T) {
 	}
 }
 
+// TestListingsMatchSharedRenderers pins the flag-dedup contract: the
+// listings delegate to the shared facade renderers, so mtdscan's bytes are
+// identical to mtdexp's and gridopf's.
+func TestListingsMatchSharedRenderers(t *testing.T) {
+	for _, tc := range []struct {
+		flag   string
+		render func(*bytes.Buffer)
+	}{
+		{"-case", func(b *bytes.Buffer) { gridmtd.FormatCases(b) }},
+		{"-backend", func(b *bytes.Buffer) { gridmtd.FormatBackends(b) }},
+		{"-gamma", func(b *bytes.Buffer) { gridmtd.FormatGammaBackends(b) }},
+	} {
+		var got, want bytes.Buffer
+		if err := run([]string{tc.flag, "list"}, &got); err != nil {
+			t.Fatalf("%s list: %v", tc.flag, err)
+		}
+		tc.render(&want)
+		if got.String() != want.String() {
+			t.Errorf("%s list diverged from the shared renderer:\n got %q\nwant %q",
+				tc.flag, got.String(), want.String())
+		}
+	}
+}
+
 func TestRunRejectsBadRange(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-from", "0.5", "-to", "0.1"}, &buf); err == nil {

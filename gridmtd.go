@@ -11,6 +11,7 @@ import (
 	"gridmtd/internal/dcflow"
 	"gridmtd/internal/grid"
 	"gridmtd/internal/loadprofile"
+	"gridmtd/internal/lp"
 	"gridmtd/internal/mat"
 	"gridmtd/internal/opf"
 	"gridmtd/internal/planner"
@@ -171,6 +172,58 @@ func FormatBackends(w io.Writer) {
 	for _, b := range grid.Backends() {
 		fmt.Fprintf(w, "%-8s %s\n", b.Name, b.Desc)
 	}
+}
+
+// ResolveCommonFlags implements the CLI contract every command's
+// -case/-backend/-gamma trio shares: a "list" value (case-insensitive, in
+// that precedence order) prints the matching registry listing to w and
+// reports handled=true, otherwise the backend values are parsed and
+// installed as the process defaults. The three commands delegating here
+// (mtdexp, mtdscan, gridopf) therefore print byte-identical listings; the
+// cmd tests pin that.
+func ResolveCommonFlags(w io.Writer, caseName, backend, gamma string) (handled bool, err error) {
+	if strings.EqualFold(caseName, "list") {
+		FormatCases(w)
+		return true, nil
+	}
+	if strings.EqualFold(backend, "list") {
+		FormatBackends(w)
+		return true, nil
+	}
+	if strings.EqualFold(gamma, "list") {
+		FormatGammaBackends(w)
+		return true, nil
+	}
+	b, err := ParseBackend(backend)
+	if err != nil {
+		return false, err
+	}
+	SetDefaultBackend(b)
+	gb, err := ParseGammaBackend(gamma)
+	if err != nil {
+		return false, err
+	}
+	SetDefaultGammaBackend(gb)
+	return false, nil
+}
+
+// LPStats is the revised-simplex counter set (see the lp package's
+// RevisedStats for each counter's precise meaning).
+type LPStats = lp.RevisedStats
+
+// GlobalLPStats returns the process-wide revised-simplex counters
+// accumulated since process start across every dispatch-LP solver — eta
+// updates vs refactorizations, warm-path fallbacks — the numbers mtdexp -v
+// prints and gridmtdd serves at /v1/stats.
+func GlobalLPStats() LPStats { return lp.GlobalRevisedStats() }
+
+// FormatLPStats writes the one-block human rendering of LP counters that
+// mtdexp -v appends after a run.
+func FormatLPStats(w io.Writer, s LPStats) {
+	fmt.Fprintf(w, "dispatch LP: %d solves (%d warm, %d cold, %d fallbacks)\n",
+		s.Solves, s.WarmSolves, s.ColdSolves, s.Fallbacks)
+	fmt.Fprintf(w, "  warm pivots: %d primal, %d dual; basis exchanges: %d eta updates, %d refactorizations\n",
+		s.PrimalPivots, s.DualPivots, s.EtaUpdates, s.Refactorizations)
 }
 
 // OPFResult is a solved optimal power flow.

@@ -63,6 +63,14 @@ type EffectivenessConfig struct {
 	// identical for every setting. The Monte Carlo path is inherently
 	// sequential (one noise stream) and ignores it.
 	Parallelism int
+	// GammaBackend selects the attack-screening strategy (AutoGamma
+	// resolves through the process default, exact when none is set). Under
+	// SketchGamma the analytic path screens the per-attack residuals
+	// through the sparse-Gram sketch and re-evaluates
+	// only the attacks near a decision threshold exactly, so every reported
+	// η′(δ) row is identical to the exact path's. Monte Carlo and
+	// ReportProbs evaluations always take the exact path.
+	GammaBackend GammaBackend
 }
 
 func (c EffectivenessConfig) withDefaults() EffectivenessConfig {
@@ -135,6 +143,15 @@ type AttackSet struct {
 	// the bitwise-exact path).
 	fast bool
 
+	// sketch is the sparse-Gram screening evaluator for the analytic
+	// residual path, built by SampleAttacks when the configured γ backend
+	// resolves to SketchGamma (nil otherwise — zero-value and exact sets
+	// evaluate exactly throughout). anorm caches ‖a‖ per attack, the
+	// candidate-independent half of the screened residual identity.
+	sketch *subspace.SketchEvaluator
+	anorm  []float64
+	skPool sync.Pool // *subspace.SketchSession for the screening chunks
+
 	basisOnce sync.Once
 	basisOld  *subspace.Basis
 	pool      sync.Pool // *evalWorkspace, reused across EvaluateAttacks calls
@@ -198,6 +215,20 @@ func SampleAttacks(n *grid.Network, xOld, zOld []float64, cfg EffectivenessConfi
 			set.basisOld = subspace.ComputeBasisTFast(ht, 0)
 		})
 	}
+	if subspace.EffectiveGammaBackend(cfg.GammaBackend) == SketchGamma {
+		// Screening machinery for the analytic residual path. A failed
+		// construction (rank-deficient x_old Gram matrix) silently keeps the
+		// exact path — the same degrade rule as the γ engine.
+		et, g := n.GammaSketchOperands()
+		dOld := make([]float64, n.L())
+		if sk, err := subspace.NewSketchEvaluator(et, g, invInto(dOld, xOld), subspace.SketchConfig{Seed: 1}); err == nil {
+			set.sketch = sk
+			set.anorm = make([]float64, batch.Len())
+			for k := range set.anorm {
+				set.anorm[k] = mat.Norm2(batch.A(k))
+			}
+		}
+	}
 	return set, nil
 }
 
@@ -205,19 +236,55 @@ func SampleAttacks(n *grid.Network, xOld, zOld []float64, cfg EffectivenessConfi
 // against a pre-crafted attack set. The analytic path scores the attacks
 // in parallel chunks (cfg.Parallelism workers); every number it produces
 // is bitwise identical to the historical sequential evaluation.
+//
+// When the set carries the sketch machinery (SampleAttacks under a
+// SketchGamma effectiveness config) and the evaluation is analytic without
+// per-attack probabilities, the residuals are screened through the
+// sparse-Gram identity ‖(I−Γ′)a‖² = ‖a‖² − ‖L₂⁻¹P₂(M₁₂ᵀc)‖² instead of the
+// dense QR; any attack whose screened residual lands inside a tolerance
+// band around a decision threshold (a δ noncentrality threshold or the
+// undetectability cutoff) is re-evaluated exactly, so the reported η′(δ)
+// rows and UndetectableFraction are identical to the exact path's.
 func EvaluateAttacks(n *grid.Network, set *AttackSet, xNew []float64, cfg EffectivenessConfig) (*EffectivenessResult, error) {
 	cfg = cfg.withDefaults()
 	if set.Len() == 0 {
 		return nil, errors.New("core: empty attack set")
 	}
-	hNew := n.MeasurementMatrix(xNew)
-	est, err := se.NewEstimator(hNew)
-	if err != nil {
-		return nil, fmt.Errorf("core: post-MTD estimator: %w", err)
+	useSketch := set.sketch != nil && !cfg.MonteCarlo && !cfg.ReportProbs
+	var hNew *mat.Dense
+	var est *se.Estimator
+	// ensureEst builds the dense QR estimator on demand: always on the
+	// exact path, lazily on the sketched path (only if a screening band
+	// triggers an exact re-check).
+	ensureEst := func() (*se.Estimator, error) {
+		if est == nil {
+			if hNew == nil {
+				hNew = n.MeasurementMatrix(xNew)
+			}
+			e, err := se.NewEstimator(hNew)
+			if err != nil {
+				return nil, fmt.Errorf("core: post-MTD estimator: %w", err)
+			}
+			est = e
+		}
+		return est, nil
 	}
-	bdd, err := se.NewBDD(est, cfg.Sigma, cfg.Alpha)
-	if err != nil {
-		return nil, fmt.Errorf("core: post-MTD BDD: %w", err)
+	var bdd *se.BDD
+	if useSketch {
+		b, err := se.NewBDDForDOF(n.M()-(n.N()-1), cfg.Sigma, cfg.Alpha)
+		if err != nil {
+			return nil, fmt.Errorf("core: post-MTD BDD: %w", err)
+		}
+		bdd = b
+	} else {
+		if _, err := ensureEst(); err != nil {
+			return nil, err
+		}
+		b, err := se.NewBDD(est, cfg.Sigma, cfg.Alpha)
+		if err != nil {
+			return nil, fmt.Errorf("core: post-MTD BDD: %w", err)
+		}
+		bdd = b
 	}
 
 	numAtt := set.Len()
@@ -259,30 +326,45 @@ func EvaluateAttacks(n *grid.Network, set *AttackSet, xNew []float64, cfg Effect
 		if cfg.ReportProbs {
 			probs = make([]float64, numAtt)
 		}
-		var firstErr error
-		undetectable, firstErr = forEachAttackChunk(numAtt, cfg.Parallelism, func(from, to int) (int, error) {
-			var ws se.ResidualWorkspace
-			undet := 0
-			for k := from; k < to; k++ {
-				a := set.Batch.A(k)
-				ra := est.ResidualWS(&ws, a)
-				ras[k] = ra
-				if ra <= 1e-8*mat.Norm2(a) {
-					undet++
-				}
-				if probs != nil {
-					lambda := (ra / bdd.Sigma) * (ra / bdd.Sigma)
-					pd, err := stat.NoncentralChiSquareSF(dof, lambda, x)
-					if err != nil {
-						return undet, fmt.Errorf("core: detection probability: %w", err)
-					}
-					probs[k] = pd
-				}
+		sketchDone := false
+		if useSketch {
+			ok, err := set.screenedResiduals(n, xNew, cfg.Parallelism, raThresh, ras, &undetectable, ensureEst)
+			if err != nil {
+				return nil, err
 			}
-			return undet, nil
-		})
-		if firstErr != nil {
-			return nil, firstErr
+			sketchDone = ok
+			// ok=false (a candidate Gram matrix within roundoff of rank
+			// deficiency) falls through to the exact loop below.
+		}
+		if !sketchDone {
+			if _, err := ensureEst(); err != nil {
+				return nil, err
+			}
+			var firstErr error
+			undetectable, firstErr = forEachAttackChunk(numAtt, cfg.Parallelism, func(from, to int) (int, error) {
+				var ws se.ResidualWorkspace
+				undet := 0
+				for k := from; k < to; k++ {
+					a := set.Batch.A(k)
+					ra := est.ResidualWS(&ws, a)
+					ras[k] = ra
+					if ra <= 1e-8*mat.Norm2(a) {
+						undet++
+					}
+					if probs != nil {
+						lambda := (ra / bdd.Sigma) * (ra / bdd.Sigma)
+						pd, err := stat.NoncentralChiSquareSF(dof, lambda, x)
+						if err != nil {
+							return undet, fmt.Errorf("core: detection probability: %w", err)
+						}
+						probs[k] = pd
+					}
+				}
+				return undet, nil
+			})
+			if firstErr != nil {
+				return nil, firstErr
+			}
 		}
 		for i, thresh := range raThresh {
 			cnt := 0
@@ -300,16 +382,19 @@ func EvaluateAttacks(n *grid.Network, set *AttackSet, xNew []float64, cfg Effect
 	// representation (identical angles, 38% fewer reduction rows).
 	w, _ := set.pool.Get().(*evalWorkspace)
 	if w == nil {
-		cols := hNew.Rows()
+		cols := n.M()
 		if set.fast {
 			cols = n.GammaAmbient()
 		}
-		w = &evalWorkspace{ht: mat.NewDense(hNew.Cols(), cols)}
+		w = &evalWorkspace{ht: mat.NewDense(n.N()-1, cols)}
 		w.ws.Fast = set.fast
 	}
 	if set.fast {
 		n.MeasurementMatrixTGammaInto(xNew, w.ht)
 	} else {
+		if hNew == nil {
+			hNew = n.MeasurementMatrix(xNew)
+		}
 		mat.TransposeInto(w.ht, hNew)
 	}
 	gamma := w.ws.GammaBases(set.oldBasis(), w.ws.BasisT(w.ht, 0))
@@ -322,6 +407,85 @@ func EvaluateAttacks(n *grid.Network, set *AttackSet, xNew []float64, cfg Effect
 		DetectionProbs:       probs,
 		UndetectableFraction: float64(undetectable) / float64(numAtt),
 	}, nil
+}
+
+// errSketchRankDeficient signals that the screening session could not
+// factor a candidate Gram matrix; the caller falls back to the exact loop.
+var errSketchRankDeficient = errors.New("core: sketch candidate rank-deficient")
+
+// screenBand is the relative half-width of the exact-re-check band around
+// every residual decision threshold. The sparse-Gram residual identity is
+// accurate to roughly κ(M₂₂)·ε ≲ 1e-10 relative, so a 1e-6 band certifies
+// every out-of-band decision with orders of magnitude to spare while
+// re-checking only the measure-small set of genuinely near-threshold
+// attacks.
+const screenBand = 1e-6
+
+// screenedResiduals fills ras with the per-attack residuals under the
+// candidate xNew through the sparse-Gram screen, re-evaluating exactly any
+// attack whose screened value cannot certify a decision: a squared
+// residual within screenBand of a δ noncentrality threshold, or small
+// enough (≤ 1e-10·‖a‖², which subsumes cancellation noise and the
+// 1e-8·‖a‖ undetectability cutoff) that the subtraction identity has lost
+// its precision. It also counts the undetectable attacks, with the exact
+// path's cutoff semantics. ok=false (with a nil error) means a candidate
+// Gram matrix was rank-deficient and the caller must run the exact loop.
+func (s *AttackSet) screenedResiduals(n *grid.Network, xNew []float64, parallelism int, raThresh, ras []float64, undetectable *int, ensureEst func() (*se.Estimator, error)) (ok bool, err error) {
+	numAtt := s.Len()
+	d := invInto(make([]float64, n.L()), xNew)
+	ras2 := make([]float64, numAtt)
+	_, chunkErr := forEachAttackChunk(numAtt, parallelism, func(from, to int) (int, error) {
+		ss, _ := s.skPool.Get().(*subspace.SketchSession)
+		if ss == nil {
+			ss = s.sketch.NewSession()
+		}
+		defer s.skPool.Put(ss)
+		if !ss.PrepareCandidate(d) {
+			return 0, errSketchRankDeficient
+		}
+		for k := from; k < to; k++ {
+			ras2[k] = ss.ResidualSq(s.Batch.C(k), s.anorm[k]*s.anorm[k])
+		}
+		return 0, nil
+	})
+	if chunkErr != nil {
+		if errors.Is(chunkErr, errSketchRankDeficient) {
+			return false, nil
+		}
+		return false, chunkErr
+	}
+	var ws se.ResidualWorkspace
+	undet := 0
+	for k := 0; k < numAtt; k++ {
+		na := s.anorm[k]
+		r2 := ras2[k]
+		recheck := r2 <= 1e-10*na*na
+		if !recheck {
+			for _, th := range raThresh {
+				if !math.IsInf(th, 1) && math.Abs(r2-th*th) <= screenBand*(na*na+th*th) {
+					recheck = true
+					break
+				}
+			}
+		}
+		switch {
+		case recheck:
+			est, err := ensureEst()
+			if err != nil {
+				return false, err
+			}
+			ras[k] = est.ResidualWS(&ws, s.Batch.A(k))
+		case r2 > 0:
+			ras[k] = math.Sqrt(r2)
+		default:
+			ras[k] = 0
+		}
+		if ras[k] <= 1e-8*na {
+			undet++
+		}
+	}
+	*undetectable = undet
+	return true, nil
 }
 
 // lambdaKey identifies one noncentrality inversion.

@@ -254,8 +254,12 @@ func (e *GammaEvaluator) exactGamma(w *gammaWorkspace, x []float64) float64 {
 // GammaSession is a single-goroutine view of a GammaEvaluator: it owns one
 // workspace outright instead of borrowing from the pool per call, giving
 // the parallel multi-start workers engine affinity without sync.Pool
-// churn. γ evaluation carries no cross-call state, so session results are
-// identical to the pooled path. Not safe for concurrent use.
+// churn. By default γ evaluation carries no cross-call state, so session
+// results are identical to the pooled path; CarryWarmStarts opts a sketch
+// session into Lanczos warm-start carrying, after which the caller must
+// evaluate a deterministic candidate sequence and call ResetWarmStart at
+// each sequence boundary (each local-search start) to keep seed determinism
+// and worker-count invariance. Not safe for concurrent use.
 type GammaSession struct {
 	e *GammaEvaluator
 	w *gammaWorkspace
@@ -264,6 +268,25 @@ type GammaSession struct {
 // NewSession returns a fresh session with its own workspace.
 func (e *GammaEvaluator) NewSession() *GammaSession {
 	return &GammaSession{e: e, w: e.pool.New().(*gammaWorkspace)}
+}
+
+// CarryWarmStarts enables Lanczos warm-start carrying on a sketch-backend
+// session (no-op on exact/sparse backends, whose evaluations have no
+// iterative state to carry). See subspace.SketchSession.CarryWarmStarts for
+// the determinism obligations.
+func (s *GammaSession) CarryWarmStarts() {
+	if s.w.sketch != nil {
+		s.w.sketch.CarryWarmStarts()
+	}
+}
+
+// ResetWarmStart discards any carried Lanczos warm start, so the session's
+// next evaluation is identical to a fresh session's. No-op on exact/sparse
+// backends.
+func (s *GammaSession) ResetWarmStart() {
+	if s.w.sketch != nil {
+		s.w.sketch.ResetWarmStart()
+	}
 }
 
 // Gamma is GammaEvaluator.Gamma on the session's private workspace.

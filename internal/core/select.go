@@ -186,12 +186,15 @@ func selectMTD(n *grid.Network, xOld []float64, cfg SelectConfig, eng *Engines) 
 	}
 
 	// Each multi-start worker gets its own engine sessions (no pool churn
-	// per evaluation) and, on the sparse path, its own warm LP basis; the
-	// reset hook scopes that basis to one local search so the selected MTD
-	// is identical for every worker count. The driver-level objective is
-	// built by the same factory, so there is exactly one definition.
+	// per evaluation) and two kinds of per-worker warm state: the sparse
+	// path's warm LP basis and, on the sketch backend, the carried Lanczos
+	// warm start. The reset hook scopes both to one local search, so the
+	// selected MTD is identical for every worker count. The driver-level
+	// objective is built by the same factory, so there is exactly one
+	// definition.
 	newWorkerObj := func() (optimize.Objective, func()) {
 		gs := eng.gamma.NewSession()
+		gs.CarryWarmStarts()
 		ds := eng.dispatch.NewSession()
 		costOf := func(xd []float64) float64 {
 			cost, err := ds.Cost(n.ExpandDFACTS(xd))
@@ -203,7 +206,11 @@ func selectMTD(n *grid.Network, xOld []float64, cfg SelectConfig, eng *Engines) 
 		cons := []optimize.Constraint{
 			func(xd []float64) float64 { return cfg.GammaThreshold - gs.GammaDFACTS(xd) },
 		}
-		return optimize.Penalized(costOf, cons, cfg.PenaltyMu), ds.ResetWarmStart
+		reset := func() {
+			ds.ResetWarmStart()
+			gs.ResetWarmStart()
+		}
+		return optimize.Penalized(costOf, cons, cfg.PenaltyMu), reset
 	}
 	obj, _ := newWorkerObj()
 
@@ -330,8 +337,12 @@ func maxGamma(n *grid.Network, xOld []float64, cfg MaxGammaConfig, eng *Engines)
 	}
 
 	newWorkerObj := func() (optimize.Objective, func()) {
-		g := newGammaOf()
-		return func(xd []float64) float64 { return -g(xd) }, nil
+		gs := eng.gamma.NewSession()
+		gs.CarryWarmStarts()
+		// The carried Lanczos warm start is scoped to one local search, same
+		// as selectMTD: reset keeps the search identical for every worker
+		// count.
+		return func(xd []float64) float64 { return -gs.GammaDFACTS(xd) }, gs.ResetWarmStart
 	}
 	obj, _ := newWorkerObj()
 	local := func(f optimize.Objective, x0 []float64) (*optimize.Result, error) {
@@ -402,8 +413,10 @@ func maxGamma(n *grid.Network, xOld []float64, cfg MaxGammaConfig, eng *Engines)
 // bestCorner evaluates γ at all 2^d corners of the D-FACTS box, splitting
 // the masks across workers, and returns the best value with the lowest
 // achieving mask. newGammaOf builds one γ evaluator per worker chunk
-// (engine affinity); γ is stateless, so the winner is independent of the
-// worker count.
+// (engine affinity); the chunk sessions never opt into warm-start carrying
+// — the chunk partition depends on the worker count, so a carried state
+// would break the worker-count invariance — and γ evaluation is otherwise
+// stateless, so the winner is independent of the worker count.
 func bestCorner(newGammaOf func() func([]float64) float64, lo, hi []float64, d, parallelism int) (float64, int) {
 	total := 1 << d
 	workers := parallelism

@@ -106,6 +106,49 @@ func TestDenseSparsePTDFAgree(t *testing.T) {
 	}
 }
 
+// TestSparsePTDFColsAgree checks the partial-column fast path against the
+// full sparse PTDF on every case: each requested column must match its
+// counterpart to factorization roundoff (the two read symmetric entries
+// of the same inverse), and the dense backend must not advertise the
+// interface — its full build is a bitwise historical contract.
+func TestSparsePTDFColsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, n := range allCases(t) {
+		if _, ok := NewBFactorizerBackend(n, DenseBackend).(PTDFColser); ok {
+			t.Fatalf("%s: dense factorizer claims PTDFColser", n.Name)
+		}
+		sparse := NewBFactorizerBackend(n, SparseBackend)
+		pc, ok := sparse.(PTDFColser)
+		if !ok {
+			t.Fatalf("%s: sparse factorizer does not implement PTDFColser", n.Name)
+		}
+		x := perturbedReactances(n, rng)
+		if err := sparse.Reset(x); err != nil {
+			t.Fatal(err)
+		}
+		full := mat.NewDense(n.L(), n.N()-1)
+		if err := sparse.PTDFInto(full); err != nil {
+			t.Fatal(err)
+		}
+		nb1 := n.N() - 1
+		cols := []int{0, nb1 / 2, nb1 - 1}
+		part := mat.NewDense(len(cols), n.L())
+		if err := pc.PTDFColsInto(part, cols); err != nil {
+			t.Fatal(err)
+		}
+		for i, j := range cols {
+			row := part.RowView(i)
+			for l := 0; l < n.L(); l++ {
+				want := full.At(l, j)
+				if diff := math.Abs(row[l] - want); diff > 1e-10*(1+math.Abs(want)) {
+					t.Fatalf("%s: PTDF column %d branch %d: full %g cols %g",
+						n.Name, j, l, want, row[l])
+				}
+			}
+		}
+	}
+}
+
 // TestDensePTDFMatchesNetworkPTDF pins the dense factorizer to the public
 // PTDF construction (which it must reproduce bitwise on sub-threshold
 // cases).

@@ -41,7 +41,7 @@ func (n *Network) GammaSketchOperands() (et, g *mat.CSC) {
 	// G = AᵀA + 2I: (AᵀA)_{lm} sums a_bl·a_bm over the buses both branches
 	// touch (full incidence, slack included), and the 2I is the √2-scaled
 	// flow block's contribution.
-	inc := make([][]int, n.N())     // incident branches per bus
+	inc := make([][]int, n.N())      // incident branches per bus
 	sign := make([][]float64, n.N()) // ±1 orientation per incidence
 	for l, br := range n.Branches {
 		inc[br.From-1] = append(inc[br.From-1], l)

@@ -1,10 +1,16 @@
 package lp
 
 import (
+	"errors"
 	"math"
 
 	"gridmtd/internal/mat"
 )
+
+// errWarmFallback is warmSolve's internal "abandon this attempt and
+// re-solve on the flat tableau" signal. It never escapes Solve: the only
+// warm error surfaced to callers is a certified ErrInfeasible.
+var errWarmFallback = errors.New("lp: warm solve abandoned")
 
 // WarmSolver is a Problem solver that can reuse the optimal basis of the
 // previous solve to start the next one. The MTD selection search solves
@@ -38,6 +44,13 @@ type RevisedStats struct {
 	// PrimalPivots and DualPivots count warm-path simplex pivots.
 	PrimalPivots int
 	DualPivots   int
+	// EtaUpdates counts basis exchanges absorbed by a product-form eta
+	// update instead of a refactorization.
+	EtaUpdates int
+	// Refactorizations counts working-matrix refactorizations: one per
+	// warm attempt, plus every eta-file collapse (cap reached, spike
+	// retry, or the exact re-derivation before an answer is accepted).
+	Refactorizations int
 }
 
 // Variable statuses of the bounded-variable revised simplex. Slack
@@ -53,16 +66,34 @@ const (
 	warmMaxIter = 2000
 	// ratioTie is the ratio-test tie band, matching the flat solver.
 	ratioTie = 1e-12
+	// defaultMaxUpdates bounds the product-form eta file between
+	// refactorizations. Forty exchanges on a ≤n×n working matrix keep the
+	// accumulated forward/backward transformation cost well below one
+	// refactorization while bounding update drift; the exact re-derivation
+	// at loop exit makes the bound a performance knob, not a correctness
+	// one.
+	defaultMaxUpdates = 40
+	// spikeAbs/spikeRel gate each eta update on its pivot element: a pivot
+	// below the absolute floor, or tiny relative to the transformed
+	// column's magnitude, would amplify drift through every later solve
+	// (the Forrest–Tomlin spike-growth hazard) — such exchanges refactor
+	// instead.
+	spikeAbs = 1e-11
+	spikeRel = 1e-8
 )
 
 // RevisedSolver is a bounded-variable revised-simplex solver with
 // cross-solve basis warm-starting. It works on the row geometry of the
 // Problem directly (equality rows plus slack-extended inequality rows,
 // structural variables kept inside their bounds) instead of the flat
-// solver's standard form, and it never materializes a tableau: each
-// iteration factors only the small "working matrix" — active rows ×
-// basic structural columns, at most n×n however many inequality rows the
-// problem has — because the basic slack columns are unit vectors.
+// solver's standard form, and it never materializes a tableau: it factors
+// only the small "working matrix" — active rows × basic structural
+// columns, at most n×n however many inequality rows the problem has —
+// because the basic slack columns are unit vectors. Between
+// refactorizations, basis exchanges are absorbed by bounded product-form
+// eta updates (Forrest–Tomlin-style pivot monitoring with refactor
+// fallback; see primalLoop/pivotUpdate), so a typical warm re-solve
+// factors the working matrix once and pivots through rank-one updates.
 //
 // The first solve (and any solve after Invalidate, a structural change, or
 // a warm failure) delegates to the embedded flat tableau Solver — the
@@ -79,8 +110,9 @@ const (
 //
 // A RevisedSolver is not safe for concurrent use; use one per goroutine.
 type RevisedSolver struct {
-	cold  Solver
-	stats RevisedStats
+	cold    Solver
+	stats   RevisedStats
+	flushed RevisedStats // portion of stats already added to the globals
 
 	// Warm state: statuses per variable (structural then slacks) for the
 	// problem signature below.
@@ -91,14 +123,28 @@ type RevisedSolver struct {
 	// Per-solve model arrays, length nTot = n + nUb.
 	lo, up, c []float64
 	x, d      []float64
-	// Basis bookkeeping.
+	// Basis bookkeeping, frozen at the last refactorization (eta updates
+	// exchange basis positions without touching these).
 	activeRows  []int  // eq rows + inequality rows whose slack is nonbasic
 	basicStruct []int  // basic structural columns, ascending
 	isBasicCol  []bool // length n
 	w           mat.Dense
 	lu          mat.LU
-	// Scratch vectors sized to the working dimension k or nTot.
-	rhs, sol, yAct, colAct, wSlack, rho, alpha []float64
+	// Product-form eta file: basis B = B₀·E₁·…·E_t where B₀ is the frozen
+	// factorization above and each Eᵢ is the identity with basis position
+	// etaPos[i] replaced by the column etaBuf[i·m:(i+1)·m] (m = nEq+nUb).
+	// varAt/posOf track which variable currently holds each position;
+	// inactiveRows lists the rows whose slack was basic at refactor time
+	// (positions k..m-1, in row order).
+	maxUpdates   int // see SetMaxUpdates; 0 = default, negative = disabled
+	etaPos       []int
+	etaBuf       []float64
+	varAt, posOf []int
+	inactiveRows []int
+	fresh        bool // x and d were recomputed from a fresh factorization
+	// Scratch vectors sized to the working dimension k, m or nTot.
+	rhs, sol, yAct, colAct, alpha []float64
+	col, posv, pi                 []float64
 	// Tolerances, refreshed per solve from the problem scale.
 	ptol, dtol float64
 }
@@ -109,8 +155,68 @@ func NewRevisedSolver() *RevisedSolver { return &RevisedSolver{} }
 // Stats returns the cumulative solve counters.
 func (s *RevisedSolver) Stats() RevisedStats { return s.stats }
 
-// Invalidate drops the warm basis; the next Solve runs cold.
+// Invalidate drops the warm basis; the next Solve starts from scratch —
+// a pure function of the problem (crash-basis warm route, flat tableau
+// when that fails) with no memory of previous solves.
 func (s *RevisedSolver) Invalidate() { s.hasBasis = false }
+
+// HasBasis reports whether a warm basis is loaded (from a previous solve
+// or InstallBasis).
+func (s *RevisedSolver) HasBasis() bool { return s.hasBasis }
+
+// WarmBasis is a portable snapshot of a solver's optimal basis: the
+// per-variable statuses (structural then inequality slacks) plus the
+// problem signature they belong to. It is immutable once captured, so one
+// snapshot may seed any number of solvers concurrently.
+type WarmBasis struct {
+	status    []int8
+	n, eq, ub int
+}
+
+// CaptureBasis snapshots the current warm basis, or returns nil when the
+// solver has none.
+func (s *RevisedSolver) CaptureBasis() *WarmBasis {
+	if !s.hasBasis {
+		return nil
+	}
+	nTot := s.sigN + s.sigUb
+	return &WarmBasis{
+		status: append([]int8(nil), s.status[:nTot]...),
+		n:      s.sigN, eq: s.sigEq, ub: s.sigUb,
+	}
+}
+
+// InstallBasis seeds the solver's warm state from a snapshot: the next
+// Solve of a signature-compatible problem starts from it exactly as it
+// would from its own previous optimal basis (with the same verification
+// and cold fallback). Solving a problem with a different signature simply
+// drops the seed. A nil snapshot is a no-op.
+func (s *RevisedSolver) InstallBasis(b *WarmBasis) {
+	if b == nil {
+		return
+	}
+	s.status = growI8(s.status, len(b.status))
+	copy(s.status, b.status)
+	s.sigN, s.sigEq, s.sigUb = b.n, b.eq, b.ub
+	s.hasBasis = true
+}
+
+// SetMaxUpdates bounds the product-form eta updates accumulated between
+// refactorizations. Zero restores the default (defaultMaxUpdates); a
+// negative value disables eta updates entirely, refactorizing after every
+// basis exchange — the pre-update reference behavior the agreement tests
+// compare against.
+func (s *RevisedSolver) SetMaxUpdates(n int) { s.maxUpdates = n }
+
+func (s *RevisedSolver) effMaxUpdates() int {
+	switch {
+	case s.maxUpdates < 0:
+		return 0
+	case s.maxUpdates == 0:
+		return defaultMaxUpdates
+	}
+	return s.maxUpdates
+}
 
 // Solve solves the problem, warm-starting from the previous optimal basis
 // when one is available and structurally compatible. The error contract is
@@ -119,6 +225,7 @@ func (s *RevisedSolver) Solve(p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	defer s.flushStats()
 	s.stats.Solves++
 	n := len(p.C)
 	nEq, nUb := 0, 0
@@ -143,14 +250,70 @@ func (s *RevisedSolver) Solve(p *Problem) (*Solution, error) {
 	}
 
 	if s.hasBasis {
-		if sol, ok := s.warmSolve(p); ok {
+		sol, err := s.warmSolve(p)
+		if err == nil || errors.Is(err, ErrInfeasible) {
 			s.stats.WarmSolves++
-			return sol, nil
+			return sol, err
 		}
 		s.stats.Fallbacks++
 		s.hasBasis = false
 	}
+	// No usable basis. Before paying for the flat two-phase tableau solve,
+	// try the revised machinery from a deterministic crash basis (all
+	// slacks basic, one max-coefficient structural per equality row): the
+	// flip repair makes it dual feasible and the dual simplex walks to the
+	// optimum in roughly active-set-many cheap pivots instead of the
+	// tableau's dense Gauss-Jordan passes. The result passes the same
+	// verification as any warm solve; any doubt still lands on the exact
+	// cold path. The crash basis is a pure function of the problem, so
+	// first-solve answers stay deterministic and scheduling-independent.
+	if s.crashBasis(p) {
+		sol, err := s.warmSolve(p)
+		if err == nil || errors.Is(err, ErrInfeasible) {
+			s.stats.WarmSolves++
+			return sol, err
+		}
+		s.hasBasis = false
+	}
 	return s.coldSolve(p)
+}
+
+// crashBasis installs the deterministic cold-start basis: every slack
+// basic, every structural nonbasic at a finite bound, except one
+// structural per equality row — the largest-|coefficient| column not yet
+// chosen — to complete the basis. Returns false when an equality row has
+// no usable column (the flat path handles it).
+func (s *RevisedSolver) crashBasis(p *Problem) bool {
+	n, nEq, nUb := s.sigN, s.sigEq, s.sigUb
+	s.status = growI8(s.status, n+nUb)
+	for j := 0; j < n; j++ {
+		if lo, _ := p.bound(j); math.IsInf(lo, -1) {
+			s.status[j] = stUpper
+		} else {
+			s.status[j] = stLower
+		}
+	}
+	for i := 0; i < nUb; i++ {
+		s.status[n+i] = stBasic
+	}
+	for r := 0; r < nEq; r++ {
+		rv := p.Aeq.RowView(r)
+		best, bv := -1, 0.0
+		for j := 0; j < n; j++ {
+			if s.status[j] == stBasic {
+				continue
+			}
+			if a := math.Abs(rv[j]); a > bv {
+				bv, best = a, j
+			}
+		}
+		if best < 0 {
+			return false
+		}
+		s.status[best] = stBasic
+	}
+	s.hasBasis = true
+	return true
 }
 
 // coldSolve delegates to the flat tableau solver and crashes a warm basis
@@ -251,38 +414,72 @@ func (s *RevisedSolver) crashFromCold(p *Problem) bool {
 // warmSolve re-solves p from the stored statuses. ok=false means "fall
 // back to a cold solve" for any reason, including warm-detected
 // infeasibility (the cold path re-derives and reports it exactly).
-func (s *RevisedSolver) warmSolve(p *Problem) (*Solution, bool) {
+func (s *RevisedSolver) warmSolve(p *Problem) (*Solution, error) {
 	n := s.sigN
 	s.setupModel(p)
-	if err := s.factorBasis(p); err != nil {
-		return nil, false
+	if s.refresh(p) != nil {
+		return nil, errWarmFallback
 	}
-	s.computeX(p)
-	s.computeDualsAndReducedCosts(p)
+
+	// dualStep wraps a dualLoop run: a certified infeasibility verdict —
+	// issued only on a fresh factorization with no entering column for a
+	// violated row, the Farkas certificate — is a final answer the caller
+	// must not re-derive on the flat tableau (on large cases an infeasible
+	// candidate costs seconds there, and the selection search probes many);
+	// every other failure stays a fallback.
+	dualStep := func() error {
+		switch err := s.dualLoop(p); {
+		case err == nil:
+			return nil
+		case errors.Is(err, ErrInfeasible):
+			return ErrInfeasible
+		}
+		return errWarmFallback
+	}
 
 	pf := s.primalFeasible()
 	df := s.dualFeasible()
 	switch {
 	case pf:
 		if s.primalLoop(p) != nil {
-			return nil, false
+			return nil, errWarmFallback
 		}
 	case df:
-		if s.dualLoop(p) != nil {
-			return nil, false
+		if err := dualStep(); err != nil {
+			return nil, err
 		}
 		if s.primalLoop(p) != nil {
-			return nil, false
+			return nil, errWarmFallback
 		}
 	default:
-		return nil, false
+		// Neither feasible — the usual fate of a basis seeded from a
+		// different problem instance (engine seed basis, crash basis, large
+		// candidate jumps). Bound flipping restores dual feasibility without
+		// touching the basis matrix: a nonbasic variable whose reduced cost
+		// has the wrong sign for its bound moves to the opposite bound,
+		// where the same sign is the right one. Only variables with both
+		// bounds finite can flip; a wrong-signed variable without a finite
+		// opposite bound (a slack) keeps the repair impossible and the
+		// solve goes cold. After the flips the factorization and reduced
+		// costs are still exact, only the primal values moved, so one
+		// computeX refresh feeds the ordinary dual→primal recovery.
+		if !s.flipToDualFeasible() {
+			return nil, errWarmFallback
+		}
+		s.computeX(p)
+		if err := dualStep(); err != nil {
+			return nil, err
+		}
+		if s.primalLoop(p) != nil {
+			return nil, errWarmFallback
+		}
 	}
 	if !s.verify(p) {
-		return nil, false
+		return nil, errWarmFallback
 	}
 	xOut := make([]float64, n)
 	copy(xOut, s.x[:n])
-	return &Solution{X: xOut, Objective: mat.Dot(p.C, xOut), Status: StatusOptimal}, true
+	return &Solution{X: xOut, Objective: mat.Dot(p.C, xOut), Status: StatusOptimal}, nil
 }
 
 // setupModel fills the per-variable bound and cost arrays and the
@@ -376,6 +573,32 @@ func (s *RevisedSolver) factorBasis(p *Problem) error {
 	if len(s.basicStruct) != k {
 		return ErrMaxIterations // structural defect; exact error unused
 	}
+	// Freeze the position bookkeeping the eta file pivots against:
+	// positions 0..k-1 hold the basic structural columns, positions
+	// k..m-1 the basic slacks in row order.
+	m := nEq + nUb
+	s.varAt = growInt(s.varAt, m)
+	s.posOf = growInt(s.posOf, n+nUb)
+	for j := range s.posOf {
+		s.posOf[j] = -1
+	}
+	for b, j := range s.basicStruct {
+		s.varAt[b] = j
+		s.posOf[j] = b
+	}
+	s.inactiveRows = s.inactiveRows[:0]
+	for i, t := 0, 0; i < nUb; i++ {
+		if s.status[n+i] == stBasic {
+			s.inactiveRows = append(s.inactiveRows, nEq+i)
+			s.varAt[k+t] = n + i
+			s.posOf[n+i] = k + t
+			t++
+		}
+	}
+	s.etaPos = s.etaPos[:0]
+	s.etaBuf = s.etaBuf[:0]
+	s.stats.Refactorizations++
+
 	s.w.ReuseAs(k, k)
 	wd := s.w.RawData()
 	for a, r := range s.activeRows {
@@ -389,6 +612,19 @@ func (s *RevisedSolver) factorBasis(p *Problem) error {
 		return nil
 	}
 	return s.lu.Reset(&s.w)
+}
+
+// refresh refactors the working matrix from the current statuses and
+// re-derives primal values and reduced costs from scratch, collapsing any
+// accumulated eta file together with its drift.
+func (s *RevisedSolver) refresh(p *Problem) error {
+	if err := s.factorBasis(p); err != nil {
+		return err
+	}
+	s.computeX(p)
+	s.computeDualsAndReducedCosts(p)
+	s.fresh = true
+	return nil
 }
 
 // computeX sets every variable's value from the statuses: nonbasic at
@@ -464,6 +700,38 @@ func (s *RevisedSolver) computeDualsAndReducedCosts(p *Problem) {
 	}
 }
 
+// flipToDualFeasible flips nonbasic variables with wrong-signed reduced
+// costs to their opposite bound, making the basis dual feasible without
+// changing the basis matrix (flips only move nonbasic values, so the
+// factorization and the reduced costs stay exact). Returns false when a
+// wrong-signed variable has no finite opposite bound to flip to; statuses
+// may then be partially flipped, which is fine — every failure path
+// discards the warm state and re-derives it cold.
+func (s *RevisedSolver) flipToDualFeasible() bool {
+	for j, st := range s.status[:s.sigN+s.sigUb] {
+		if s.up[j] <= s.lo[j] {
+			continue // fixed variable: any sign is optimal
+		}
+		switch st {
+		case stLower:
+			if s.d[j] < -s.dtol {
+				if math.IsInf(s.up[j], 1) {
+					return false
+				}
+				s.status[j] = stUpper
+			}
+		case stUpper:
+			if s.d[j] > s.dtol {
+				if math.IsInf(s.lo[j], -1) {
+					return false
+				}
+				s.status[j] = stLower
+			}
+		}
+	}
+	return true
+}
+
 // primalFeasible reports whether every basic variable is inside its
 // bounds (nonbasic variables sit on a bound by construction).
 func (s *RevisedSolver) primalFeasible() bool {
@@ -496,13 +764,15 @@ func (s *RevisedSolver) dualFeasible() bool {
 	return true
 }
 
-// computeColumn computes the basis-inverse image of column q: the working
-// solve gives the basic-structural components (into s.sol) and the basic
-// slack components are the row residuals (into s.wSlack, indexed by
-// inequality row).
-func (s *RevisedSolver) computeColumn(p *Problem, q int) {
-	n, nEq, nUb := s.sigN, s.sigEq, s.sigUb
+// ftran computes w = B⁻¹·a_q over basis positions for column q. The frozen
+// factorization handles the B₀ part — the LU solves the active rows and the
+// frozen-basic slack positions are row residuals — and the eta file is then
+// applied in pivot order (E_i⁻¹ touches only its pivot position's multiple
+// of the stored column).
+func (s *RevisedSolver) ftran(p *Problem, q int) []float64 {
+	n, nEq := s.sigN, s.sigEq
 	k := len(s.activeRows)
+	m := s.sigEq + s.sigUb
 	s.colAct = growF(s.colAct, k)
 	s.sol = growF(s.sol, k)
 	if q < n {
@@ -510,11 +780,11 @@ func (s *RevisedSolver) computeColumn(p *Problem, q int) {
 			s.colAct[a] = s.rowView(p, r)[q]
 		}
 	} else {
-		// Slack column: unit vector on its (active) row.
+		// Slack column: unit vector on its row.
+		row := nEq + (q - n)
 		for a := range s.colAct {
 			s.colAct[a] = 0
 		}
-		row := nEq + (q - n)
 		for a, r := range s.activeRows {
 			if r == row {
 				s.colAct[a] = 1
@@ -525,33 +795,197 @@ func (s *RevisedSolver) computeColumn(p *Problem, q int) {
 	if k > 0 {
 		s.lu.SolveInto(s.sol, s.colAct)
 	}
-	s.wSlack = growF(s.wSlack, nUb)
-	for i := 0; i < nUb; i++ {
-		if s.status[n+i] != stBasic {
-			s.wSlack[i] = 0
-			continue
-		}
-		rv := p.Aub.RowView(i)
+	s.col = growF(s.col, m)
+	copy(s.col, s.sol[:k])
+	for t, r := range s.inactiveRows {
+		rv := s.rowView(p, r)
 		var v float64
 		if q < n {
 			v = rv[q]
+		} else if r == nEq+(q-n) {
+			v = 1
 		}
 		for b, j := range s.basicStruct {
 			v -= rv[j] * s.sol[b]
 		}
-		s.wSlack[i] = v
+		s.col[k+t] = v
+	}
+	for t, pp := range s.etaPos {
+		e := s.etaBuf[t*m : (t+1)*m]
+		wp := s.col[pp] / e[pp]
+		if wp != 0 {
+			for i := 0; i < m; i++ {
+				if i != pp {
+					s.col[i] -= e[i] * wp
+				}
+			}
+		}
+		s.col[pp] = wp
+	}
+	return s.col
+}
+
+// btranUnit computes π = B⁻ᵀ·e_pos over the stacked rows: the eta file's
+// transposed solves run in reverse pivot order on the position vector, then
+// the frozen B₀ᵀ turns positions into row duals — frozen-basic slack rows
+// read their position directly, the active rows go through the transposed
+// LU after eliminating the slack-row contributions of the basic structural
+// columns.
+func (s *RevisedSolver) btranUnit(p *Problem, pos int) []float64 {
+	k := len(s.activeRows)
+	m := s.sigEq + s.sigUb
+	s.posv = growF(s.posv, m)
+	for i := range s.posv {
+		s.posv[i] = 0
+	}
+	s.posv[pos] = 1
+	for t := len(s.etaPos) - 1; t >= 0; t-- {
+		pp := s.etaPos[t]
+		e := s.etaBuf[t*m : (t+1)*m]
+		var sum float64
+		for j := 0; j < m; j++ {
+			if j != pp {
+				sum += e[j] * s.posv[j]
+			}
+		}
+		s.posv[pp] = (s.posv[pp] - sum) / e[pp]
+	}
+	s.pi = growF(s.pi, m)
+	for i := range s.pi {
+		s.pi[i] = 0
+	}
+	for t, r := range s.inactiveRows {
+		s.pi[r] = s.posv[k+t]
+	}
+	if k > 0 {
+		s.rhs = growF(s.rhs, k)
+		copy(s.rhs, s.posv[:k])
+		for t, r := range s.inactiveRows {
+			pr := s.posv[k+t]
+			if pr == 0 {
+				continue
+			}
+			rv := s.rowView(p, r)
+			for b, j := range s.basicStruct {
+				s.rhs[b] -= rv[j] * pr
+			}
+		}
+		s.yAct = growF(s.yAct, k)
+		s.lu.SolveTransposeInto(s.yAct, s.rhs)
+		for a, r := range s.activeRows {
+			s.pi[r] = s.yAct[a]
+		}
+	}
+	return s.pi
+}
+
+// priceAlpha fills s.alpha with α_j = πᵀ·A[:,j] for every column from the
+// row duals π: structural columns accumulate over the rows with nonzero
+// dual, slack columns read their row's dual directly.
+func (s *RevisedSolver) priceAlpha(p *Problem, pi []float64) {
+	n, nEq, nUb := s.sigN, s.sigEq, s.sigUb
+	s.alpha = growF(s.alpha, n+nUb)
+	for j := 0; j < n; j++ {
+		s.alpha[j] = 0
+	}
+	for r := 0; r < nEq+nUb; r++ {
+		if pi[r] != 0 {
+			mat.AxpyVec(pi[r], s.rowView(p, r), s.alpha[:n])
+		}
+	}
+	for i := 0; i < nUb; i++ {
+		s.alpha[n+i] = pi[nEq+i]
 	}
 }
 
+// etaSpike reports whether the basis exchange at position pos is too
+// ill-conditioned to absorb as an eta update: product-form solves divide by
+// w[pos], so a pivot element far below the transformed column's magnitude
+// (or below absolute noise) would amplify drift through every later solve.
+func etaSpike(w []float64, pos int) bool {
+	wp := math.Abs(w[pos])
+	if wp < spikeAbs {
+		return true
+	}
+	var max float64
+	for _, v := range w {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return wp < spikeRel*max
+}
+
+// pivotUpdate applies the basis exchange enter↔(leave at position pos)
+// without refactorizing: primal values move along w = B⁻¹·a_enter by delta
+// (the entering variable's signed step off its bound), reduced costs by the
+// standard pivot-row update through ρ = B⁻ᵀ·e_pos, and w joins the eta
+// file. The caller has already chosen the exchange and cleared the spike
+// check; the update collapses into a refactorization when the eta cap is
+// reached.
+func (s *RevisedSolver) pivotUpdate(p *Problem, enter, leave, pos int, w []float64, delta float64, leaveAtUpper bool) error {
+	m := s.sigEq + s.sigUb
+	if delta != 0 {
+		for b := 0; b < m; b++ {
+			if v := w[b]; v != 0 {
+				s.x[s.varAt[b]] -= delta * v
+			}
+		}
+	}
+	s.x[enter] += delta
+	if leaveAtUpper {
+		s.x[leave] = s.up[leave]
+	} else {
+		s.x[leave] = s.lo[leave]
+	}
+
+	// ρ is taken against the pre-exchange basis, so it must precede the
+	// eta append; the status swap follows the dual update so that the loop
+	// below skips exactly the pre-exchange basic columns.
+	pi := s.btranUnit(p, pos)
+	s.priceAlpha(p, pi)
+	rate := s.d[enter] / w[pos]
+	if rate != 0 {
+		nTot := s.sigN + s.sigUb
+		for j := 0; j < nTot; j++ {
+			if s.status[j] != stBasic && j != enter {
+				s.d[j] -= rate * s.alpha[j]
+			}
+		}
+	}
+	s.d[leave] = -rate
+	s.d[enter] = 0
+
+	s.status[enter] = stBasic
+	if leaveAtUpper {
+		s.status[leave] = stUpper
+	} else {
+		s.status[leave] = stLower
+	}
+	s.varAt[pos] = enter
+	s.posOf[enter] = pos
+	s.posOf[leave] = -1
+	s.etaPos = append(s.etaPos, pos)
+	s.etaBuf = append(s.etaBuf, w...)
+	s.stats.EtaUpdates++
+	s.fresh = false
+	if len(s.etaPos) >= s.effMaxUpdates() {
+		return s.refresh(p)
+	}
+	return nil
+}
+
 // primalLoop runs bounded-variable primal simplex pivots (Bland's rule)
-// from a primal-feasible basis until optimality. Each iteration refactors
-// the working matrix and recomputes values and prices from scratch — the
-// matrix is at most n×n, so freshness is cheaper than update formulas are
-// risky. A nil return means the statuses describe an optimal basis and
-// s.x/s.d hold fresh values for it.
+// from a primal-feasible basis until optimality. Basis exchanges are
+// absorbed by product-form eta updates (pivotUpdate) instead of per-pivot
+// refactorizations; the working matrix refactors only when the eta cap or
+// the spike monitor demands it, and always once more before optimality is
+// accepted, so a nil return means the statuses describe an optimal basis
+// with s.x/s.d freshly re-derived for it — eta drift can steer the pivot
+// path, never the answer.
 func (s *RevisedSolver) primalLoop(p *Problem) error {
-	n := s.sigN
-	nTot := n + s.sigUb
+	nTot := s.sigN + s.sigUb
+	m := s.sigEq + s.sigUb
 	for iter := 0; iter < warmMaxIter; iter++ {
 		// Entering variable: Bland's smallest index with an improving
 		// reduced cost. Fixed variables (lo == up) cannot move.
@@ -573,9 +1007,15 @@ func (s *RevisedSolver) primalLoop(p *Problem) error {
 			}
 		}
 		if enter < 0 {
-			return nil // optimal
+			if s.fresh {
+				return nil // optimal, on exactly re-derived numbers
+			}
+			if err := s.refresh(p); err != nil {
+				return err
+			}
+			continue
 		}
-		s.computeColumn(p, enter)
+		w := s.ftran(p, enter)
 
 		// Ratio test: the entering variable moves by t >= 0 toward its
 		// opposite bound; basic variables move at rate -sigma * w.
@@ -608,50 +1048,78 @@ func (s *RevisedSolver) primalLoop(p *Problem) error {
 				leaveAtUpper = hitsUpper
 			}
 		}
-		for b, j := range s.basicStruct {
-			consider(j, -sigma*s.sol[b])
-		}
-		for i := 0; i < s.sigUb; i++ {
-			if s.status[n+i] == stBasic {
-				consider(n+i, -sigma*s.wSlack[i])
-			}
+		for b := 0; b < m; b++ {
+			consider(s.varAt[b], -sigma*w[b])
 		}
 		if math.IsInf(tBest, 1) {
 			return ErrUnbounded
 		}
-		s.stats.PrimalPivots++
 		if leave < 0 {
 			// Bound flip: the entering variable crosses its own range
-			// before any basic variable blocks.
+			// before any basic variable blocks. No basis change — the
+			// primal values just shift along w.
+			s.stats.PrimalPivots++
+			for b := 0; b < m; b++ {
+				if v := w[b]; v != 0 {
+					s.x[s.varAt[b]] -= sigma * tBest * v
+				}
+			}
 			if s.status[enter] == stLower {
 				s.status[enter] = stUpper
+				s.x[enter] = s.up[enter]
 			} else {
 				s.status[enter] = stLower
+				s.x[enter] = s.lo[enter]
 			}
-		} else {
+			s.fresh = false
+			continue
+		}
+		pos := s.posOf[leave]
+		if pos < 0 {
+			return ErrMaxIterations
+		}
+		if s.effMaxUpdates() == 0 || etaSpike(w, pos) {
+			if len(s.etaPos) > 0 {
+				// Spike under an accumulated eta file: retry the iteration
+				// on a fresh factorization before committing to anything —
+				// most spikes are artifacts of update drift.
+				if err := s.refresh(p); err != nil {
+					return err
+				}
+				continue
+			}
+			// Fresh-basis spike (or updates disabled): exchange, then
+			// refactor — the reference per-pivot path.
+			s.stats.PrimalPivots++
 			s.status[enter] = stBasic
 			if leaveAtUpper {
 				s.status[leave] = stUpper
 			} else {
 				s.status[leave] = stLower
 			}
+			if err := s.refresh(p); err != nil {
+				return err
+			}
+			continue
 		}
-		if err := s.factorBasis(p); err != nil {
+		s.stats.PrimalPivots++
+		if err := s.pivotUpdate(p, enter, leave, pos, w, sigma*tBest, leaveAtUpper); err != nil {
 			return err
 		}
-		s.computeX(p)
-		s.computeDualsAndReducedCosts(p)
 	}
 	return ErrMaxIterations
 }
 
 // dualLoop runs bounded-variable dual simplex pivots from a dual-feasible
 // basis until primal feasibility — the recovery path when a perturbed
-// candidate makes the previous optimal basis primal infeasible. A nil
-// return means s.x is primal feasible for the current statuses.
+// candidate makes the previous optimal basis primal infeasible. Exchanges
+// go through the same eta-update machinery as the primal loop (the uniform
+// π = B⁻ᵀ·e_pos row direction replaces the old active-row special-casing),
+// and feasibility — like primal optimality — is only accepted on freshly
+// re-derived numbers: a nil return means s.x is primal feasible for the
+// current statuses, exactly recomputed.
 func (s *RevisedSolver) dualLoop(p *Problem) error {
-	n, nEq := s.sigN, s.sigEq
-	nTot := n + s.sigUb
+	nTot := s.sigN + s.sigUb
 	for iter := 0; iter < warmMaxIter; iter++ {
 		// Leaving variable: smallest-index basic variable outside its
 		// bounds (Bland-style anti-cycling for the dual method).
@@ -671,65 +1139,23 @@ func (s *RevisedSolver) dualLoop(p *Problem) error {
 			}
 		}
 		if leave < 0 {
-			return nil // primal feasible
+			if s.fresh {
+				return nil // primal feasible, on exactly re-derived numbers
+			}
+			if err := s.refresh(p); err != nil {
+				return err
+			}
+			continue
+		}
+		pos := s.posOf[leave]
+		if pos < 0 {
+			return ErrMaxIterations
 		}
 
-		// Row direction: rho = B^-T e_leave over the active rows, with an
-		// extra unit weight on the leaving slack's own (inactive) row.
-		k := len(s.activeRows)
-		s.rho = growF(s.rho, k)
-		s.rhs = growF(s.rhs, k)
-		extraRow := -1
-		if leave < n {
-			pos := -1
-			for b, j := range s.basicStruct {
-				if j == leave {
-					pos = b
-					break
-				}
-			}
-			if pos < 0 {
-				return ErrMaxIterations
-			}
-			for a := range s.rhs {
-				s.rhs[a] = 0
-			}
-			s.rhs[pos] = 1
-			if k > 0 {
-				s.lu.SolveTransposeInto(s.rho, s.rhs)
-			}
-		} else {
-			extraRow = nEq + (leave - n)
-			rv := p.Aub.RowView(leave - n)
-			for b, j := range s.basicStruct {
-				s.rhs[b] = rv[j]
-			}
-			if k > 0 {
-				s.lu.SolveTransposeInto(s.rho, s.rhs)
-			}
-			for a := range s.rho {
-				s.rho[a] = -s.rho[a]
-			}
-		}
-
-		// alpha_j = rho . A[:, j] for every nonbasic column.
-		s.alpha = growF(s.alpha, nTot)
-		for j := 0; j < n; j++ {
-			s.alpha[j] = 0
-		}
-		for a, r := range s.activeRows {
-			if s.rho[a] != 0 {
-				mat.AxpyVec(s.rho[a], s.rowView(p, r), s.alpha[:n])
-			}
-		}
-		if extraRow >= 0 {
-			mat.AxpyVec(1, s.rowView(p, extraRow), s.alpha[:n])
-		}
-		for a, r := range s.activeRows {
-			if r >= nEq {
-				s.alpha[n+(r-nEq)] = s.rho[a]
-			}
-		}
+		// Row direction and pricing: alpha_j = pi . A[:, j] with
+		// pi = B^-T e_pos through the eta file.
+		pi := s.btranUnit(p, pos)
+		s.priceAlpha(p, pi)
 
 		// Entering variable: dual ratio test over sign-eligible nonbasic
 		// columns, smallest |d|/|alpha| with Bland tie-breaking.
@@ -771,21 +1197,48 @@ func (s *RevisedSolver) dualLoop(p *Problem) error {
 			}
 		}
 		if enter < 0 {
+			if !s.fresh {
+				// The violation may be an artifact of eta drift: re-derive
+				// exactly before declaring the problem infeasible.
+				if err := s.refresh(p); err != nil {
+					return err
+				}
+				continue
+			}
 			// No column can repair the violated row: primal infeasible.
 			return ErrInfeasible
 		}
-		s.stats.DualPivots++
-		s.status[enter] = stBasic
-		if belowLower {
-			s.status[leave] = stLower
-		} else {
-			s.status[leave] = stUpper
+		w := s.ftran(p, enter)
+		if s.effMaxUpdates() == 0 || etaSpike(w, pos) {
+			if len(s.etaPos) > 0 {
+				if err := s.refresh(p); err != nil {
+					return err
+				}
+				continue
+			}
+			s.stats.DualPivots++
+			s.status[enter] = stBasic
+			if belowLower {
+				s.status[leave] = stLower
+			} else {
+				s.status[leave] = stUpper
+			}
+			if err := s.refresh(p); err != nil {
+				return err
+			}
+			continue
 		}
-		if err := s.factorBasis(p); err != nil {
+		var bound float64
+		if belowLower {
+			bound = s.lo[leave]
+		} else {
+			bound = s.up[leave]
+		}
+		delta := (s.x[leave] - bound) / w[pos]
+		s.stats.DualPivots++
+		if err := s.pivotUpdate(p, enter, leave, pos, w, delta, !belowLower); err != nil {
 			return err
 		}
-		s.computeX(p)
-		s.computeDualsAndReducedCosts(p)
 	}
 	return ErrMaxIterations
 }
@@ -833,6 +1286,14 @@ func (s *RevisedSolver) verify(p *Problem) bool {
 func growI8(buf []int8, n int) []int8 {
 	if cap(buf) < n {
 		return make([]int8, n)
+	}
+	return buf[:n]
+}
+
+// growInt is growF for index slices.
+func growInt(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
 	}
 	return buf[:n]
 }

@@ -262,8 +262,10 @@ func TestRevisedFreeVariableFallsBack(t *testing.T) {
 	}
 }
 
-// TestRevisedInvalidate forces a cold restart and checks the solver still
-// agrees with the flat path afterwards.
+// TestRevisedInvalidate forces a from-scratch restart and checks the
+// solver still agrees with the flat path afterwards, without reusing the
+// dropped basis: a repeated solve with the basis kept is a zero-pivot
+// basis hit, so the post-Invalidate solve must pay pivots again.
 func TestRevisedInvalidate(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	p := randomBoundedLP(rng, 5, 6)
@@ -275,13 +277,26 @@ func TestRevisedInvalidate(t *testing.T) {
 	if _, err := rs.Solve(p); err != nil {
 		t.Fatal(err)
 	}
+	first := rs.Stats()
+	if _, err := rs.Solve(p); err != nil {
+		t.Fatal(err)
+	}
+	kept := rs.Stats()
+	if d := (kept.PrimalPivots + kept.DualPivots) - (first.PrimalPivots + first.DualPivots); d != 0 {
+		t.Fatalf("re-solving with the kept basis paid %d pivots", d)
+	}
 	rs.Invalidate()
+	if rs.HasBasis() {
+		t.Fatal("Invalidate left the basis loaded")
+	}
 	got, err := rs.Solve(p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	objectivesAgree(t, "post-invalidate", ref.Objective, got.Objective)
-	if st := rs.Stats(); st.ColdSolves < 2 {
-		t.Fatalf("Invalidate did not force a cold solve: %+v", st)
+	st := rs.Stats()
+	if st.ColdSolves == 0 &&
+		(st.PrimalPivots+st.DualPivots) == (kept.PrimalPivots+kept.DualPivots) {
+		t.Fatalf("post-Invalidate solve reused the dropped basis: %+v", st)
 	}
 }

@@ -1,0 +1,47 @@
+package lp
+
+import "sync/atomic"
+
+// Process-wide revised-solver counters. Revised solvers live deep inside
+// pooled engine workspaces and per-worker sessions, so production
+// observability (the gridmtdd /v1/stats endpoint, mtdexp -v) cannot reach
+// the per-solver RevisedStats; instead every RevisedSolver flushes its
+// per-Solve counter deltas into these atomics, and GlobalRevisedStats
+// aggregates them for the whole process. The flush is one batch of atomic
+// adds per Solve call, so the hot pivot loops never touch shared memory.
+type globalStats struct {
+	solves, warm, cold, fallbacks     atomic.Int64
+	primal, dual, etaUpdates, refacts atomic.Int64
+}
+
+var global globalStats
+
+// GlobalRevisedStats returns the process-wide revised-simplex counters
+// accumulated since process start, across every RevisedSolver instance.
+func GlobalRevisedStats() RevisedStats {
+	return RevisedStats{
+		Solves:           int(global.solves.Load()),
+		WarmSolves:       int(global.warm.Load()),
+		ColdSolves:       int(global.cold.Load()),
+		Fallbacks:        int(global.fallbacks.Load()),
+		PrimalPivots:     int(global.primal.Load()),
+		DualPivots:       int(global.dual.Load()),
+		EtaUpdates:       int(global.etaUpdates.Load()),
+		Refactorizations: int(global.refacts.Load()),
+	}
+}
+
+// flushStats adds the counters accumulated since the previous flush to the
+// process-wide aggregate.
+func (s *RevisedSolver) flushStats() {
+	d, f := s.stats, s.flushed
+	global.solves.Add(int64(d.Solves - f.Solves))
+	global.warm.Add(int64(d.WarmSolves - f.WarmSolves))
+	global.cold.Add(int64(d.ColdSolves - f.ColdSolves))
+	global.fallbacks.Add(int64(d.Fallbacks - f.Fallbacks))
+	global.primal.Add(int64(d.PrimalPivots - f.PrimalPivots))
+	global.dual.Add(int64(d.DualPivots - f.DualPivots))
+	global.etaUpdates.Add(int64(d.EtaUpdates - f.EtaUpdates))
+	global.refacts.Add(int64(d.Refactorizations - f.Refactorizations))
+	s.flushed = d
+}

@@ -1,6 +1,10 @@
 package mat
 
-import "math"
+import (
+	"math"
+	"runtime"
+	"sync"
+)
 
 // QR holds the thin QR factorization of an m×n matrix A with m >= n:
 // A = Q*R where Q is m×n with orthonormal columns and R is n×n upper
@@ -10,9 +14,71 @@ type QR struct {
 	R *Dense
 }
 
+// qrApplyReflector applies the Householder reflector (v, beta) rooted at
+// row k to columns [jlo, jhi) of the m×n row-major block data: for each
+// column, s = β·vᵀcol followed by col -= s·v. Column updates touch only
+// their own column, so disjoint ranges may run concurrently with results
+// bitwise identical to a single sequential sweep — each column sees
+// exactly the same ascending-index accumulation either way.
+func qrApplyReflector(v []float64, beta float64, data []float64, m, n, k, jlo, jhi int) {
+	for j := jlo; j < jhi; j++ {
+		var s float64
+		for i := k; i < m; i++ {
+			s += v[i-k] * data[i*n+j]
+		}
+		s *= beta
+		for i := k; i < m; i++ {
+			data[i*n+j] -= s * v[i-k]
+		}
+	}
+}
+
+// qrParallelFlops is the per-reflector work (rows × cols of the trailing
+// block) below which the application stays on the calling goroutine. Small
+// factorizations — everything the bitwise dense path touches — never pay
+// goroutine overhead and keep their historical single-threaded execution;
+// large ones (the 1100×299 ieee300 estimator build) fan the columns out.
+const qrParallelFlops = 1 << 15
+
+// qrApply routes one reflector application, splitting the columns across
+// workers when the block is large enough to amortize the barrier.
+func qrApply(v []float64, beta float64, data []float64, m, n, k, jlo, jhi, workers int) {
+	cols := jhi - jlo
+	if workers <= 1 || cols < 2*workers || (m-k)*cols < qrParallelFlops {
+		qrApplyReflector(v, beta, data, m, n, k, jlo, jhi)
+		return
+	}
+	chunk := (cols + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := jlo; lo < jhi; lo += chunk {
+		hi := lo + chunk
+		if hi > jhi {
+			hi = jhi
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			qrApplyReflector(v, beta, data, m, n, k, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 // ComputeQR computes the thin QR factorization of a using Householder
-// reflections. It requires Rows >= Cols.
+// reflections. It requires Rows >= Cols. Reflector applications fan out
+// across columns on large inputs; outputs are bitwise independent of the
+// worker count (see qrApplyReflector).
 func ComputeQR(a *Dense) *QR {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	return computeQRWorkers(a, workers)
+}
+
+// computeQRWorkers is ComputeQR with an explicit worker count — the seam
+// the bitwise worker-invariance test drives directly.
+func computeQRWorkers(a *Dense, workers int) *QR {
 	m, n := a.rows, a.cols
 	if m < n {
 		panic("mat: ComputeQR requires rows >= cols")
@@ -48,16 +114,7 @@ func ComputeQR(a *Dense) *QR {
 
 		if beta != 0 {
 			// Apply the reflector to the trailing block r[k:m, k:n].
-			for j := k; j < n; j++ {
-				var s float64
-				for i := k; i < m; i++ {
-					s += v[i-k] * r.data[i*n+j]
-				}
-				s *= beta
-				for i := k; i < m; i++ {
-					r.data[i*n+j] -= s * v[i-k]
-				}
-			}
+			qrApply(v, beta, r.data, m, n, k, k, n, workers)
 		}
 	}
 
@@ -79,16 +136,7 @@ func ComputeQR(a *Dense) *QR {
 		if beta == 0 {
 			continue
 		}
-		for j := 0; j < n; j++ {
-			var s float64
-			for i := k; i < m; i++ {
-				s += v[i-k] * q.data[i*n+j]
-			}
-			s *= beta
-			for i := k; i < m; i++ {
-				q.data[i*n+j] -= s * v[i-k]
-			}
-		}
+		qrApply(v, beta, q.data, m, n, k, 0, n, workers)
 	}
 	return &QR{Q: q, R: rr}
 }

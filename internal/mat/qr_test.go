@@ -33,6 +33,32 @@ func TestComputeQRReconstruction(t *testing.T) {
 	}
 }
 
+// TestComputeQRWorkerInvariance pins the parallel reflector application
+// to the sequential arithmetic: Q and R must be bitwise identical for any
+// worker count, on shapes big enough to cross the fan-out threshold.
+func TestComputeQRWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, shape := range [][2]int{{300, 80}, {1123, 299}} {
+		a := randomDense(rng, shape[0], shape[1])
+		ref := computeQRWorkers(a, 1)
+		for _, workers := range []int{2, 3, 8} {
+			got := computeQRWorkers(a, workers)
+			for i := range ref.Q.data {
+				if got.Q.data[i] != ref.Q.data[i] {
+					t.Fatalf("%dx%d workers=%d: Q differs at flat index %d",
+						shape[0], shape[1], workers, i)
+				}
+			}
+			for i := range ref.R.data {
+				if got.R.data[i] != ref.R.data[i] {
+					t.Fatalf("%dx%d workers=%d: R differs at flat index %d",
+						shape[0], shape[1], workers, i)
+				}
+			}
+		}
+	}
+}
+
 func TestComputeQRPanicsForWide(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -46,21 +46,36 @@ type DispatchEngine struct {
 	warm    bool // sparse path: warm-started revised simplex
 	nG      int
 	redIdx  []int // reduced state column per generator bus, -1 at slack
+	uCols   []int // distinct non-slack entries of redIdx, first-seen order
+	giCol   []int // generator → row of the partial PTDF (uCols), -1 at slack
 	limRow  []int // branch indices with finite flow limits
 	cost    []float64
 	genLo   []float64
 	genHi   []float64
 	aeq     *mat.Dense
 	pool    sync.Pool // *dispatchWorkspace
+
+	// Engine-level seed basis (sparse path): the optimal basis of the
+	// dispatch LP at the network's reference reactances, computed once on
+	// first demand. Solvers with no warm basis of their own start from it
+	// instead of a cold tableau solve — the dominant cost of a cold
+	// selection (every pooled Cost call and every post-reset session solve
+	// used to pay a full two-phase dense-tableau solve). The seed is a pure
+	// function of the network, so seeded solves remain pure functions of
+	// (loads, x): scheduling, worker count and pool order cannot influence
+	// results, which is the determinism contract pooled solves rely on.
+	seedOnce sync.Once
+	seed     *lp.WarmBasis
 }
 
 type dispatchWorkspace struct {
 	bf      grid.BFactorizer
-	ptdf    *mat.Dense // L×(N-1)
+	ptdf    *mat.Dense // L×(N-1); full-PTDF path only
+	pg      *mat.Dense // partial-PTDF path: generator columns, len(uCols)×L
+	theta   []float64  // partial-PTDF path: B_r⁻¹·redLoad
 	loads   []float64  // bus loads (MW)
 	redLoad []float64  // slack-reduced loads
-	f0      []float64  // PTDF·loadRed
-	s       *mat.Dense // dispatch-to-flow map, L×nG
+	f0      []float64  // flows of the load-only injection
 	aub     *mat.Dense
 	bub     []float64
 	solver  *lp.Solver        // dense path: historical flat tableau
@@ -97,14 +112,23 @@ func NewDispatchEngineBackend(n *grid.Network, backend grid.Backend) (*DispatchE
 		nG:      len(n.Gens),
 	}
 	e.redIdx = make([]int, e.nG)
+	e.giCol = make([]int, e.nG)
+	seen := make(map[int]int)
 	for gi, g := range n.Gens {
-		e.redIdx[gi] = -1
+		e.redIdx[gi], e.giCol[gi] = -1, -1
 		if g.Bus != n.SlackBus {
 			idx := g.Bus - 1
 			if idx > n.SlackBus-1 {
 				idx--
 			}
 			e.redIdx[gi] = idx
+			row, ok := seen[idx]
+			if !ok {
+				row = len(e.uCols)
+				seen[idx] = row
+				e.uCols = append(e.uCols, idx)
+			}
+			e.giCol[gi] = row
 		}
 	}
 	for l, br := range n.Branches {
@@ -119,15 +143,23 @@ func NewDispatchEngineBackend(n *grid.Network, backend grid.Backend) (*DispatchE
 	e.pool.New = func() any {
 		w := &dispatchWorkspace{
 			bf:       grid.NewBFactorizerBackend(n, e.backend),
-			ptdf:     mat.NewDense(nl, nb-1),
 			loads:    make([]float64, nb),
 			redLoad:  make([]float64, nb-1),
 			f0:       make([]float64, nl),
-			s:        mat.NewDense(nl, e.nG),
 			bub:      make([]float64, 2*len(e.limRow)),
 			inj:      make([]float64, nb),
 			pRed:     make([]float64, nb-1),
 			thetaRed: make([]float64, nb-1),
+		}
+		if _, ok := w.bf.(grid.PTDFColser); ok {
+			// Partial-PTDF path: only the generator columns and one
+			// load-flow solve are needed, never the full L×(N-1) matrix.
+			w.theta = make([]float64, nb-1)
+			if len(e.uCols) > 0 {
+				w.pg = mat.NewDense(len(e.uCols), nl)
+			}
+		} else {
+			w.ptdf = mat.NewDense(nl, nb-1)
 		}
 		if e.warm {
 			w.rsolver = lp.NewRevisedSolver()
@@ -150,6 +182,15 @@ func (e *DispatchEngine) Backend() grid.Backend { return e.backend }
 // sparse path routes the identical LP through the warm-started revised
 // simplex.
 func (e *DispatchEngine) prepare(w *dispatchWorkspace, x []float64) (*lp.Solution, error) {
+	if e.warm && !w.rsolver.HasBasis() {
+		w.rsolver.InstallBasis(e.seedBasis())
+	}
+	return e.prepareUnseeded(w, x)
+}
+
+// prepareUnseeded is prepare without the seed-basis installation — the
+// path the seed computation itself runs on.
+func (e *DispatchEngine) prepareUnseeded(w *dispatchWorkspace, x []float64) (*lp.Solution, error) {
 	prob, err := e.buildProblem(w, x)
 	if err != nil {
 		return nil, err
@@ -178,40 +219,76 @@ func (e *DispatchEngine) buildProblem(w *dispatchWorkspace, x []float64) (*lp.Pr
 	if err := w.bf.Reset(x); err != nil {
 		return nil, fmt.Errorf("opf: PTDF: %w", err)
 	}
-	if err := w.bf.PTDFInto(w.ptdf); err != nil {
-		return nil, fmt.Errorf("opf: PTDF: %w", err)
-	}
 	s := n.SlackBus - 1
 
-	// Reduced load vector (MW) and its flow contribution.
+	// Reduced load vector (MW).
 	for i, b := range n.Buses {
 		w.loads[i] = b.LoadMW
 	}
 	reduceInto(w.redLoad, w.loads, s)
-	mat.MulVecInto(w.f0, w.ptdf, w.redLoad)
 
-	// S maps dispatch to flows: column g is the PTDF column of the
-	// generator's reduced bus index (zero column if it sits at slack);
-	// identical to applying the PTDF to the unit injection.
-	w.s.Zero()
-	for gi := 0; gi < e.nG; gi++ {
-		ri := e.redIdx[gi]
-		if ri < 0 {
-			continue
+	// Load flows f0 and the generator PTDF columns. The LP never reads
+	// any other part of the PTDF, so a backend that can deliver single
+	// columns (PTDFColser) pays one solve per distinct generator bus plus
+	// one for the loads — instead of all N-1 inverse columns. The dense
+	// path keeps the full historical build (its bitwise contract).
+	pc, fast := w.bf.(grid.PTDFColser)
+	if fast {
+		w.bf.SolveInto(w.theta, w.redLoad)
+		for l, br := range n.Branches {
+			ri := reducedBusIndex(br.From-1, s)
+			rj := reducedBusIndex(br.To-1, s)
+			y := 1 / x[l]
+			switch {
+			case ri >= 0 && rj >= 0:
+				w.f0[l] = y * (w.theta[ri] - w.theta[rj])
+			case ri >= 0:
+				w.f0[l] = y * w.theta[ri]
+			default:
+				w.f0[l] = -y * w.theta[rj]
+			}
 		}
-		for l := 0; l < n.L(); l++ {
-			w.s.Set(l, gi, w.ptdf.At(l, ri))
+		if w.pg != nil {
+			if err := pc.PTDFColsInto(w.pg, e.uCols); err != nil {
+				return nil, fmt.Errorf("opf: PTDF: %w", err)
+			}
 		}
+	} else {
+		if err := w.bf.PTDFInto(w.ptdf); err != nil {
+			return nil, fmt.Errorf("opf: PTDF: %w", err)
+		}
+		mat.MulVecInto(w.f0, w.ptdf, w.redLoad)
 	}
 
 	// Inequalities: S·g − f0 <= fmax and −S·g + f0 <= fmax, skipping
-	// unlimited branches.
+	// unlimited branches. S maps dispatch to flows — column g is the PTDF
+	// column of the generator's reduced bus index (zero if it sits at
+	// slack), identical to applying the PTDF to the unit injection — and
+	// its rows land straight in Aub without a dense intermediate.
 	nR := len(e.limRow)
 	if nR > 0 {
 		for k, l := range e.limRow {
-			for gi := 0; gi < e.nG; gi++ {
-				w.aub.Set(k, gi, w.s.At(l, gi))
-				w.aub.Set(nR+k, gi, -w.s.At(l, gi))
+			pos := w.aub.RowView(k)
+			neg := w.aub.RowView(nR + k)
+			if fast {
+				for gi := 0; gi < e.nG; gi++ {
+					v := 0.0
+					if r := e.giCol[gi]; r >= 0 {
+						v = w.pg.RowView(r)[l]
+					}
+					pos[gi] = v
+					neg[gi] = -v
+				}
+			} else {
+				pr := w.ptdf.RowView(l)
+				for gi := 0; gi < e.nG; gi++ {
+					v := 0.0
+					if ri := e.redIdx[gi]; ri >= 0 {
+						v = pr[ri]
+					}
+					pos[gi] = v
+					neg[gi] = -v
+				}
 			}
 			w.bub[k] = n.Branches[l].LimitMW + w.f0[l]
 			w.bub[nR+k] = n.Branches[l].LimitMW - w.f0[l]
@@ -236,12 +313,14 @@ func (e *DispatchEngine) buildProblem(w *dispatchWorkspace, x []float64) (*lp.Pr
 // materializing flows and angles — the form the selection search's inner
 // loop wants. The value is bitwise identical to Solve(x).CostPerHour.
 //
-// Pooled solves always start from a cold LP basis: sync.Pool hands out
-// workspaces in a scheduling- and GC-dependent order, so any warm state
-// carried across pooled calls would make results depend on that order.
-// Dropping it keeps every engine-level solve a pure function of (loads, x)
-// — the arithmetic a freshly constructed engine performs — and leaves warm
-// solving to the explicitly scoped per-worker sessions.
+// Pooled solves never reuse another solve's warm basis: sync.Pool hands
+// out workspaces in a scheduling- and GC-dependent order, so any warm
+// state carried across pooled calls would make results depend on that
+// order. Each pooled solve instead starts from the engine's fixed seed
+// basis (see seedBasis) — a pure function of the network — which keeps
+// every engine-level solve a pure function of (loads, x) while skipping
+// the cold tableau solve. Per-candidate warm chaining stays with the
+// explicitly scoped per-worker sessions.
 func (e *DispatchEngine) Cost(x []float64) (float64, error) {
 	w := e.pool.Get().(*dispatchWorkspace)
 	w.dropWarmStart()
@@ -255,7 +334,8 @@ func (e *DispatchEngine) Cost(x []float64) (float64, error) {
 
 // Solve returns the full OPF result for reactances x, including the
 // verifying DC power flow, exactly as SolveDispatch does. Like Cost, a
-// pooled solve always starts from a cold LP basis.
+// pooled solve starts from the engine's fixed seed basis, never another
+// solve's warm state.
 func (e *DispatchEngine) Solve(x []float64) (*Result, error) {
 	w := e.pool.Get().(*dispatchWorkspace)
 	defer e.pool.Put(w)
@@ -269,6 +349,27 @@ func (w *dispatchWorkspace) dropWarmStart() {
 	if w.rsolver != nil {
 		w.rsolver.Invalidate()
 	}
+}
+
+// seedBasis returns the engine-level seed basis, computing it on first
+// demand: one cold solve of the dispatch LP at the network's reference
+// reactances on a private workspace, whose optimal basis every subsequent
+// basis-less solve starts from. Returns nil on the dense path or when the
+// reference LP cannot be solved (each later solve then runs cold exactly
+// as before).
+func (e *DispatchEngine) seedBasis() *lp.WarmBasis {
+	if !e.warm {
+		return nil
+	}
+	e.seedOnce.Do(func() {
+		w := e.pool.New().(*dispatchWorkspace)
+		if _, err := e.prepareUnseeded(w, e.n.Reactances()); err == nil {
+			e.seed = w.rsolver.CaptureBasis()
+		}
+		w.dropWarmStart()
+		e.pool.Put(w)
+	})
+	return e.seed
 }
 
 // solve is Solve against an explicit workspace.
@@ -344,8 +445,11 @@ func (s *DispatchSession) Solve(x []float64) (*Result, error) {
 }
 
 // ResetWarmStart drops the session's warm LP basis (a no-op on the dense
-// path): the next solve starts cold. Deterministic drivers call it at
-// their reproducibility boundaries — one local search per warm scope.
+// path): the next solve starts from the engine's fixed seed basis (cold
+// when the engine has none). Deterministic drivers call it at their
+// reproducibility boundaries — one local search per warm scope; because
+// the seed is a pure function of the network, the post-reset state is
+// identical however starts are distributed across workers.
 func (s *DispatchSession) ResetWarmStart() {
 	if s.w.rsolver != nil {
 		s.w.rsolver.Invalidate()
@@ -359,6 +463,18 @@ func (s *DispatchSession) LPStats() lp.RevisedStats {
 		return lp.RevisedStats{}
 	}
 	return s.w.rsolver.Stats()
+}
+
+// reducedBusIndex maps a 0-based bus index to its slack-reduced state
+// column, or -1 for the slack bus itself.
+func reducedBusIndex(bus, slack int) int {
+	switch {
+	case bus == slack:
+		return -1
+	case bus > slack:
+		return bus - 1
+	}
+	return bus
 }
 
 // reduceInto removes the slack entry of the length-N vector v into dst.

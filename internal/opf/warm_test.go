@@ -209,9 +209,12 @@ func TestWarmSessionMatchesDense(t *testing.T) {
 	}
 }
 
-// TestResetWarmStartForcesCold checks the determinism boundary: after a
-// reset the next solve must run cold.
-func TestResetWarmStartForcesCold(t *testing.T) {
+// TestResetWarmStartRestoresSeedState checks the determinism boundary:
+// after a reset the session must not carry its accumulated basis — the
+// next solve starts from the engine's fixed seed basis, bitwise identical
+// to a fresh session's first solve of the same candidate (the property
+// that makes results independent of how starts land on workers).
+func TestResetWarmStartRestoresSeedState(t *testing.T) {
 	n, err := grid.CaseByName("ieee57")
 	if err != nil {
 		t.Fatal(err)
@@ -221,23 +224,76 @@ func TestResetWarmStartForcesCold(t *testing.T) {
 		t.Fatal(err)
 	}
 	sess := eng.NewSession()
-	x := n.Reactances()
-	if _, err := sess.Cost(x); err != nil {
+	lo, hi := n.DFACTSBounds()
+	point := func(f float64) []float64 {
+		xd := make([]float64, len(lo))
+		for i := range xd {
+			xd[i] = lo[i] + f*(hi[i]-lo[i])
+		}
+		return n.ExpandDFACTS(xd)
+	}
+	// Walk the session's basis away from the seed, then reset.
+	if _, err := sess.Cost(n.Reactances()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.Cost(x); err != nil {
+	if _, err := sess.Cost(point(0.35)); err != nil {
 		t.Fatal(err)
 	}
 	st := sess.LPStats()
-	if st.WarmSolves != 1 || st.ColdSolves != 1 {
-		t.Fatalf("before reset: %+v", st)
+	if st.WarmSolves != st.Solves {
+		t.Fatalf("seeded session ran a cold solve: %+v", st)
 	}
 	sess.ResetWarmStart()
-	if _, err := sess.Cost(x); err != nil {
+	got, err := sess.Cost(point(0.6))
+	if err != nil {
 		t.Fatal(err)
 	}
-	st = sess.LPStats()
-	if st.ColdSolves != 2 {
-		t.Fatalf("reset did not force a cold solve: %+v", st)
+	want, err := eng.NewSession().Cost(point(0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("post-reset solve %.17g != fresh-session solve %.17g", got, want)
+	}
+}
+
+// TestSeedBasisPurity pins the pooled-solve purity contract the seed
+// basis preserves: engine-level Cost answers are bitwise identical
+// however many warm solves other users of the engine ran in between.
+func TestSeedBasisPurity(t *testing.T) {
+	n, err := grid.CaseByName("ieee57")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewDispatchEngineBackend(n, grid.SparseBackend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := n.DFACTSBounds()
+	xd := make([]float64, len(lo))
+	for i := range xd {
+		xd[i] = 0.25*lo[i] + 0.75*hi[i]
+	}
+	x := n.ExpandDFACTS(xd)
+	first, err := eng.Cost(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pollute the pool with warm histories at other candidates.
+	sess := eng.NewSession()
+	for _, f := range []float64{0.1, 0.5, 0.9} {
+		for i := range xd {
+			xd[i] = lo[i] + f*(hi[i]-lo[i])
+		}
+		if _, err := sess.Cost(n.ExpandDFACTS(xd)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again, err := eng.Cost(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatalf("pooled Cost drifted after interleaved warm solves: %.17g vs %.17g", first, again)
 	}
 }

@@ -25,6 +25,7 @@ import (
 
 	"gridmtd/internal/core"
 	"gridmtd/internal/grid"
+	"gridmtd/internal/lp"
 	"gridmtd/internal/opf"
 	"gridmtd/internal/scenario"
 	"gridmtd/internal/subspace"
@@ -70,6 +71,40 @@ type Stats struct {
 	GammaExactServed  int64 `json:"gamma_exact_served"`
 	GammaSparseServed int64 `json:"gamma_sparse_served"`
 	GammaSketchServed int64 `json:"gamma_sketch_served"`
+	// LP is the process-wide revised-simplex counter snapshot
+	// (lp.GlobalRevisedStats) taken when the Stats call was answered.
+	// Warm-path health (eta updates vs refactorizations, fallback rate)
+	// is the production-observable face of the dispatch-solve cost.
+	LP LPStats `json:"lp"`
+}
+
+// LPStats mirrors lp.RevisedStats with the JSON field names /v1/stats
+// serves. See lp.RevisedStats for the counters' precise meanings.
+type LPStats struct {
+	Solves           int `json:"solves"`
+	WarmSolves       int `json:"warm_solves"`
+	ColdSolves       int `json:"cold_solves"`
+	Fallbacks        int `json:"fallbacks"`
+	PrimalPivots     int `json:"primal_pivots"`
+	DualPivots       int `json:"dual_pivots"`
+	EtaUpdates       int `json:"eta_updates"`
+	Refactorizations int `json:"refactorizations"`
+}
+
+// lpStatsSnapshot converts the process-wide lp counters into the
+// JSON-tagged mirror.
+func lpStatsSnapshot() LPStats {
+	g := lp.GlobalRevisedStats()
+	return LPStats{
+		Solves:           g.Solves,
+		WarmSolves:       g.WarmSolves,
+		ColdSolves:       g.ColdSolves,
+		Fallbacks:        g.Fallbacks,
+		PrimalPivots:     g.PrimalPivots,
+		DualPivots:       g.DualPivots,
+		EtaUpdates:       g.EtaUpdates,
+		Refactorizations: g.Refactorizations,
+	}
 }
 
 // Planner is the long-running selection service. Safe for concurrent use.
@@ -112,11 +147,14 @@ func New(cfg Config) *Planner {
 	}
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters plus the process-wide
+// revised-simplex counters.
 func (p *Planner) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.stats
+	s := p.stats
+	s.LP = lpStatsSnapshot()
+	return s
 }
 
 // caseFor resolves the immutable network of a (case, load scale) pair
@@ -279,6 +317,7 @@ func (p *Planner) computeSelect(req SelectRequest, gb core.GammaBackend) (*Selec
 	}
 	effCfg := core.EffectivenessConfig{
 		NumAttacks: req.Attacks, Sigma: req.Sigma, Alpha: req.Alpha, Seed: req.Seed,
+		GammaBackend: gb,
 	}
 	if len(req.XOld) > 0 {
 		return p.selectExplicitXOld(req, n, gb, effCfg)

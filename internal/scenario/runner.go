@@ -54,6 +54,11 @@ func (r *Runner) RunBatch(b *Batch) (*Result, error) {
 		return nil, err
 	}
 	st := &execState{spec: b.Spec, r: r, n: n, owned: owned, res: &Result{}}
+	if st.spec.Effectiveness.GammaBackend == core.AutoGamma {
+		// The attack-evaluation screen follows the sweep's γ backend unless
+		// the spec pins it explicitly: one -gamma flag selects both sides.
+		st.spec.Effectiveness.GammaBackend = st.spec.GammaBackend
+	}
 	if s := b.Spec.LoadScale; s != 0 && s != 1 {
 		st.ensureOwned()
 		st.n.ScaleLoads(s)

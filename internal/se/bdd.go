@@ -24,12 +24,23 @@ type BDD struct {
 // and target false-positive rate alpha: under H0 the squared residual
 // satisfies r²/σ² ~ χ²(DOF), so τ = σ·sqrt(χ²_inv(1−alpha, DOF)).
 func NewBDD(e *Estimator, sigma, alpha float64) (*BDD, error) {
+	b, err := NewBDDForDOF(e.DOF(), sigma, alpha)
+	if err != nil && e.DOF() <= 0 {
+		return nil, fmt.Errorf("se: no residual degrees of freedom (M = %d, states = %d)", e.NumMeasurements(), e.NumStates())
+	}
+	return b, err
+}
+
+// NewBDDForDOF is NewBDD from the residual degrees of freedom alone
+// (DOF = M − (N−1)). The calibration depends only on DOF, σ and α — not on
+// the matrix values — so callers that know the measurement geometry can
+// build the detector without ever factorizing an estimator.
+func NewBDDForDOF(dof int, sigma, alpha float64) (*BDD, error) {
 	if sigma <= 0 {
 		return nil, fmt.Errorf("se: noise sigma must be positive, got %g", sigma)
 	}
-	dof := e.DOF()
 	if dof <= 0 {
-		return nil, fmt.Errorf("se: no residual degrees of freedom (M = %d, states = %d)", e.NumMeasurements(), e.NumStates())
+		return nil, fmt.Errorf("se: no residual degrees of freedom (DOF = %d)", dof)
 	}
 	q, err := stat.ChiSquareQuantileUpper(float64(dof), alpha)
 	if err != nil {

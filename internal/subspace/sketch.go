@@ -77,8 +77,8 @@ func (c SketchConfig) withDefaults(k int) SketchConfig {
 // sketchContrib scatters one Gram-kernel entry into the candidate Gram
 // pattern: M[slot] += coeff · d1[l] · d2[m].
 type sketchContrib struct {
-	slot int
-	l, m int32
+	slot  int
+	l, m  int32
 	coeff float64
 }
 
@@ -182,14 +182,38 @@ func cscParts(m *mat.CSC) (colPtr, rowIdx []int, values []float64) {
 
 // SketchSession is a single-goroutine evaluation state: its own clones of
 // the Cholesky factors, the candidate Gram values and the Lanczos buffers.
+//
+// A session can optionally carry the previous candidate's top Ritz vector
+// as the next evaluation's Lanczos start (CarryWarmStarts). Local-search
+// candidates are tiny perturbations of each other, so the dominant
+// eigenvector of I − WᵀW barely moves between evaluations and the carried
+// start converges in a fraction of the cold iteration count. Carrying makes
+// a γ value depend on the session's evaluation history, so it is strictly
+// opt-in: callers must evaluate a deterministic candidate sequence per
+// session and call ResetWarmStart at every sequence boundary (each
+// local-search start) — that is what keeps seed determinism and
+// worker-count invariance intact. Pooled evaluations never carry.
 type SketchSession struct {
-	e            *SketchEvaluator
-	chol1, chol2 *mat.SparseChol
-	m12, m22     *mat.CSC
+	e                 *SketchEvaluator
+	chol1, chol2      *mat.SparseChol
+	m12, m22          *mat.CSC
 	t1, t2, t3, t4, w []float64
-	vbuf         []float64
-	alpha, beta  []float64
+	vbuf              []float64
+	alpha, beta       []float64
+	carry             bool
+	hasWarm           bool
+	warm              []float64 // previous top Ritz vector, length k when hasWarm
+	u1, u2            []float64 // inverse-iteration scratch, tridiagonal order
 }
+
+// CarryWarmStarts enables Ritz-vector carrying for this session. See the
+// type comment for the determinism obligations this places on the caller.
+func (s *SketchSession) CarryWarmStarts() { s.carry = true }
+
+// ResetWarmStart discards any carried Ritz vector, so the next evaluation
+// starts from the seeded random vector exactly like a fresh session. Called
+// at every local-search start to pin worker-count invariance.
+func (s *SketchSession) ResetWarmStart() { s.hasWarm = false }
 
 // NewSession returns a fresh session. Sessions are cheap: the symbolic
 // Cholesky analysis is shared, only numeric state is copied.
@@ -241,6 +265,46 @@ func (s *SketchSession) Gamma(d []float64) (gamma float64, ok bool) {
 	return math.Asin(math.Sqrt(lam)), true
 }
 
+// PrepareCandidate revalues and factors the candidate-side Gram data for
+// the diagonal d (1/x_l), readying ResidualSq for a batch of attacks
+// against the same candidate. ok=false means the candidate Gram matrix sits
+// within roundoff of rank deficiency, in which case callers must take their
+// exact path.
+func (s *SketchSession) PrepareCandidate(d []float64) bool {
+	e := s.e
+	if len(d) != e.dim {
+		panic("subspace: sketch diagonal length mismatch")
+	}
+	if e.k == 0 {
+		return false
+	}
+	e.revalue(s.m22, d, d)
+	if err := s.chol2.Refactor(s.m22); err != nil {
+		return false
+	}
+	e.revalue(s.m12, e.dOld, d)
+	return true
+}
+
+// ResidualSq returns the squared state-estimation residual
+// ‖(I − Π_new)·a‖² of the stealthy attack a = H_old·c under the prepared
+// candidate, where Π_new projects onto Col(H_new). Everything reduces to
+// the Gram representation: H_newᵀ·a = M₁₂ᵀ·c and
+//
+//	‖Π_new·a‖² = (M₁₂ᵀc)ᵀ·M₂₂⁻¹·(M₁₂ᵀc) = ‖L₂⁻¹·P₂·(M₁₂ᵀc)‖²,
+//
+// so one sparse matvec and one triangular half-solve replace the dense
+// QR-based residual. anorm2 is the exact ‖a‖² (candidate-independent, so
+// callers precompute it once per attack). The subtraction cancels
+// catastrophically when the true residual is near zero — the value guides
+// screening only; any decision within a tolerance band of a threshold must
+// be re-checked exactly.
+func (s *SketchSession) ResidualSq(c []float64, anorm2 float64) float64 {
+	s.m12.MulVecTransposeInto(s.t1, c)
+	s.chol2.HalfSolveInto(s.t2, s.t1)
+	return anorm2 - mat.Norm2SqFast(s.t2)
+}
+
 // apply computes dst = v − Wᵀ(W·v) with W applied matrix-free.
 func (s *SketchSession) apply(dst, v []float64) {
 	s.chol2.HalfSolveTransposeInto(s.t1, v)
@@ -255,11 +319,12 @@ func (s *SketchSession) apply(dst, v []float64) {
 }
 
 // lanczosSin2 runs a fully-reorthogonalized Lanczos iteration on
-// B = I − WᵀW from a seeded random start and returns the converged Ritz
-// estimate of λ_max(B) = sin²γ. The Ritz value is monotone over the nested
-// Krylov spaces, so stagnation across consecutive iterations is the
-// convergence signal; exhausting the subspace dimension is exact by
-// construction.
+// B = I − WᵀW and returns the converged Ritz estimate of
+// λ_max(B) = sin²γ. The start vector is the carried Ritz vector when the
+// session carries one (CarryWarmStarts), else a seeded random draw. The
+// Ritz value is monotone over the nested Krylov spaces, so stagnation
+// across consecutive iterations is the convergence signal; exhausting the
+// subspace dimension is exact by construction.
 func (s *SketchSession) lanczosSin2() (float64, bool) {
 	e := s.e
 	k := e.k
@@ -271,17 +336,28 @@ func (s *SketchSession) lanczosSin2() (float64, bool) {
 	s.alpha = s.alpha[:0]
 	s.beta = s.beta[:0]
 
-	rng := rand.New(rand.NewSource(e.cfg.Seed))
 	v0 := v[:k]
-	for i := range v0 {
-		v0[i] = rng.NormFloat64()
-	}
-	nrm := math.Sqrt(mat.Norm2SqFast(v0))
-	if nrm == 0 {
-		return 0, false
-	}
-	for i := range v0 {
-		v0[i] /= nrm
+	// A carried Ritz start is already concentrated on the dominant
+	// eigenvector, so the stagnation rule may engage almost immediately; the
+	// tight stagnation tolerance is what guards against stopping on a poor
+	// carried vector (a genuinely bad start keeps making progress and never
+	// stagnates early).
+	minStagJ := 8
+	if s.carry && s.hasWarm {
+		copy(v0, s.warm) // already unit-norm
+		minStagJ = 2
+	} else {
+		rng := rand.New(rand.NewSource(e.cfg.Seed))
+		for i := range v0 {
+			v0[i] = rng.NormFloat64()
+		}
+		nrm := math.Sqrt(mat.Norm2SqFast(v0))
+		if nrm == 0 {
+			return 0, false
+		}
+		for i := range v0 {
+			v0[i] /= nrm
+		}
 	}
 
 	prevLam := -1.0
@@ -309,15 +385,17 @@ func (s *SketchSession) lanczosSin2() (float64, bool) {
 		if b <= 1e-14 || j+1 >= k {
 			// Invariant subspace reached (or the Krylov space is the whole
 			// space): the Ritz value is λ_max up to roundoff.
+			s.storeRitz(v, lam)
 			return lam, true
 		}
-		if j >= 8 {
+		if j >= minStagJ {
 			if lam-prevLam <= 1e-13+1e-11*lam {
 				stagnant++
 			} else {
 				stagnant = 0
 			}
 			if stagnant >= 3 {
+				s.storeRitz(v, lam)
 				return lam, true
 			}
 		}
@@ -329,6 +407,86 @@ func (s *SketchSession) lanczosSin2() (float64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// storeRitz keeps the top Ritz vector y = V·u of the just-converged
+// iteration as the next evaluation's warm start: u is the λ_max eigenvector
+// of the final tridiagonal, recovered by two rounds of deterministic
+// inverse iteration from the all-ones vector. Any numerical degeneracy
+// (overflow, a zero direction) simply keeps the previous warm start — the
+// carry is an accelerator, never a correctness dependency.
+func (s *SketchSession) storeRitz(v []float64, lam float64) {
+	if !s.carry {
+		return
+	}
+	k := s.e.k
+	j := len(s.alpha)
+	if cap(s.u1) < j {
+		s.u1 = make([]float64, j)
+		s.u2 = make([]float64, j)
+	}
+	u, diag := s.u1[:j], s.u2[:j]
+	for i := range u {
+		u[i] = 1
+	}
+	sigma := lam + 1e-12*(1+math.Abs(lam))
+	for it := 0; it < 2; it++ {
+		tridiagSolveShifted(s.alpha, s.beta, sigma, u, diag)
+		nrm := math.Sqrt(mat.Norm2SqFast(u))
+		if nrm == 0 || math.IsInf(nrm, 0) || math.IsNaN(nrm) {
+			return
+		}
+		for i := range u {
+			u[i] /= nrm
+		}
+	}
+	if cap(s.warm) < k {
+		s.warm = make([]float64, k)
+	}
+	y := s.warm[:k]
+	for i := range y {
+		y[i] = 0
+	}
+	for i := 0; i < j; i++ {
+		mat.AxpyFast(u[i], v[i*k:(i+1)*k], y)
+	}
+	nrm := math.Sqrt(mat.Norm2SqFast(y))
+	if nrm == 0 || math.IsInf(nrm, 0) || math.IsNaN(nrm) {
+		return
+	}
+	for i := range y {
+		y[i] /= nrm
+	}
+	s.warm = y
+	s.hasWarm = true
+}
+
+// tridiagSolveShifted solves (T − σI)·x = b in place (x holds b on entry)
+// for the symmetric tridiagonal T with diagonal d and off-diagonal e, by
+// the Thomas recurrence with guarded pivots: near-singular shifts — the
+// whole point of inverse iteration — just produce a large solution in the
+// eigenvector's direction, which the caller normalizes. diag is scratch.
+func tridiagSolveShifted(d, e []float64, sigma float64, x, diag []float64) {
+	n := len(d)
+	const tiny = 1e-300
+	piv := d[0] - sigma
+	if math.Abs(piv) < tiny {
+		piv = tiny
+	}
+	diag[0] = piv
+	for i := 1; i < n; i++ {
+		m := e[i-1] / diag[i-1]
+		piv = d[i] - sigma - m*e[i-1]
+		if math.Abs(piv) < tiny {
+			piv = tiny
+		}
+		diag[i] = piv
+		x[i] -= m * x[i-1]
+	}
+	x[n-1] /= diag[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = (x[i] - e[i]*x[i+1]) / diag[i]
+	}
 }
 
 // tridiagMaxEig returns the largest eigenvalue of the symmetric

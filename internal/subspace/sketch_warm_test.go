@@ -1,0 +1,118 @@
+package subspace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gridmtd/internal/grid"
+)
+
+// warmTestFixture builds a sketch evaluator for ieee57's base configuration
+// plus a deterministic local-search-like walk of candidate diagonals
+// (1/x_l): small steps on the D-FACTS branches, the access pattern the
+// carried warm start is designed for.
+func warmTestFixture(t *testing.T) (*SketchEvaluator, [][]float64) {
+	t.Helper()
+	n, err := grid.CaseByName("ieee57")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xOld := n.Reactances()
+	dOld := make([]float64, n.L())
+	for i, v := range xOld {
+		dOld[i] = 1 / v
+	}
+	et, g := n.GammaSketchOperands()
+	e, err := NewSketchEvaluator(et, g, dOld, SketchConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	lo, hi := n.DFACTSBounds()
+	xd := make([]float64, len(lo))
+	for i := range xd {
+		xd[i] = 0.5 * (lo[i] + hi[i])
+	}
+	var walk [][]float64
+	for step := 0; step < 8; step++ {
+		for i := range xd {
+			xd[i] += 0.05 * (hi[i] - lo[i]) * (2*rng.Float64() - 1)
+			xd[i] = math.Min(math.Max(xd[i], lo[i]), hi[i])
+		}
+		x := n.ExpandDFACTS(xd)
+		d := make([]float64, len(x))
+		for i, v := range x {
+			d[i] = 1 / v
+		}
+		walk = append(walk, d)
+	}
+	return e, walk
+}
+
+// TestSketchWarmStartCarriedDeterminism pins the carry discipline at the
+// session level: two carrying sessions over the same candidate sequence
+// produce bitwise-identical γ values, and every carried value stays within
+// the documented sketch bound of a fresh cold evaluation.
+func TestSketchWarmStartCarriedDeterminism(t *testing.T) {
+	e, walk := warmTestFixture(t)
+	s1, s2 := e.NewSession(), e.NewSession()
+	s1.CarryWarmStarts()
+	s2.CarryWarmStarts()
+	for i, d := range walk {
+		g1, ok1 := s1.Gamma(d)
+		g2, ok2 := s2.Gamma(d)
+		if ok1 != ok2 || g1 != g2 {
+			t.Fatalf("step %d: carrying sessions diverged: (%v,%v) vs (%v,%v)", i, g1, ok1, g2, ok2)
+		}
+		cold, okc := e.NewSession().Gamma(d)
+		if ok1 && okc {
+			if diff := math.Abs(g1 - cold); diff > 1e-6*math.Max(1, cold) {
+				t.Fatalf("step %d: carried γ %.12g vs cold %.12g (|Δ| = %.3g beyond the sketch bound)", i, g1, cold, diff)
+			}
+		}
+	}
+}
+
+// TestSketchWarmStartConvergesFaster pins the point of the carry: on a
+// small-step walk the carried Lanczos run needs fewer iterations than the
+// cold seeded start for the same candidate.
+func TestSketchWarmStartConvergesFaster(t *testing.T) {
+	e, walk := warmTestFixture(t)
+	warm := e.NewSession()
+	warm.CarryWarmStarts()
+	cold := e.NewSession()
+	warmIters, coldIters := 0, 0
+	for _, d := range walk {
+		if _, ok := warm.Gamma(d); !ok {
+			t.Skip("sketch refused a walk candidate; nothing to compare")
+		}
+		warmIters += len(warm.alpha)
+		if _, ok := cold.Gamma(d); !ok {
+			t.Skip("sketch refused a walk candidate; nothing to compare")
+		}
+		coldIters += len(cold.alpha)
+	}
+	if warmIters >= coldIters {
+		t.Fatalf("carried warm starts did not converge faster: %d iterations vs cold %d", warmIters, coldIters)
+	}
+	t.Logf("Lanczos iterations over the walk: carried %d vs cold %d", warmIters, coldIters)
+}
+
+// TestSketchWarmStartReset pins the reset semantics: after ResetWarmStart
+// the next evaluation is bitwise identical to a fresh session's (the
+// deterministic boundary the multi-start search resets at).
+func TestSketchWarmStartReset(t *testing.T) {
+	e, walk := warmTestFixture(t)
+	s := e.NewSession()
+	s.CarryWarmStarts()
+	for _, d := range walk[:3] {
+		s.Gamma(d)
+	}
+	s.ResetWarmStart()
+	got, okGot := s.Gamma(walk[3])
+	want, okWant := e.NewSession().Gamma(walk[3])
+	if okGot != okWant || got != want {
+		t.Fatalf("post-reset evaluation (%v,%v) != fresh session (%v,%v)", got, okGot, want, okWant)
+	}
+}

@@ -1,0 +1,48 @@
+package gridmtd_test
+
+import (
+	"testing"
+	"time"
+
+	"gridmtd/internal/planner"
+)
+
+// coldSelectBudget is 2x the worst cold ieee118 selection latency recorded
+// in PERF.md's PR 6 table (103-140 ms on the 1-core reference box at the
+// CI smoke point). The headroom absorbs runner noise; a regression back
+// toward the 0.6 s tableau-resolve floor still trips it by a wide margin.
+const coldSelectBudget = 280 * time.Millisecond
+
+// TestColdSelectLatencyBudget holds the cold 118-bus planner selection —
+// fresh planner, nothing memoized, sketch-γ backend — under its recorded
+// latency budget. Best-of-three so a single scheduler hiccup on a shared
+// runner doesn't fail the build.
+func TestColdSelectLatencyBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping latency assertion in -short mode")
+	}
+	req := planner.SelectRequest{
+		Case: "ieee118", GammaThreshold: 0.05,
+		Starts: 1, MaxEvals: 30, Seed: 1, Attacks: 20,
+		GammaBackend: "sketch",
+	}
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < 3; i++ {
+		p := planner.New(planner.Config{})
+		start := time.Now()
+		if _, err := p.Select(req); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		if best <= coldSelectBudget {
+			break
+		}
+	}
+	t.Logf("cold ieee118 selection: best %v (budget %v)", best, coldSelectBudget)
+	if best > coldSelectBudget {
+		t.Errorf("cold ieee118 selection took %v, budget %v — the crash-basis/"+
+			"partial-PTDF cold path has regressed", best, coldSelectBudget)
+	}
+}
