@@ -137,6 +137,69 @@ func TestStatsServesLPCounters(t *testing.T) {
 	}
 }
 
+// TestRepeatSelectionHitsEstimatorCache pins the estimator-reuse contract
+// end to end: two selections that differ only in a memo-key field (the
+// attack budget) land on the same x_new, so the second request misses the
+// response memo but serves its η′ evaluation from the runner's shared
+// per-network estimator cache instead of refactorizing H'. The /v1/stats
+// estimators block is the observable.
+func TestRepeatSelectionHitsEstimatorCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two ieee57 selections")
+	}
+	srv := testServer(t)
+	estStats := func() (hits, misses int64) {
+		resp, err := http.Get(srv.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var stats struct {
+			Estimators *struct {
+				Hits       *int64 `json:"hits"`
+				Misses     *int64 `json:"misses"`
+				FastBuilds *int64 `json:"fast_builds"`
+				FullQRs    *int64 `json:"full_qrs"`
+			} `json:"estimators"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		e := stats.Estimators
+		if e == nil || e.Hits == nil || e.Misses == nil || e.FastBuilds == nil || e.FullQRs == nil {
+			t.Fatal("stats response missing the estimators counter block")
+		}
+		return *e.Hits, *e.Misses
+	}
+	// ieee57 is the smallest case the sparse (fast) evaluation path — and
+	// with it the estimator cache — serves.
+	req := planner.SelectRequest{
+		Case: "ieee57", GammaThreshold: 0.05, Starts: 1, Seed: 3, Attacks: 40,
+	}
+	_, m0 := estStats()
+	var first planner.SelectResponse
+	if code := postJSON(t, srv.URL+"/v1/select", req, &first); code != http.StatusOK {
+		t.Fatalf("first select status %d", code)
+	}
+	h1, m1 := estStats()
+	if m1 == m0 {
+		t.Fatalf("first selection never consulted the estimator cache (misses %d -> %d)", m0, m1)
+	}
+	// Same search seed, different attack budget: new memo key, same x_new.
+	req.Attacks = 60
+	var second planner.SelectResponse
+	if code := postJSON(t, srv.URL+"/v1/select", req, &second); code != http.StatusOK {
+		t.Fatalf("second select status %d", code)
+	}
+	if second.CacheHit {
+		t.Fatal("second request hit the response memo; the estimator cache was never exercised")
+	}
+	h2, _ := estStats()
+	if h2 == h1 {
+		t.Fatalf("repeat selection rebuilt its estimator instead of hitting the cache (hits %d -> %d)", h1, h2)
+	}
+}
+
 func TestErrorStatuses(t *testing.T) {
 	srv := testServer(t)
 	// Unknown case: unprocessable.

@@ -222,8 +222,10 @@ func GlobalLPStats() LPStats { return lp.GlobalRevisedStats() }
 func FormatLPStats(w io.Writer, s LPStats) {
 	fmt.Fprintf(w, "dispatch LP: %d solves (%d warm, %d cold, %d fallbacks)\n",
 		s.Solves, s.WarmSolves, s.ColdSolves, s.Fallbacks)
-	fmt.Fprintf(w, "  warm pivots: %d primal, %d dual; basis exchanges: %d eta updates, %d refactorizations\n",
-		s.PrimalPivots, s.DualPivots, s.EtaUpdates, s.Refactorizations)
+	fmt.Fprintf(w, "  warm pivots: %d primal, %d dual (%d steepest-edge, %d bound flips); basis exchanges: %d eta updates, %d refactorizations\n",
+		s.PrimalPivots, s.DualPivots, s.SEPivots, s.BoundFlips, s.EtaUpdates, s.Refactorizations)
+	fmt.Fprintf(w, "  pricing-weight resets: %d; sparse working-matrix factorizations: %d\n",
+		s.WeightResets, s.SparseFactors)
 }
 
 // OPFResult is a solved optimal power flow.

@@ -28,4 +28,21 @@
 //   - OperationalCost: the paper's C_MTD metric (relative OPF cost
 //     increase), and TuneGammaThreshold: the numerical procedure that picks
 //     the smallest γ_th achieving a target effectiveness.
+//
+// # Estimator caching
+//
+// Evaluating η'(δ) needs the post-MTD state estimator (a QR factorization
+// of H'), which dominates large-case evaluation cost. EstimatorCache
+// memoizes estimators per network with a bitwise key over the candidate
+// reactance vector: two x_new vectors share an entry only when every
+// float64 is identical, so a hit can never change a result. There is no
+// staleness-based invalidation — networks resolved from the case registry
+// are immutable, so an entry is invalidated only by LRU eviction (capacity
+// pressure) or by keying against a different *grid.Network pointer, which
+// bypasses the cache entirely. Misses build through se.Factory, which
+// re-orthogonalizes only the D-FACTS-adjacent state columns and falls back
+// to the full QR whenever its stable-column premise fails bitwise.
+// EffectivenessConfig.Estimators opts an evaluation in; only fast
+// (sparse-backend) attack sets consult it, keeping the small-case dense
+// path byte-identical.
 package core

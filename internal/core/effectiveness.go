@@ -71,6 +71,11 @@ type EffectivenessConfig struct {
 	// η′(δ) row is identical to the exact path's. Monte Carlo and
 	// ReportProbs evaluations always take the exact path.
 	GammaBackend GammaBackend
+	// Estimators optionally memoizes the post-MTD estimator per candidate
+	// x_new (see EstimatorCache). Only fast attack sets (large-case sparse
+	// backend) consult it — the small-case path keeps its historical
+	// bitwise construction; nil keeps the historical behavior everywhere.
+	Estimators *EstimatorCache `json:"-"`
 }
 
 func (c EffectivenessConfig) withDefaults() EffectivenessConfig {
@@ -255,9 +260,19 @@ func EvaluateAttacks(n *grid.Network, set *AttackSet, xNew []float64, cfg Effect
 	var est *se.Estimator
 	// ensureEst builds the dense QR estimator on demand: always on the
 	// exact path, lazily on the sketched path (only if a screening band
-	// triggers an exact re-check).
+	// triggers an exact re-check). Fast sets with a cache take the memoized
+	// rank-structured build (1e-9-agreement contract); the bitwise dense
+	// path never does.
 	ensureEst := func() (*se.Estimator, error) {
 		if est == nil {
+			if set.fast && cfg.Estimators != nil {
+				e, err := cfg.Estimators.Get(n, xNew)
+				if err != nil {
+					return nil, fmt.Errorf("core: post-MTD estimator: %w", err)
+				}
+				est = e
+				return est, nil
+			}
 			if hNew == nil {
 				hNew = n.MeasurementMatrix(xNew)
 			}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"gridmtd/internal/grid"
+	"gridmtd/internal/mat"
+	"gridmtd/internal/se"
+)
+
+// defaultEstimatorCacheCap bounds an EstimatorCache's LRU. Each entry holds
+// one dense QR (Q, Qᵀ, R plus H — about 4·M·n floats, ~30 MB for ieee300),
+// so the default stays small; a daemon's repeat traffic concentrates on far
+// fewer distinct settings than this anyway.
+const defaultEstimatorCacheCap = 16
+
+// estGlobal aggregates estimator-cache traffic process-wide, mirroring the
+// lp package's global revised-simplex counters: lock-free increments on the
+// serving path, one snapshot call for /v1/stats and mtdexp -v.
+var estGlobal struct {
+	hits, misses        atomic.Int64
+	fastBuilds, fullQRs atomic.Int64
+}
+
+// EstimatorCacheStats is a snapshot of the process-wide estimator-cache
+// counters.
+type EstimatorCacheStats struct {
+	// Hits / Misses count cache lookups by outcome.
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+	// FastBuilds counts misses served by the rank-structured completion
+	// (only the D-FACTS-affected columns re-orthogonalized); FullQRs counts
+	// misses that paid a full Householder factorization — the first build
+	// per network, plus any fast-path premise or tolerance failure.
+	FastBuilds int `json:"fast_builds"`
+	FullQRs    int `json:"full_qrs"`
+}
+
+// GlobalEstimatorCacheStats returns the process-wide cache counters.
+func GlobalEstimatorCacheStats() EstimatorCacheStats {
+	return EstimatorCacheStats{
+		Hits:       int(estGlobal.hits.Load()),
+		Misses:     int(estGlobal.misses.Load()),
+		FastBuilds: int(estGlobal.fastBuilds.Load()),
+		FullQRs:    int(estGlobal.fullQRs.Load()),
+	}
+}
+
+// EstimatorCache memoizes post-MTD estimators per candidate reactance
+// vector for one network. The cache key is the exact bit pattern of x_new,
+// so a hit returns a factorization built from a bitwise-identical
+// measurement matrix — no tolerance is involved in reuse. Entries are
+// immutable once built (Estimator methods are read-only), so one cached
+// estimator may serve concurrent evaluations.
+//
+// Builds route through a lazily constructed se.Factory: the thin QR of the
+// D-FACTS-invariant columns is computed once per network (the first miss),
+// and every later miss re-orthogonalizes only the device-adjacent columns
+// against it. The factory's own bitwise premise check falls back to the
+// full QR when a caller hands an x_new that disagrees outside the volatile
+// columns (a network whose base reactances were mutated), so correctness
+// never depends on the structural assumption.
+//
+// An EstimatorCache is safe for concurrent use; concurrent misses on one
+// key share a single build. A nil cache is valid and builds fresh
+// estimators on every call.
+type EstimatorCache struct {
+	n   *grid.Network
+	cap int
+
+	mu      sync.Mutex
+	factory *se.Factory
+	entries map[string]*estEntry
+	lru     *list.List // front = most recent; values are keys
+}
+
+type estEntry struct {
+	once sync.Once
+	est  *se.Estimator
+	err  error
+	elem *list.Element
+}
+
+// NewEstimatorCache builds a cache for the given (immutable) network.
+// capacity <= 0 selects the default.
+func NewEstimatorCache(n *grid.Network, capacity int) *EstimatorCache {
+	if capacity <= 0 {
+		capacity = defaultEstimatorCacheCap
+	}
+	return &EstimatorCache{
+		n:       n,
+		cap:     capacity,
+		entries: map[string]*estEntry{},
+		lru:     list.New(),
+	}
+}
+
+// estKey packs a reactance vector's bit pattern into a map key.
+func estKey(x []float64) string {
+	b := make([]byte, 8*len(x))
+	for i, v := range x {
+		u := math.Float64bits(v)
+		for k := 0; k < 8; k++ {
+			b[8*i+k] = byte(u >> (8 * k))
+		}
+	}
+	return string(b)
+}
+
+// Get returns the estimator for H(xNew), from the cache when possible. A
+// nil receiver or a network other than the cache's bypasses the cache
+// (counted as a miss with a full QR) — the caller never has to check which
+// network an EffectivenessConfig's cache was built for.
+func (c *EstimatorCache) Get(n *grid.Network, xNew []float64) (*se.Estimator, error) {
+	if c == nil || n != c.n {
+		estGlobal.misses.Add(1)
+		estGlobal.fullQRs.Add(1)
+		return se.NewEstimator(n.MeasurementMatrix(xNew))
+	}
+	key := estKey(xNew)
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.lru.MoveToFront(e.elem)
+	} else {
+		e = &estEntry{}
+		e.elem = c.lru.PushFront(key)
+		c.entries[key] = e
+		for c.lru.Len() > c.cap {
+			old := c.lru.Back()
+			c.lru.Remove(old)
+			delete(c.entries, old.Value.(string))
+		}
+	}
+	c.mu.Unlock()
+	first := false
+	e.once.Do(func() {
+		first = true
+		e.est, e.err = c.build(xNew)
+	})
+	if first || !ok {
+		estGlobal.misses.Add(1)
+	} else {
+		estGlobal.hits.Add(1)
+	}
+	return e.est, e.err
+}
+
+// build constructs one estimator through the factory, creating the factory
+// from this x_new's measurement matrix on the first build.
+func (c *EstimatorCache) build(xNew []float64) (*se.Estimator, error) {
+	h := c.n.MeasurementMatrix(xNew)
+	f, err := c.factoryFor(h)
+	if err != nil || f == nil {
+		estGlobal.fullQRs.Add(1)
+		return se.NewEstimator(h)
+	}
+	est, fast, err := f.Build(h)
+	if fast {
+		estGlobal.fastBuilds.Add(1)
+	} else {
+		estGlobal.fullQRs.Add(1)
+	}
+	return est, err
+}
+
+// factoryFor returns the cache's factory, constructing it from the given
+// measurement matrix on first use. A construction error (degenerate
+// geometry) permanently disables the fast path for this cache rather than
+// failing lookups.
+func (c *EstimatorCache) factoryFor(h *mat.Dense) (*se.Factory, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.factory == nil {
+		f, err := se.NewFactory(h, c.n.DFACTSStateColumns())
+		if err != nil {
+			return nil, err
+		}
+		c.factory = f
+	}
+	return c.factory, nil
+}

@@ -3,6 +3,7 @@ package lp
 import (
 	"errors"
 	"math"
+	"sort"
 
 	"gridmtd/internal/mat"
 )
@@ -51,7 +52,48 @@ type RevisedStats struct {
 	// warm attempt, plus every eta-file collapse (cap reached, spike
 	// retry, or the exact re-derivation before an answer is accepted).
 	Refactorizations int
+	// SEPivots counts the dual pivots whose leaving row was chosen by the
+	// Devex-weighted steepest-edge rule (as opposed to Bland scans, either
+	// because the rule was configured or as the anti-cycling fallback).
+	SEPivots int
+	// WeightResets counts steepest-edge reference-weight resets: the Devex
+	// weights restart at 1 on every refactorization, so this tracks
+	// Refactorizations while steepest-edge pricing is active.
+	WeightResets int
+	// BoundFlips counts nonbasic bound flips applied by the dual
+	// bound-flipping ratio test (long-step dual pivots absorb several
+	// breakpoints into one basis exchange; each absorbed breakpoint is one
+	// flip).
+	BoundFlips int
+	// SparseFactors counts working-matrix refactorizations routed through
+	// the sparse LU (density-gated; see SetSparseLU).
+	SparseFactors int
 }
+
+// PricingRule selects how the dual simplex picks its leaving row (and
+// whether the entering ratio test may flip bounds).
+type PricingRule int8
+
+const (
+	// PriceAuto resolves to PriceSteepestEdge — the warm-path default.
+	PriceAuto PricingRule = iota
+	// PriceBland is the historical rule: smallest-index violated basic
+	// variable, smallest-ratio entering column with index tie-breaks, no
+	// bound flips. It is the anti-cycling reference the agreement tests
+	// compare against.
+	PriceBland
+	// PriceDantzig picks the most-violated basic variable (largest bound
+	// violation, unweighted) with the bound-flipping ratio test.
+	PriceDantzig
+	// PriceSteepestEdge picks the leaving row maximizing violation²/β via
+	// Devex reference weights β approximating the dual steepest-edge norms
+	// ‖B⁻ᵀe_i‖². Weights reset to 1 at every refactorization, so the
+	// pivot-path heuristic never outlives the factorization it was
+	// accumulated against; answers are still only accepted on freshly
+	// re-derived numbers, keeping the 1e-9 warm/cold agreement contract
+	// and the Farkas-certificate trust rule unchanged.
+	PriceSteepestEdge
+)
 
 // Variable statuses of the bounded-variable revised simplex. Slack
 // variables (one per inequality row, bounds [0, +Inf)) follow the
@@ -130,6 +172,22 @@ type RevisedSolver struct {
 	isBasicCol  []bool // length n
 	w           mat.Dense
 	lu          mat.LU
+	// Sparse working-matrix route: enabled by SetSparseLU, taken per
+	// refactorization when the working matrix passes the density gate,
+	// with the dense LU as the pivot-failure fallback.
+	sparseLUOn   bool
+	sparseActive bool
+	slu          mat.SparseLU
+	// abasic is the contiguous gather of the basic structural columns over
+	// the inactive rows, rebuilt at each refactorization:
+	// abasic[t*k+b] = A[inactiveRows[t], basicStruct[b]]. The ftran/btran
+	// inactive-row sweeps run on these contiguous k-vectors instead of
+	// indexed gathers through the problem's row views.
+	abasic []float64
+	// factorHook, when non-nil, observes every working matrix right after
+	// it is assembled — a testing seam for capturing the real working
+	// matrices a workload factors.
+	factorHook func(w *mat.Dense)
 	// Product-form eta file: basis B = B₀·E₁·…·E_t where B₀ is the frozen
 	// factorization above and each Eᵢ is the identity with basis position
 	// etaPos[i] replaced by the column etaBuf[i·m:(i+1)·m] (m = nEq+nUb).
@@ -142,11 +200,27 @@ type RevisedSolver struct {
 	varAt, posOf []int
 	inactiveRows []int
 	fresh        bool // x and d were recomputed from a fresh factorization
+	// Pricing state: the configured rule, the Devex reference weights per
+	// basis position (reset to 1 at every refactorization), and the
+	// bound-flipping ratio-test scratch.
+	pricing PricingRule
+	dw      []float64
+	cands   []dualCand
+	flips   []int
+	flipCol []float64
+	fcol    []float64
 	// Scratch vectors sized to the working dimension k, m or nTot.
 	rhs, sol, yAct, colAct, alpha []float64
 	col, posv, pi                 []float64
 	// Tolerances, refreshed per solve from the problem scale.
 	ptol, dtol float64
+}
+
+// dualCand is one sign-eligible entering candidate of the dual ratio test:
+// its variable index and its dual ratio |d_j|/|α_j|.
+type dualCand struct {
+	j     int
+	ratio float64
 }
 
 // NewRevisedSolver returns an empty solver; buffers grow on first use.
@@ -216,6 +290,62 @@ func (s *RevisedSolver) effMaxUpdates() int {
 		return defaultMaxUpdates
 	}
 	return s.maxUpdates
+}
+
+// SetPricing selects the dual pricing rule. PriceAuto (the zero value)
+// resolves to steepest-edge — the warm-path default.
+func (s *RevisedSolver) SetPricing(r PricingRule) { s.pricing = r }
+
+// SetSparseLU enables the sparse working-matrix factorization route. Each
+// refactorization then measures the working matrix's density and factors
+// through mat.SparseLU when it is sparse enough to win
+// (≤ sparseLUMaxDensity nonzeros at dimension ≥ sparseLUMinDim); a sparse
+// pivot failure falls back to the dense LU within the same
+// refactorization, so enabling the route never changes which problems
+// solve. Dispatch LPs condense the grid through dense PTDF rows, so their
+// working matrices typically fail the gate and stay dense — the route
+// pays off for structurally sparse constraint systems.
+func (s *RevisedSolver) SetSparseLU(on bool) { s.sparseLUOn = on }
+
+// SetFactorHook installs a callback observing every working matrix right
+// after assembly, before it is factored. Testing seam: the sparse-LU suite
+// uses it to capture the actual working matrices of real selections. A nil
+// hook disables it.
+func (s *RevisedSolver) SetFactorHook(h func(w *mat.Dense)) { s.factorHook = h }
+
+const (
+	// sparseLUMinDim is the smallest working dimension worth the sparse
+	// factorization's symbolic overhead.
+	sparseLUMinDim = 32
+	// sparseLUMaxDensity routes matrices with at most this nonzero
+	// fraction to the sparse LU.
+	sparseLUMaxDensity = 0.25
+)
+
+// wSolveInto solves W·x = b through whichever factorization the last
+// refactorization produced.
+func (s *RevisedSolver) wSolveInto(dst, b []float64) {
+	if s.sparseActive {
+		s.slu.SolveInto(dst, b)
+		return
+	}
+	s.lu.SolveInto(dst, b)
+}
+
+// wSolveTransposeInto solves Wᵀ·x = b through the active factorization.
+func (s *RevisedSolver) wSolveTransposeInto(dst, b []float64) {
+	if s.sparseActive {
+		s.slu.SolveTransposeInto(dst, b)
+		return
+	}
+	s.lu.SolveTransposeInto(dst, b)
+}
+
+func (s *RevisedSolver) effPricing() PricingRule {
+	if s.pricing == PriceAuto {
+		return PriceSteepestEdge
+	}
+	return s.pricing
 }
 
 // Solve solves the problem, warm-starting from the previous optimal basis
@@ -598,18 +728,58 @@ func (s *RevisedSolver) factorBasis(p *Problem) error {
 	s.etaPos = s.etaPos[:0]
 	s.etaBuf = s.etaBuf[:0]
 	s.stats.Refactorizations++
+	if s.effPricing() == PriceSteepestEdge {
+		// Devex reference framework restart: the weights approximate dual
+		// steepest-edge norms relative to the factorization they were
+		// accumulated against, so every refactorization re-references them
+		// at 1.
+		s.dw = growF(s.dw, m)
+		for i := range s.dw {
+			s.dw[i] = 1
+		}
+		s.stats.WeightResets++
+	}
+
+	// Contiguous gather of the basic structural columns over the inactive
+	// rows: the ftran/btran inactive-row sweeps run Dot/Axpy kernels on
+	// these k-vectors instead of indexed gathers through the row views.
+	nIn := len(s.inactiveRows)
+	s.abasic = growF(s.abasic, nIn*k)
+	for t, r := range s.inactiveRows {
+		rv := s.rowView(p, r)
+		row := s.abasic[t*k : (t+1)*k]
+		for b, j := range s.basicStruct {
+			row[b] = rv[j]
+		}
+	}
 
 	s.w.ReuseAs(k, k)
 	wd := s.w.RawData()
+	nnz := 0
 	for a, r := range s.activeRows {
 		rv := s.rowView(p, r)
 		row := wd[a*k : (a+1)*k]
 		for b, j := range s.basicStruct {
 			row[b] = rv[j]
+			if rv[j] != 0 {
+				nnz++
+			}
 		}
+	}
+	s.sparseActive = false
+	if s.factorHook != nil && k > 0 {
+		s.factorHook(&s.w)
 	}
 	if k == 0 {
 		return nil
+	}
+	if s.sparseLUOn && k >= sparseLUMinDim && nnz <= int(sparseLUMaxDensity*float64(k*k)) {
+		if s.slu.Reset(&s.w) == nil {
+			s.sparseActive = true
+			s.stats.SparseFactors++
+			return nil
+		}
+		// Sparse pivot failure: fall through to the dense factorization.
 	}
 	return s.lu.Reset(&s.w)
 }
@@ -654,7 +824,7 @@ func (s *RevisedSolver) computeX(p *Problem) {
 		s.rhs[a] = sum
 	}
 	if k > 0 {
-		s.lu.SolveInto(s.sol, s.rhs)
+		s.wSolveInto(s.sol, s.rhs)
 		for b, j := range s.basicStruct {
 			s.x[j] = s.sol[b]
 		}
@@ -683,7 +853,7 @@ func (s *RevisedSolver) computeDualsAndReducedCosts(p *Problem) {
 		s.rhs[b] = s.c[j]
 	}
 	if k > 0 {
-		s.lu.SolveTransposeInto(s.yAct, s.rhs)
+		s.wSolveTransposeInto(s.yAct, s.rhs)
 	}
 	copy(s.d[:n], s.c[:n])
 	for i := 0; i < nUb; i++ {
@@ -793,21 +963,18 @@ func (s *RevisedSolver) ftran(p *Problem, q int) []float64 {
 		}
 	}
 	if k > 0 {
-		s.lu.SolveInto(s.sol, s.colAct)
+		s.wSolveInto(s.sol, s.colAct)
 	}
 	s.col = growF(s.col, m)
 	copy(s.col, s.sol[:k])
 	for t, r := range s.inactiveRows {
-		rv := s.rowView(p, r)
 		var v float64
 		if q < n {
-			v = rv[q]
+			v = s.rowView(p, r)[q]
 		} else if r == nEq+(q-n) {
 			v = 1
 		}
-		for b, j := range s.basicStruct {
-			v -= rv[j] * s.sol[b]
-		}
+		v -= mat.Dot(s.abasic[t*k:(t+1)*k], s.sol[:k])
 		s.col[k+t] = v
 	}
 	for t, pp := range s.etaPos {
@@ -860,18 +1027,15 @@ func (s *RevisedSolver) btranUnit(p *Problem, pos int) []float64 {
 	if k > 0 {
 		s.rhs = growF(s.rhs, k)
 		copy(s.rhs, s.posv[:k])
-		for t, r := range s.inactiveRows {
+		for t := range s.inactiveRows {
 			pr := s.posv[k+t]
 			if pr == 0 {
 				continue
 			}
-			rv := s.rowView(p, r)
-			for b, j := range s.basicStruct {
-				s.rhs[b] -= rv[j] * pr
-			}
+			mat.AxpyVec(-pr, s.abasic[t*k:(t+1)*k], s.rhs[:k])
 		}
 		s.yAct = growF(s.yAct, k)
-		s.lu.SolveTransposeInto(s.yAct, s.rhs)
+		s.wSolveTransposeInto(s.yAct, s.rhs)
 		for a, r := range s.activeRows {
 			s.pi[r] = s.yAct[a]
 		}
@@ -1120,22 +1284,58 @@ func (s *RevisedSolver) primalLoop(p *Problem) error {
 // current statuses, exactly recomputed.
 func (s *RevisedSolver) dualLoop(p *Problem) error {
 	nTot := s.sigN + s.sigUb
+	m := s.sigEq + s.sigUb
+	rule := s.effPricing()
 	for iter := 0; iter < warmMaxIter; iter++ {
-		// Leaving variable: smallest-index basic variable outside its
-		// bounds (Bland-style anti-cycling for the dual method).
+		// Past half the iteration budget the loop abandons the weighted
+		// rules for Bland's — the anti-cycling guarantee the pricing
+		// heuristics lack. The selection rule only steers the pivot path;
+		// the answer is still accepted only on freshly re-derived numbers.
+		bland := rule == PriceBland || iter >= warmMaxIter/2
+
+		// Leaving variable.
 		leave := -1
 		var belowLower bool
-		for j := 0; j < nTot; j++ {
-			if s.status[j] != stBasic {
-				continue
+		var viol float64
+		if bland {
+			// Historical rule: smallest-index basic variable outside its
+			// bounds (Bland-style anti-cycling for the dual method).
+			for j := 0; j < nTot; j++ {
+				if s.status[j] != stBasic {
+					continue
+				}
+				if s.x[j] < s.lo[j]-s.ptol {
+					leave, belowLower, viol = j, true, s.lo[j]-s.x[j]
+					break
+				}
+				if s.x[j] > s.up[j]+s.ptol {
+					leave, belowLower, viol = j, false, s.x[j]-s.up[j]
+					break
+				}
 			}
-			if s.x[j] < s.lo[j]-s.ptol {
-				leave, belowLower = j, true
-				break
-			}
-			if s.x[j] > s.up[j]+s.ptol {
-				leave, belowLower = j, false
-				break
+		} else {
+			// Most-violated row, violation²/β-weighted under steepest-edge,
+			// with a deterministic smallest-variable tie-break.
+			best := 0.0
+			for b := 0; b < m; b++ {
+				j := s.varAt[b]
+				var v float64
+				var bl bool
+				switch {
+				case s.x[j] < s.lo[j]-s.ptol:
+					v, bl = s.lo[j]-s.x[j], true
+				case s.x[j] > s.up[j]+s.ptol:
+					v, bl = s.x[j]-s.up[j], false
+				default:
+					continue
+				}
+				score := v
+				if rule == PriceSteepestEdge {
+					score = v * v / s.dw[b]
+				}
+				if leave < 0 || score > best || (score == best && j < leave) {
+					best, leave, belowLower, viol = score, j, bl, v
+				}
 			}
 		}
 		if leave < 0 {
@@ -1157,10 +1357,9 @@ func (s *RevisedSolver) dualLoop(p *Problem) error {
 		pi := s.btranUnit(p, pos)
 		s.priceAlpha(p, pi)
 
-		// Entering variable: dual ratio test over sign-eligible nonbasic
-		// columns, smallest |d|/|alpha| with Bland tie-breaking.
-		enter := -1
-		best := math.Inf(1)
+		// Entering candidates: sign-eligible nonbasic columns with their
+		// dual ratios |d|/|alpha|.
+		s.cands = s.cands[:0]
 		for j := 0; j < nTot; j++ {
 			st := s.status[j]
 			if st == stBasic || s.up[j] <= s.lo[j] {
@@ -1190,13 +1389,9 @@ func (s *RevisedSolver) dualLoop(p *Problem) error {
 			if st == stUpper && dj > 0 {
 				dj = 0
 			}
-			ratio := math.Abs(dj) / math.Abs(a)
-			if ratio < best-ratioTie || (ratio <= best+ratioTie && (enter == -1 || j < enter)) {
-				best = ratio
-				enter = j
-			}
+			s.cands = append(s.cands, dualCand{j: j, ratio: math.Abs(dj) / math.Abs(a)})
 		}
-		if enter < 0 {
+		if len(s.cands) == 0 {
 			if !s.fresh {
 				// The violation may be an artifact of eta drift: re-derive
 				// exactly before declaring the problem infeasible.
@@ -1208,6 +1403,59 @@ func (s *RevisedSolver) dualLoop(p *Problem) error {
 			// No column can repair the violated row: primal infeasible.
 			return ErrInfeasible
 		}
+		enter := -1
+		s.flips = s.flips[:0]
+		if bland {
+			// Historical entering rule: smallest ratio with Bland
+			// tie-breaking, no bound flips.
+			best := math.Inf(1)
+			for _, c := range s.cands {
+				if c.ratio < best-ratioTie || (c.ratio <= best+ratioTie && (enter == -1 || c.j < enter)) {
+					best, enter = c.ratio, c.j
+				}
+			}
+		} else {
+			// Bound-flipping ratio test: walk the breakpoints in dual-step
+			// order. Passing a boxed candidate's breakpoint flips it to the
+			// opposite bound (its reduced cost changes sign there, so the
+			// flip keeps dual feasibility) and reduces the improvement slope
+			// — the leaving variable's remaining violation — by |α|·range.
+			// The entering column is the breakpoint at which the slope would
+			// be exhausted, or the first candidate with no finite opposite
+			// bound to flip to. One long dual step absorbs every flipped
+			// breakpoint into a single basis exchange.
+			sort.Slice(s.cands, func(a, b int) bool {
+				ca, cb := s.cands[a], s.cands[b]
+				return ca.ratio < cb.ratio || (ca.ratio == cb.ratio && ca.j < cb.j)
+			})
+			slope := viol
+			for _, c := range s.cands {
+				rng := s.up[c.j] - s.lo[c.j]
+				if math.IsInf(rng, 1) {
+					enter = c.j
+					break
+				}
+				dec := math.Abs(s.alpha[c.j]) * rng
+				if slope-dec <= s.ptol {
+					enter = c.j
+					break
+				}
+				slope -= dec
+				s.flips = append(s.flips, c.j)
+			}
+			if enter < 0 {
+				// Every candidate is a flippable breakpoint and the slope
+				// never exhausts. Enter at the last breakpoint instead of
+				// inventing an unbounded dual ray — infeasibility verdicts
+				// stay with the fresh-basis Farkas branch above.
+				enter = s.flips[len(s.flips)-1]
+				s.flips = s.flips[:len(s.flips)-1]
+			}
+			if len(s.flips) > 0 {
+				s.applyFlips(p)
+			}
+		}
+		useSE := !bland && rule == PriceSteepestEdge
 		w := s.ftran(p, enter)
 		if s.effMaxUpdates() == 0 || etaSpike(w, pos) {
 			if len(s.etaPos) > 0 {
@@ -1217,6 +1465,9 @@ func (s *RevisedSolver) dualLoop(p *Problem) error {
 				continue
 			}
 			s.stats.DualPivots++
+			if useSE {
+				s.stats.SEPivots++
+			}
 			s.status[enter] = stBasic
 			if belowLower {
 				s.status[leave] = stLower
@@ -1236,11 +1487,119 @@ func (s *RevisedSolver) dualLoop(p *Problem) error {
 		}
 		delta := (s.x[leave] - bound) / w[pos]
 		s.stats.DualPivots++
+		if useSE {
+			s.stats.SEPivots++
+			s.devexUpdate(w, pos, m)
+		}
 		if err := s.pivotUpdate(p, enter, leave, pos, w, delta, !belowLower); err != nil {
 			return err
 		}
 	}
 	return ErrMaxIterations
+}
+
+// devexUpdate propagates the Devex reference weights through the basis
+// exchange at position pos with transformed column w (taken against the
+// pre-exchange basis): every touched position's weight rises to at least
+// its steepest-edge estimate through the pivot, and the pivot position
+// restarts from the reference floor of 1. Weights only steer leaving-row
+// selection, so approximation error here costs pivots, never correctness.
+func (s *RevisedSolver) devexUpdate(w []float64, pos, m int) {
+	wp := w[pos]
+	bp := s.dw[pos]
+	for i := 0; i < m; i++ {
+		if i == pos || w[i] == 0 {
+			continue
+		}
+		r := w[i] / wp
+		if cand := r * r * bp; cand > s.dw[i] {
+			s.dw[i] = cand
+		}
+	}
+	if d := bp / (wp * wp); d > 1 {
+		s.dw[pos] = d
+	} else {
+		s.dw[pos] = 1
+	}
+}
+
+// applyFlips moves every variable in s.flips to its opposite bound and
+// repairs the basic values with one combined ftran: Δx_B = −B⁻¹·A_F·Δx_F,
+// where the flipped columns' deltas are accumulated into a single stacked-row
+// vector first. Flips never touch the basis matrix or the reduced costs —
+// only primal values move.
+func (s *RevisedSolver) applyFlips(p *Problem) {
+	n, nEq := s.sigN, s.sigEq
+	m := s.sigEq + s.sigUb
+	s.flipCol = growF(s.flipCol, m)
+	for i := range s.flipCol {
+		s.flipCol[i] = 0
+	}
+	for _, j := range s.flips {
+		var dx float64
+		if s.status[j] == stLower {
+			dx = s.up[j] - s.lo[j]
+			s.status[j] = stUpper
+			s.x[j] = s.up[j]
+		} else {
+			dx = s.lo[j] - s.up[j]
+			s.status[j] = stLower
+			s.x[j] = s.lo[j]
+		}
+		if j < n {
+			for r := 0; r < m; r++ {
+				if v := s.rowView(p, r)[j]; v != 0 {
+					s.flipCol[r] += dx * v
+				}
+			}
+		} else {
+			s.flipCol[nEq+(j-n)] += dx
+		}
+	}
+	s.stats.BoundFlips += len(s.flips)
+	wf := s.ftranRows(p, s.flipCol)
+	for b := 0; b < m; b++ {
+		if v := wf[b]; v != 0 {
+			s.x[s.varAt[b]] -= v
+		}
+	}
+	s.fresh = false
+}
+
+// ftranRows is ftran for an arbitrary stacked-row vector instead of a
+// single constraint column: it computes B⁻¹·col over basis positions
+// through the frozen factorization and the eta file. Used by the
+// bound-flipping ratio test to repair the basic values after a batch of
+// flips with one solve.
+func (s *RevisedSolver) ftranRows(p *Problem, col []float64) []float64 {
+	k := len(s.activeRows)
+	m := s.sigEq + s.sigUb
+	s.colAct = growF(s.colAct, k)
+	s.sol = growF(s.sol, k)
+	for a, r := range s.activeRows {
+		s.colAct[a] = col[r]
+	}
+	if k > 0 {
+		s.wSolveInto(s.sol, s.colAct)
+	}
+	s.fcol = growF(s.fcol, m)
+	copy(s.fcol, s.sol[:k])
+	for t, r := range s.inactiveRows {
+		s.fcol[k+t] = col[r] - mat.Dot(s.abasic[t*k:(t+1)*k], s.sol[:k])
+	}
+	for t, pp := range s.etaPos {
+		e := s.etaBuf[t*m : (t+1)*m]
+		wp := s.fcol[pp] / e[pp]
+		if wp != 0 {
+			for i := 0; i < m; i++ {
+				if i != pp {
+					s.fcol[i] -= e[i] * wp
+				}
+			}
+		}
+		s.fcol[pp] = wp
+	}
+	return s.fcol
 }
 
 // verify checks the warm result against the original problem: bounds and

@@ -10,8 +10,10 @@ import "sync/atomic"
 // aggregates them for the whole process. The flush is one batch of atomic
 // adds per Solve call, so the hot pivot loops never touch shared memory.
 type globalStats struct {
-	solves, warm, cold, fallbacks     atomic.Int64
-	primal, dual, etaUpdates, refacts atomic.Int64
+	solves, warm, cold, fallbacks      atomic.Int64
+	primal, dual, etaUpdates, refacts  atomic.Int64
+	sePivots, weightResets, boundFlips atomic.Int64
+	sparseFactors                      atomic.Int64
 }
 
 var global globalStats
@@ -28,6 +30,10 @@ func GlobalRevisedStats() RevisedStats {
 		DualPivots:       int(global.dual.Load()),
 		EtaUpdates:       int(global.etaUpdates.Load()),
 		Refactorizations: int(global.refacts.Load()),
+		SEPivots:         int(global.sePivots.Load()),
+		WeightResets:     int(global.weightResets.Load()),
+		BoundFlips:       int(global.boundFlips.Load()),
+		SparseFactors:    int(global.sparseFactors.Load()),
 	}
 }
 
@@ -43,5 +49,9 @@ func (s *RevisedSolver) flushStats() {
 	global.dual.Add(int64(d.DualPivots - f.DualPivots))
 	global.etaUpdates.Add(int64(d.EtaUpdates - f.EtaUpdates))
 	global.refacts.Add(int64(d.Refactorizations - f.Refactorizations))
+	global.sePivots.Add(int64(d.SEPivots - f.SEPivots))
+	global.weightResets.Add(int64(d.WeightResets - f.WeightResets))
+	global.boundFlips.Add(int64(d.BoundFlips - f.BoundFlips))
+	global.sparseFactors.Add(int64(d.SparseFactors - f.SparseFactors))
 	s.flushed = d
 }

@@ -1,0 +1,330 @@
+package mat
+
+import "math"
+
+// SparseLU is a sparse LU factorization with partial pivoting: P·A = L·U
+// with L unit lower triangular and U upper triangular, both stored in
+// compressed-column form. It factors with the left-looking Gilbert–Peierls
+// algorithm — each column's fill pattern is discovered by a depth-first
+// reachability pass over the partially built L, so the factorization does
+// work proportional to the fill it produces instead of the dense n³ sweep.
+// The pivot of each column is its largest eliminated entry (partial
+// pivoting by magnitude, like the dense LU); a column with no nonzero
+// pivot candidate returns ErrSingular, and the revised solver then falls
+// back to the dense factorization.
+//
+// The eta-file machinery in the LP layer composes with either working
+// factorization unchanged: SolveInto and SolveTransposeInto have the same
+// contract as the dense LU's, so B₀ may be held by whichever factor the
+// density gate picked while the product-form updates stack on top.
+//
+// A SparseLU is not safe for concurrent use. Reset reuses the receiver's
+// buffers, so hot loops can refactor without allocating once the pattern
+// size stabilizes.
+type SparseLU struct {
+	n int
+	// L: unit lower triangular, diagonal implicit, row indices in pivot
+	// position space after Reset finishes.
+	lp []int
+	li []int
+	lx []float64
+	// U: upper triangular in position space, diagonal entry stored last in
+	// each column.
+	up []int
+	ui []int
+	ux []float64
+	// Row permutation: pinv[original row] = pivot position, perm inverse.
+	pinv, perm []int
+	// Factor/solve scratch.
+	x     []float64
+	work  []float64
+	stack []int
+	pstk  []int
+	topo  []int
+	mark  []bool
+}
+
+// ComputeSparseLU factors the square matrix a. It returns ErrSingular when
+// a column has no usable pivot.
+func ComputeSparseLU(a *Dense) (*SparseLU, error) {
+	f := &SparseLU{}
+	if err := f.Reset(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// NNZ returns the number of stored factor entries (L strictly-lower plus
+// U including diagonals) — the fill the factorization actually produced.
+func (f *SparseLU) NNZ() int { return len(f.lx) + len(f.ux) }
+
+// Reset refactors the receiver against a new square matrix, reusing the
+// existing buffers when possible. On error the receiver must not be used
+// for solves.
+func (f *SparseLU) Reset(a *Dense) error {
+	if a.rows != a.cols {
+		panic("mat: ComputeSparseLU requires a square matrix")
+	}
+	n := a.rows
+	f.n = n
+	f.lp = growIntTo(f.lp, n+1)
+	f.up = growIntTo(f.up, n+1)
+	f.pinv = growIntTo(f.pinv, n)
+	f.perm = growIntTo(f.perm, n)
+	f.x = growFTo(f.x, n)
+	f.stack = growIntTo(f.stack, n)
+	f.pstk = growIntTo(f.pstk, n)
+	f.topo = growIntTo(f.topo, n)
+	if cap(f.mark) < n {
+		f.mark = make([]bool, n)
+	}
+	f.mark = f.mark[:n]
+	f.li = f.li[:0]
+	f.lx = f.lx[:0]
+	f.ui = f.ui[:0]
+	f.ux = f.ux[:0]
+	for i := 0; i < n; i++ {
+		f.pinv[i] = -1
+		f.x[i] = 0
+		f.mark[i] = false
+	}
+	f.lp[0], f.up[0] = 0, 0
+
+	for j := 0; j < n; j++ {
+		// Symbolic: the nonzero pattern of L⁻¹·a_j is the set of rows
+		// reachable from a_j's pattern through the columns of L already
+		// built (a row that has been eliminated propagates into its L
+		// column's rows). Depth-first search records the rows in
+		// topological order so the numeric pass can eliminate in
+		// dependency order.
+		top := n
+		for i := 0; i < n; i++ {
+			if a.data[i*a.cols+j] != 0 && !f.mark[i] {
+				top = f.reach(i, top)
+			}
+		}
+		// Numeric left-looking pass: scatter a_j, then eliminate the
+		// already-pivotal rows in topological order.
+		for i := 0; i < n; i++ {
+			if v := a.data[i*a.cols+j]; v != 0 {
+				f.x[i] = v
+			}
+		}
+		for p := top; p < n; p++ {
+			i := f.topo[p]
+			jc := f.pinv[i]
+			if jc < 0 {
+				continue // not pivotal yet: a candidate row, nothing to eliminate
+			}
+			xi := f.x[i]
+			if xi == 0 {
+				continue
+			}
+			for q := f.lp[jc]; q < f.lp[jc+1]; q++ {
+				f.x[f.li[q]] -= f.lx[q] * xi
+			}
+		}
+		// Pivot: the largest remaining (non-pivotal) entry in the column.
+		ipiv, maxAbs := -1, 0.0
+		for p := top; p < n; p++ {
+			i := f.topo[p]
+			if f.pinv[i] >= 0 {
+				continue
+			}
+			if v := math.Abs(f.x[i]); v > maxAbs {
+				maxAbs, ipiv = v, i
+			}
+		}
+		if ipiv < 0 || maxAbs == 0 {
+			f.clearColumn(top, n)
+			return ErrSingular
+		}
+		pivVal := f.x[ipiv]
+		// Emit U's column j: the eliminated rows (in their pivot
+		// positions), diagonal last.
+		for p := top; p < n; p++ {
+			i := f.topo[p]
+			if f.pinv[i] < 0 {
+				continue
+			}
+			if v := f.x[i]; v != 0 {
+				f.ui = append(f.ui, f.pinv[i])
+				f.ux = append(f.ux, v)
+			}
+		}
+		f.ui = append(f.ui, j)
+		f.ux = append(f.ux, pivVal)
+		f.up[j+1] = len(f.ux)
+		// Emit L's column j: the remaining candidate rows scaled by the
+		// pivot. Row indices stay in original numbering until the final
+		// renumbering below (their positions are not assigned yet).
+		f.pinv[ipiv] = j
+		for p := top; p < n; p++ {
+			i := f.topo[p]
+			if f.pinv[i] >= 0 && i != ipiv {
+				continue
+			}
+			if i != ipiv {
+				if v := f.x[i]; v != 0 {
+					f.li = append(f.li, i)
+					f.lx = append(f.lx, v/pivVal)
+				}
+			}
+		}
+		f.lp[j+1] = len(f.lx)
+		f.clearColumn(top, n)
+	}
+	// Renumber L's row indices into pivot position space and derive the
+	// forward permutation.
+	for q := range f.li {
+		f.li[q] = f.pinv[f.li[q]]
+	}
+	for i := 0; i < n; i++ {
+		f.perm[f.pinv[i]] = i
+	}
+	f.work = growFTo(f.work, n)
+	return nil
+}
+
+// reach runs the depth-first search from row i over the partially built L,
+// pushing finished rows onto topo[top-1:] in topological order. Returns
+// the new top.
+func (f *SparseLU) reach(i, top int) int {
+	head := 0
+	f.stack[0] = i
+	f.pstk[0] = -1 // -1: node not yet expanded
+	for head >= 0 {
+		i := f.stack[head]
+		jc := f.pinv[i]
+		var q int
+		if f.pstk[head] < 0 {
+			f.mark[i] = true
+			if jc >= 0 {
+				q = f.lp[jc]
+			} else {
+				q = 0
+			}
+		} else {
+			q = f.pstk[head]
+		}
+		done := true
+		if jc >= 0 {
+			for ; q < f.lp[jc+1]; q++ {
+				child := f.li[q]
+				if !f.mark[child] {
+					f.pstk[head] = q + 1
+					head++
+					f.stack[head] = child
+					f.pstk[head] = -1
+					done = false
+					break
+				}
+			}
+		}
+		if done {
+			head--
+			top--
+			f.topo[top] = i
+		}
+	}
+	return top
+}
+
+// clearColumn zeroes the scratch entries and marks touched by the current
+// column's pattern.
+func (f *SparseLU) clearColumn(top, n int) {
+	for p := top; p < n; p++ {
+		i := f.topo[p]
+		f.x[i] = 0
+		f.mark[i] = false
+	}
+}
+
+// SolveInto writes the solution of A·x = b into dst and returns it. dst
+// must not alias b.
+func (f *SparseLU) SolveInto(dst, b []float64) []float64 {
+	n := f.n
+	if len(b) != n || len(dst) != n {
+		panic(ErrShape)
+	}
+	// dst = P·b, then forward substitution with unit-lower L
+	// (column-oriented: finished components propagate down their column).
+	for i := 0; i < n; i++ {
+		dst[f.pinv[i]] = b[i]
+	}
+	for j := 0; j < n; j++ {
+		xj := dst[j]
+		if xj == 0 {
+			continue
+		}
+		for q := f.lp[j]; q < f.lp[j+1]; q++ {
+			dst[f.li[q]] -= f.lx[q] * xj
+		}
+	}
+	// Back substitution with U (diagonal stored last in each column).
+	for j := n - 1; j >= 0; j-- {
+		last := f.up[j+1] - 1
+		xj := dst[j] / f.ux[last]
+		dst[j] = xj
+		if xj == 0 {
+			continue
+		}
+		for q := f.up[j]; q < last; q++ {
+			dst[f.ui[q]] -= f.ux[q] * xj
+		}
+	}
+	return dst
+}
+
+// SolveTransposeInto writes the solution of Aᵀ·x = b into dst and returns
+// it. dst must not alias b. With P·A = L·U the transposed system reads
+// Uᵀ·(Lᵀ·(P·x)) = b: a forward substitution with Uᵀ, a back substitution
+// with the unit-diagonal Lᵀ, then the inverse row permutation.
+func (f *SparseLU) SolveTransposeInto(dst, b []float64) []float64 {
+	n := f.n
+	if len(b) != n || len(dst) != n {
+		panic(ErrShape)
+	}
+	z := f.work[:n]
+	// Forward with Uᵀ: z[j] = (b[j] − Σ_{i<j} U[i][j]·z[i]) / U[j][j],
+	// using U's column j directly.
+	for j := 0; j < n; j++ {
+		s := b[j]
+		last := f.up[j+1] - 1
+		for q := f.up[j]; q < last; q++ {
+			s -= f.ux[q] * z[f.ui[q]]
+		}
+		z[j] = s / f.ux[last]
+	}
+	// Back with Lᵀ (unit diagonal): z[j] −= Σ_{i>j} L[i][j]·z[i], using
+	// L's column j directly.
+	for j := n - 2; j >= 0; j-- {
+		var s float64
+		for q := f.lp[j]; q < f.lp[j+1]; q++ {
+			s += f.lx[q] * z[f.li[q]]
+		}
+		z[j] -= s
+	}
+	// x = Pᵀ·z.
+	for j := 0; j < n; j++ {
+		dst[f.perm[j]] = z[j]
+	}
+	return dst
+}
+
+// growIntTo is the package's growF for index buffers.
+func growIntTo(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// growFTo grows a float scratch buffer to length n without preserving
+// contents beyond the existing prefix.
+func growFTo(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}

@@ -163,6 +163,12 @@ func NewDispatchEngineBackend(n *grid.Network, backend grid.Backend) (*DispatchE
 		}
 		if e.warm {
 			w.rsolver = lp.NewRevisedSolver()
+			// Density-gated sparse working-matrix factorization: the
+			// dispatch LP's PTDF-condensed working matrices are usually
+			// dense and keep the dense LU, but the gate costs one nnz
+			// count per refactorization and wins when a case's rating
+			// pattern leaves the working matrix sparse.
+			w.rsolver.SetSparseLU(true)
 		} else {
 			w.solver = lp.NewSolver()
 		}

@@ -1,0 +1,201 @@
+package opf
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gridmtd/internal/grid"
+	"gridmtd/internal/lp"
+	"gridmtd/internal/mat"
+)
+
+// captureWorkingMatrices drives a warm dispatch walk on a registered case
+// with a factor hook installed and returns clones of up to limit working
+// matrices the revised solver actually factored — the real inputs the
+// sparse-LU route must handle, not synthetic random patterns.
+func captureWorkingMatrices(t *testing.T, caseName string, trials, limit, minDim int) []*mat.Dense {
+	t.Helper()
+	n, err := grid.CaseByName(caseName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewDispatchEngineBackend(n, grid.SparseBackend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := eng.pool.New().(*dispatchWorkspace)
+	// One captured matrix per working dimension seen: the walk refactors
+	// hundreds of near-identical bases, but the interesting coverage axis
+	// is the size/pattern spectrum from the 1×1 crash basis up to the full
+	// active set at the optimum.
+	bySize := map[int]*mat.Dense{}
+	w.rsolver.SetFactorHook(func(wm *mat.Dense) {
+		if _, ok := bySize[wm.Rows()]; !ok {
+			bySize[wm.Rows()] = wm.Clone()
+		}
+	})
+	rng := rand.New(rand.NewSource(23))
+	lo, hi := n.DFACTSBounds()
+	xd := make([]float64, len(lo))
+	for i := range xd {
+		xd[i] = 0.5 * (lo[i] + hi[i])
+	}
+	for trial := 0; trial < trials; trial++ {
+		for i := range xd {
+			xd[i] += 0.05 * (hi[i] - lo[i]) * (2*rng.Float64() - 1)
+			if xd[i] < lo[i] {
+				xd[i] = lo[i]
+			}
+			if xd[i] > hi[i] {
+				xd[i] = hi[i]
+			}
+		}
+		prob, err := eng.buildProblem(w, n.ExpandDFACTS(xd))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Infeasible candidates still factor bases on the way to the
+		// certificate; only build errors are fatal.
+		_, _ = w.rsolver.Solve(prob)
+	}
+	if len(bySize) == 0 {
+		t.Fatalf("%s: no working matrices captured", caseName)
+	}
+	// Largest dimensions first — the bases that actually cost solves.
+	sizes := make([]int, 0, len(bySize))
+	for k := range bySize {
+		sizes = append(sizes, k)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	var captured []*mat.Dense
+	for _, k := range sizes {
+		if len(captured) == limit {
+			break
+		}
+		captured = append(captured, bySize[k])
+	}
+	if captured[0].Rows() < minDim {
+		t.Fatalf("%s: largest captured working matrix is only %dx%d — the walk never grew a real active set",
+			caseName, captured[0].Rows(), captured[0].Rows())
+	}
+	return captured
+}
+
+// checkSparseVsDense factors one captured working matrix both ways and
+// compares forward and transpose solves to 1e-10 — the agreement bar the
+// ISSUE sets for routing the revised solver's solves through the sparse
+// factorization.
+func checkSparseVsDense(t *testing.T, tag string, wm *mat.Dense) {
+	t.Helper()
+	k := wm.Rows()
+	dense, err := mat.ComputeLU(wm)
+	if err != nil {
+		t.Fatalf("%s: dense LU failed on a captured basis: %v", tag, err)
+	}
+	sparse, err := mat.ComputeSparseLU(wm)
+	if err != nil {
+		t.Fatalf("%s: sparse LU failed on a captured basis: %v", tag, err)
+	}
+	rng := rand.New(rand.NewSource(int64(k)))
+	b := make([]float64, k)
+	for i := range b {
+		b[i] = 2*rng.Float64() - 1
+	}
+	xd := make([]float64, k)
+	xs := make([]float64, k)
+	dense.SolveInto(xd, b)
+	sparse.SolveInto(xs, b)
+	for i := range xd {
+		if d := math.Abs(xd[i] - xs[i]); d > 1e-10*(1+math.Abs(xd[i])) {
+			t.Fatalf("%s: solve[%d]: dense %.15g sparse %.15g", tag, i, xd[i], xs[i])
+		}
+	}
+	dense.SolveTransposeInto(xd, b)
+	sparse.SolveTransposeInto(xs, b)
+	for i := range xd {
+		if d := math.Abs(xd[i] - xs[i]); d > 1e-10*(1+math.Abs(xd[i])) {
+			t.Fatalf("%s: transpose solve[%d]: dense %.15g sparse %.15g", tag, i, xd[i], xs[i])
+		}
+	}
+}
+
+// TestSparseLUOnCapturedWorkingMatrices118 validates the sparse LU against
+// working matrices captured from a real ieee118 dispatch walk.
+func TestSparseLUOnCapturedWorkingMatrices118(t *testing.T) {
+	// ieee118's calibrated ratings bind only a handful of rows near the
+	// mid-box walk, so its real working matrices top out small.
+	for i, wm := range captureWorkingMatrices(t, "ieee118", 25, 6, 4) {
+		checkSparseVsDense(t, "ieee118", wm)
+		if testing.Verbose() {
+			t.Logf("matrix %d: %dx%d", i, wm.Rows(), wm.Cols())
+		}
+	}
+}
+
+// TestSparseLUOnCapturedWorkingMatrices300 does the same on ieee300 — the
+// case whose cold-selection latency the sparse route serves.
+func TestSparseLUOnCapturedWorkingMatrices300(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ieee300 dispatch walk takes seconds")
+	}
+	for _, wm := range captureWorkingMatrices(t, "ieee300", 15, 4, 8) {
+		checkSparseVsDense(t, "ieee300", wm)
+	}
+}
+
+// TestSparseRouteAgreesOnSparseLP pins the in-solver routing contract: on
+// an LP whose working matrices pass the density gate, the sparse route
+// must actually be taken (SparseFactors advances) and the answers must
+// match a solver without the route to 1e-9 — so flipping the gate can
+// never change which problems solve or what they report.
+func TestSparseRouteAgreesOnSparseLP(t *testing.T) {
+	mk := func(tighten float64) *lp.Problem {
+		// 48 box variables maximizing their sum under bidiagonal rating
+		// rows: every row is tight at the optimum, so the working matrix
+		// is the full 48×48 bidiagonal active set — dimension over the
+		// gate's floor at ~4% density.
+		nv := 48
+		c := make([]float64, nv)
+		lo := make([]float64, nv)
+		up := make([]float64, nv)
+		for j := 0; j < nv; j++ {
+			c[j] = -1 - 0.01*float64(j)
+			up[j] = 2
+		}
+		aub := mat.NewDense(nv, nv)
+		bub := make([]float64, nv)
+		for i := 0; i < nv; i++ {
+			aub.Set(i, i, 1)
+			if i > 0 {
+				aub.Set(i, i-1, 0.25)
+			}
+			bub[i] = 1.2 - tighten
+		}
+		return &lp.Problem{C: c, Aub: aub, Bub: bub, Lower: lo, Upper: up}
+	}
+	routed := lp.NewRevisedSolver()
+	routed.SetSparseLU(true)
+	plain := lp.NewRevisedSolver()
+	for trial := 0; trial < 4; trial++ {
+		p := mk(0.05 * float64(trial))
+		a, errA := routed.Solve(p)
+		b, errB := plain.Solve(p)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("trial %d: routed err %v, plain err %v", trial, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if d := math.Abs(a.Objective - b.Objective); d > 1e-9*(1+math.Abs(b.Objective)) {
+			t.Fatalf("trial %d: routed %.15g vs plain %.15g", trial, a.Objective, b.Objective)
+		}
+	}
+	if routed.Stats().SparseFactors == 0 {
+		t.Fatalf("sparse route never taken on a gate-passing LP: %+v", routed.Stats())
+	}
+	if plain.Stats().SparseFactors != 0 {
+		t.Fatalf("unrouted solver took the sparse route: %+v", plain.Stats())
+	}
+}

@@ -76,6 +76,11 @@ type Stats struct {
 	// Warm-path health (eta updates vs refactorizations, fallback rate)
 	// is the production-observable face of the dispatch-solve cost.
 	LP LPStats `json:"lp"`
+	// Estimators is the process-wide estimator-cache snapshot
+	// (core.GlobalEstimatorCacheStats): how many state-estimator rebuilds
+	// repeat selections avoided, and how many of the remaining builds the
+	// rank-structured fast path served instead of a full QR.
+	Estimators core.EstimatorCacheStats `json:"estimators"`
 }
 
 // LPStats mirrors lp.RevisedStats with the JSON field names /v1/stats
@@ -87,8 +92,12 @@ type LPStats struct {
 	Fallbacks        int `json:"fallbacks"`
 	PrimalPivots     int `json:"primal_pivots"`
 	DualPivots       int `json:"dual_pivots"`
+	SEPivots         int `json:"se_pivots"`
+	BoundFlips       int `json:"bound_flips"`
+	WeightResets     int `json:"weight_resets"`
 	EtaUpdates       int `json:"eta_updates"`
 	Refactorizations int `json:"refactorizations"`
+	SparseFactors    int `json:"sparse_factors"`
 }
 
 // lpStatsSnapshot converts the process-wide lp counters into the
@@ -102,8 +111,12 @@ func lpStatsSnapshot() LPStats {
 		Fallbacks:        g.Fallbacks,
 		PrimalPivots:     g.PrimalPivots,
 		DualPivots:       g.DualPivots,
+		SEPivots:         g.SEPivots,
+		BoundFlips:       g.BoundFlips,
+		WeightResets:     g.WeightResets,
 		EtaUpdates:       g.EtaUpdates,
 		Refactorizations: g.Refactorizations,
+		SparseFactors:    g.SparseFactors,
 	}
 }
 
@@ -154,6 +167,7 @@ func (p *Planner) Stats() Stats {
 	defer p.mu.Unlock()
 	s := p.stats
 	s.LP = lpStatsSnapshot()
+	s.Estimators = core.GlobalEstimatorCacheStats()
 	return s
 }
 
@@ -442,6 +456,11 @@ func (p *Planner) selectExplicitXOld(req SelectRequest, n *grid.Network, gb core
 	if err != nil {
 		return nil, err
 	}
+	// The runner's shared per-network estimator cache memoizes the post-MTD
+	// QR across requests against this case (and rank-structured-rebuilds it
+	// on a miss) — the network pointer comes from the planner's case LRU,
+	// so the key is effectively (case, load scale, x_new).
+	effCfg.Estimators = p.runner.EstimatorCache(n)
 	eff, err := core.EvaluateAttacks(n, attacks, sel.Reactances, effCfg)
 	if err != nil {
 		return nil, err

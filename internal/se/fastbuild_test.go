@@ -1,0 +1,176 @@
+package se
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gridmtd/internal/grid"
+	"gridmtd/internal/mat"
+)
+
+// estimatorsAgree compares the two estimators' full API surface on random
+// probe vectors to the fast-path agreement bar: states, residual vectors
+// and residual norms to 1e-9 relative.
+func estimatorsAgree(t *testing.T, tag string, got, want *Estimator, seed int64) {
+	t.Helper()
+	m, n := want.NumMeasurements(), want.NumStates()
+	if got.NumMeasurements() != m || got.NumStates() != n || got.DOF() != want.DOF() {
+		t.Fatalf("%s: dimensions disagree: got %dx%d, want %dx%d", tag,
+			got.NumMeasurements(), got.NumStates(), m, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := make([]float64, m)
+	for trial := 0; trial < 3; trial++ {
+		for i := range z {
+			z[i] = 2*rng.Float64() - 1
+		}
+		te, tw := got.Estimate(z), want.Estimate(z)
+		for j := range tw {
+			if d := math.Abs(te[j] - tw[j]); d > 1e-9*(1+math.Abs(tw[j])) {
+				t.Fatalf("%s trial %d: Estimate[%d]: got %.15g want %.15g", tag, trial, j, te[j], tw[j])
+			}
+		}
+		re, rw := got.Residual(z), want.Residual(z)
+		if d := math.Abs(re - rw); d > 1e-9*(1+rw) {
+			t.Fatalf("%s trial %d: Residual: got %.15g want %.15g", tag, trial, re, rw)
+		}
+		var ws ResidualWorkspace
+		if rws := got.ResidualWS(&ws, z); rws != re {
+			t.Fatalf("%s trial %d: ResidualWS %.15g != Residual %.15g on one estimator", tag, trial, rws, re)
+		}
+	}
+}
+
+// TestFactoryFastBuildMatchesFullQR is the rank-structured rebuild
+// contract on a real network: for D-FACTS perturbations the factory must
+// take the fast path and agree with the from-scratch QR estimator.
+func TestFactoryFastBuildMatchesFullQR(t *testing.T) {
+	n, err := grid.CaseByName("ieee57")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := n.DFACTSStateColumns()
+	if len(vol) == 0 {
+		t.Fatal("ieee57 has no D-FACTS state columns")
+	}
+	hBase := n.MeasurementMatrix(n.Reactances())
+	f, err := NewFactory(hBase, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := n.DFACTSBounds()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		xd := make([]float64, len(lo))
+		for i := range xd {
+			xd[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+		}
+		h := n.MeasurementMatrix(n.ExpandDFACTS(xd))
+		got, fast, err := f.Build(h)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !fast {
+			t.Fatalf("trial %d: D-FACTS-only perturbation took the full-QR fallback", trial)
+		}
+		want, err := NewEstimator(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		estimatorsAgree(t, "dfacts", got, want, int64(trial))
+	}
+}
+
+// TestFactoryFallsBackOnStableColumnChange pins the premise check: a
+// perturbation on a branch without a D-FACTS device changes columns the
+// factory assumed stable, so Build must detect the mismatch and serve the
+// full QR instead of a silently wrong completion.
+func TestFactoryFallsBackOnStableColumnChange(t *testing.T) {
+	n, err := grid.CaseByName("ieee57")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hBase := n.MeasurementMatrix(n.Reactances())
+	f, err := NewFactory(hBase, n.DFACTSStateColumns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the first non-D-FACTS branch.
+	x := n.Reactances()
+	perturbed := false
+	for i, br := range n.Branches {
+		if !br.HasDFACTS {
+			x[i] *= 1.25
+			perturbed = true
+			break
+		}
+	}
+	if !perturbed {
+		t.Fatal("every ieee57 branch has a D-FACTS device")
+	}
+	h := n.MeasurementMatrix(x)
+	got, fast, err := f.Build(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast {
+		t.Fatal("stable-column change was not detected; fast path produced an estimator for the wrong base")
+	}
+	want, err := NewEstimator(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estimatorsAgree(t, "fallback", got, want, 3)
+}
+
+// TestFactoryRankDeficientVolatileColumn checks the tolerance fallback: a
+// volatile column made exactly dependent on a stable one must not survive
+// the Gram-Schmidt completion — the build falls back to NewEstimator, which
+// reports the rank deficiency.
+func TestFactoryRankDeficientVolatileColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, n := 10, 4
+	h := mat.NewDense(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			h.Set(i, j, 2*rng.Float64()-1)
+		}
+	}
+	f, err := NewFactory(h, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := h.Clone()
+	bad.SetCol(3, bad.Col(0))
+	// The fast path must refuse (residual below tolerance); what happens
+	// next — error or a barely-conditioned estimator — is the full QR's
+	// call, exactly as if the factory never existed.
+	_, fast, err := f.Build(bad)
+	if fast {
+		t.Fatal("dependent volatile column survived the Gram-Schmidt tolerance check")
+	}
+	_, refErr := NewEstimator(bad)
+	if (err == nil) != (refErr == nil) {
+		t.Fatalf("fallback error %v disagrees with NewEstimator error %v", err, refErr)
+	}
+	// A well-conditioned volatile change on the same factory still fast-builds.
+	good := h.Clone()
+	col := good.Col(3)
+	for i := range col {
+		col[i] += 0.5 * rng.Float64()
+	}
+	good.SetCol(3, col)
+	got, fast, err := f.Build(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast {
+		t.Fatal("well-conditioned volatile change took the fallback")
+	}
+	want, err := NewEstimator(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estimatorsAgree(t, "synthetic", got, want, 9)
+}
