@@ -14,6 +14,8 @@
 //	GET  /healthz        {"ok":true}
 //	GET  /v1/cases       the case registry
 //	GET  /v1/stats       cache hit/miss counters + γ backends served
+//	                     (?mark=<name> stores a named snapshot,
+//	                     ?since=<name> answers the delta against it)
 //	POST /v1/select      planner.SelectRequest  -> planner.SelectResponse
 //	POST /v1/gamma       planner.GammaRequest   -> planner.GammaResponse
 //	POST /v1/daysweep    planner.DaySweepRequest -> planner.DaySweepResponse
@@ -49,6 +51,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync"
 	"syscall"
 	"time"
 
@@ -143,8 +146,29 @@ func newHandler(p *planner.Planner, timeout time.Duration) http.Handler {
 	mux.HandleFunc("GET /v1/cases", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, gridmtd.Cases())
 	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, p.Stats())
+	// The counters behind /v1/stats are cumulative for the process.
+	// ?mark=<name> additionally stores the answered snapshot under the
+	// name; a later ?since=<name> answers with the field-wise delta
+	// against it (planner.Stats.Delta), so monitors and CI assert
+	// per-window increments without racing absolute values. Marks are a
+	// small LRU — old names silently age out and an unknown ?since= is a
+	// 404.
+	marks := newStatsMarks(32)
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		cur := p.Stats()
+		out := cur
+		if name := r.URL.Query().Get("since"); name != "" {
+			base, ok := marks.get(name)
+			if !ok {
+				writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("unknown stats mark %q", name)})
+				return
+			}
+			out = cur.Delta(base)
+		}
+		if name := r.URL.Query().Get("mark"); name != "" {
+			marks.put(name, cur)
+		}
+		writeJSON(w, http.StatusOK, out)
 	})
 	post := func(pattern string, h http.HandlerFunc) {
 		mux.Handle(pattern, withDeadline(h, timeout))
@@ -218,4 +242,45 @@ func logRequests(next http.Handler) http.Handler {
 		next.ServeHTTP(w, r)
 		log.Printf("%s %s (%.1f ms)", r.Method, r.URL.Path, float64(time.Since(start).Microseconds())/1e3)
 	})
+}
+
+// statsMarks is the named-snapshot store behind /v1/stats?mark= /
+// ?since=: a small mutex-guarded LRU of planner.Stats snapshots keyed by
+// client-chosen names.
+type statsMarks struct {
+	cap int
+
+	mu    sync.Mutex
+	snaps map[string]planner.Stats
+	order []string // oldest first
+}
+
+func newStatsMarks(capacity int) *statsMarks {
+	return &statsMarks{cap: capacity, snaps: map[string]planner.Stats{}}
+}
+
+func (m *statsMarks) put(name string, s planner.Stats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.snaps[name]; ok {
+		for i, n := range m.order {
+			if n == name {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+	}
+	m.snaps[name] = s
+	m.order = append(m.order, name)
+	for len(m.order) > m.cap {
+		delete(m.snaps, m.order[0])
+		m.order = m.order[1:]
+	}
+}
+
+func (m *statsMarks) get(name string) (planner.Stats, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.snaps[name]
+	return s, ok
 }

@@ -112,7 +112,13 @@ func TestStatsServesLPCounters(t *testing.T) {
 			EtaUpdates       *int `json:"eta_updates"`
 			Refactorizations *int `json:"refactorizations"`
 			Fallbacks        *int `json:"fallbacks"`
+			PrescreenHits    *int `json:"prescreen_hits"`
+			InfeasibleSolves *int `json:"infeasible_solves"`
 		} `json:"lp"`
+		SolveCache *struct {
+			Hits   *int64 `json:"hits"`
+			Misses *int64 `json:"misses"`
+		} `json:"solve_cache"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
@@ -124,16 +130,24 @@ func TestStatsServesLPCounters(t *testing.T) {
 		t.Fatal("stats response missing the lp counter block")
 	}
 	for name, p := range map[string]*int{
-		"solves":           stats.LP.Solves,
-		"eta_updates":      stats.LP.EtaUpdates,
-		"refactorizations": stats.LP.Refactorizations,
-		"fallbacks":        stats.LP.Fallbacks,
+		"solves":            stats.LP.Solves,
+		"eta_updates":       stats.LP.EtaUpdates,
+		"refactorizations":  stats.LP.Refactorizations,
+		"fallbacks":         stats.LP.Fallbacks,
+		"prescreen_hits":    stats.LP.PrescreenHits,
+		"infeasible_solves": stats.LP.InfeasibleSolves,
 	} {
 		if p == nil {
 			t.Errorf("lp block missing %q", name)
 		} else if *p < 0 {
 			t.Errorf("lp.%s = %d, want >= 0", name, *p)
 		}
+	}
+	if stats.SolveCache == nil {
+		t.Fatal("stats response missing the solve_cache block")
+	}
+	if stats.SolveCache.Hits == nil || stats.SolveCache.Misses == nil {
+		t.Error("solve_cache block missing hits/misses")
 	}
 }
 
@@ -332,5 +346,72 @@ func TestGammaEndpoint(t *testing.T) {
 	}
 	if n.Gamma < 0 {
 		t.Errorf("γ = %v out of range", n.Gamma)
+	}
+}
+
+// TestStatsMarkSince pins the snapshot/delta mechanism: mark a named
+// snapshot, run one computed selection, and the ?since= delta reports the
+// per-window increments (at least one LP solve and one result miss) while
+// the cumulative counters keep growing. An unknown mark is a 404.
+func TestStatsMarkSince(t *testing.T) {
+	srv := testServer(t)
+	getStats := func(query string) (planner.Stats, int) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/stats" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var s planner.Stats
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s, resp.StatusCode
+	}
+
+	if _, code := getStats("?since=nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown mark: status %d, want 404", code)
+	}
+	base, code := getStats("?mark=t0")
+	if code != http.StatusOK {
+		t.Fatalf("mark request: status %d", code)
+	}
+
+	// ieee57 runs the sparse path, so the window moves the revised-simplex
+	// and dispatch-memo counters, not just the planner's own memo.
+	req := planner.SelectRequest{
+		Case: "ieee57", GammaThreshold: 0.05,
+		Starts: 1, MaxEvals: 20, Seed: 1, Attacks: 10,
+	}
+	if code := postJSON(t, srv.URL+"/v1/select", req, nil); code != http.StatusOK {
+		t.Fatalf("select status %d", code)
+	}
+
+	delta, code := getStats("?since=t0")
+	if code != http.StatusOK {
+		t.Fatalf("since request: status %d", code)
+	}
+	if delta.ResultMisses != 1 {
+		t.Errorf("delta result_misses = %d, want 1", delta.ResultMisses)
+	}
+	if delta.LP.Solves <= 0 {
+		t.Errorf("delta lp.solves = %d, want > 0", delta.LP.Solves)
+	}
+	cum, _ := getStats("")
+	if cum.LP.Solves < base.LP.Solves+delta.LP.Solves {
+		t.Errorf("cumulative solves %d < base %d + delta %d",
+			cum.LP.Solves, base.LP.Solves, delta.LP.Solves)
+	}
+
+	// Re-marking overwrites: a fresh mark makes the next delta empty of
+	// result traffic.
+	if _, code := getStats("?mark=t0"); code != http.StatusOK {
+		t.Fatalf("re-mark: status %d", code)
+	}
+	delta2, _ := getStats("?since=t0")
+	if delta2.ResultMisses != 0 || delta2.ResultHits != 0 {
+		t.Errorf("delta after re-mark has result traffic: %+v", delta2)
 	}
 }

@@ -140,6 +140,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *verbose {
 		gridmtd.FormatLPStats(w, gridmtd.GlobalLPStats())
+		gridmtd.FormatSolveCacheStats(w, gridmtd.GlobalSolveCacheStats())
 	}
 	return nil
 }

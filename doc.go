@@ -92,7 +92,22 @@
 // crash basis when no warm basis exists, and certified dual-simplex
 // infeasibility detection; lp.GlobalRevisedStats counters surface
 // through the daemon's /v1/stats and mtdexp -v. PERF.md records the
-// resulting cold-selection latencies (~90 ms at 118 buses).
+// resulting cold-selection latencies (~60 ms at 118 buses, sub-second
+// at 300).
+//
+// On the sparse path the search also avoids repeating work it has
+// already done: dispatch engines memoize full solves under a bitwise
+// (loads, x) key — a hit returns bitwise what a fresh solve computes,
+// deterministic infeasibility errors included — the LP solver recycles
+// Farkas infeasibility certificates to reject doomed candidates before
+// pivoting (every screened rejection revalidates the certificate
+// exactly against the candidate's data), and multi-start restarts are
+// screened against the deterministic trajectories' optimum so a losing
+// restart costs one evaluation instead of a local-search budget. All
+// three are invisible to the dense/golden path and their traffic is
+// reported by GlobalSolveCacheStats, the lp counters and /v1/stats
+// (which supports ?mark=/?since= named snapshots for per-request
+// deltas).
 //
 // The runnable programs under examples/ walk through the full defender
 // workflow, the cost-effectiveness tradeoff, a 24-hour operating day and

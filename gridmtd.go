@@ -226,7 +226,24 @@ func FormatLPStats(w io.Writer, s LPStats) {
 		s.PrimalPivots, s.DualPivots, s.SEPivots, s.BoundFlips, s.EtaUpdates, s.Refactorizations)
 	fmt.Fprintf(w, "  pricing-weight resets: %d; sparse working-matrix factorizations: %d\n",
 		s.WeightResets, s.SparseFactors)
+	fmt.Fprintf(w, "  infeasibility: %d certified by full solves, %d pre-screened by recycled Farkas rays\n",
+		s.InfeasibleSolves, s.PrescreenHits)
 }
+
+// FormatSolveCacheStats writes the one-line human rendering of the
+// dispatch-solve memo counters that mtdexp -v appends after FormatLPStats.
+func FormatSolveCacheStats(w io.Writer, c SolveCacheStats) {
+	fmt.Fprintf(w, "dispatch-solve memo: %d hits, %d misses\n", c.Hits, c.Misses)
+}
+
+// SolveCacheStats is the dispatch-solve memo counter set (see the opf
+// package's SolveCacheStats for the counters' precise meanings).
+type SolveCacheStats = opf.SolveCacheStats
+
+// GlobalSolveCacheStats returns the process-wide dispatch-solve memo
+// counters: how many dispatch LPs the bitwise (loads, reactances) cache
+// answered without running the simplex.
+func GlobalSolveCacheStats() SolveCacheStats { return opf.GlobalSolveCacheStats() }
 
 // OPFResult is a solved optimal power flow.
 type OPFResult = opf.Result

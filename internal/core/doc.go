@@ -45,4 +45,20 @@
 // EffectivenessConfig.Estimators opts an evaluation in; only fast
 // (sparse-backend) attack sets consult it, keeping the small-case dense
 // path byte-identical.
+//
+// # Solve memoization and restart screening
+//
+// The same bitwise-keying discipline governs the dispatch LP underneath
+// the selection search. Sparse-backend opf engines memoize full solves
+// per (loads, x) — the search revisits candidate points (initial-point
+// trajectories, penalty re-evaluations), and a memo hit returns bitwise
+// what the miss computed, so the hit/miss pattern cannot alter a
+// result. On top of that, SelectMTD's multi-start runs with screened
+// restarts on the sparse path: the deterministic initial points search
+// first and fix a bar, and each random restart earns its Nelder-Mead
+// budget only by beating that bar at its start point, cutting a cold
+// ieee300 selection from 179 to 88 full dispatch solves (PERF.md, PR 8).
+// The bar is fixed at a stage barrier, so outcomes are identical for
+// every worker count. Dense engines build no memo and dense call sites
+// never screen; the golden suite is byte-identical by construction.
 package core

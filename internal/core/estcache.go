@@ -39,6 +39,17 @@ type EstimatorCacheStats struct {
 	FullQRs    int `json:"full_qrs"`
 }
 
+// Delta returns the field-wise counter increments s − since, for
+// per-request assertions against the cumulative process-wide counters.
+func (s EstimatorCacheStats) Delta(since EstimatorCacheStats) EstimatorCacheStats {
+	return EstimatorCacheStats{
+		Hits:       s.Hits - since.Hits,
+		Misses:     s.Misses - since.Misses,
+		FastBuilds: s.FastBuilds - since.FastBuilds,
+		FullQRs:    s.FullQRs - since.FullQRs,
+	}
+}
+
 // GlobalEstimatorCacheStats returns the process-wide cache counters.
 func GlobalEstimatorCacheStats() EstimatorCacheStats {
 	return EstimatorCacheStats{

@@ -210,6 +210,31 @@ func selectMTD(n *grid.Network, xOld []float64, cfg SelectConfig, eng *Engines) 
 			ds.ResetWarmStart()
 			gs.ResetWarmStart()
 		}
+		if eng.dispatch.Backend() == grid.SparseBackend {
+			// Lazy-penalty skip (sparse path only): evaluate the γ
+			// constraint first and skip the dispatch solve entirely at
+			// γ-infeasible points, scoring them penalty + CostUpperBound
+			// — the most ANY dispatch solve could have added. Every
+			// γ-feasible point scores below costUB, so no skipped point
+			// can ever displace one as the returned minimum; and with
+			// the default μ = 1e10 the penalty term dominates the
+			// objective landscape at any meaningful violation anyway, so
+			// the skip only deprives the search of cost detail the
+			// penalty had already drowned out. The surrogate is a pure
+			// function of xd, so determinism and worker-count invariance
+			// are untouched; the winner is still validated by exact γ
+			// and a full dispatch solve below. The dense path keeps the
+			// historical Penalized objective bitwise.
+			costUB := eng.dispatch.CostUpperBound()
+			gammaCons := cons[0]
+			return func(xd []float64) float64 {
+				viol := gammaCons(xd)
+				if viol <= 0 {
+					return costOf(xd)
+				}
+				return cfg.PenaltyMu*viol*viol + costUB
+			}, reset
+		}
 		return optimize.Penalized(costOf, cons, cfg.PenaltyMu), reset
 	}
 	obj, _ := newWorkerObj()
@@ -225,10 +250,15 @@ func selectMTD(n *grid.Network, xOld []float64, cfg SelectConfig, eng *Engines) 
 	}
 	initials = append(initials, cfg.WarmStarts...)
 	best, err := optimize.MultiStart(obj, box, local, optimize.MSConfig{
-		Starts:             cfg.Starts,
-		Seed:               cfg.Seed,
-		InitialPoints:      initials,
-		Parallelism:        cfg.Parallelism,
+		Starts:        cfg.Starts,
+		Seed:          cfg.Seed,
+		InitialPoints: initials,
+		Parallelism:   cfg.Parallelism,
+		// Sparse path: a random restart is admitted only if its start
+		// point already beats the best initial-point optimum — every
+		// skipped restart saves a full Nelder-Mead budget of dispatch
+		// LPs. Dense path keeps the historical every-start search.
+		ScreenRestarts:     eng.dispatch.Backend() == grid.SparseBackend,
 		NewWorkerObjective: newWorkerObj,
 	})
 	if err != nil {

@@ -1,0 +1,188 @@
+package lp
+
+import (
+	"math"
+
+	"gridmtd/internal/mat"
+)
+
+// Farkas-ray recycling: when the dual simplex certifies a problem
+// infeasible it does so by exhibiting a row-multiplier vector y (the dual
+// ray at the violated row) with y ≥ 0 on the inequality rows such that the
+// implied valid inequality (yᵀA)·x ≤ yᵀb cannot be met by any x inside the
+// variable bounds. That certificate is a property of (A, b, lo, up) alone,
+// not of the pivot path that found it — so a ray captured from one
+// infeasible candidate can be re-tested, exactly, against the next
+// candidate's data in O(m·n) and, when it still certifies, IS the answer.
+// The selection search probes many reactance configurations whose dispatch
+// LPs are infeasible for the same structural reason (the same overloaded
+// cut), so a tiny ring of recent rays converts the repeated 15–22 ms
+// infeasible dual-simplex runs of a cold ieee300 selection into
+// microsecond screens.
+//
+// Soundness does not rest on where a stored ray came from: every use
+// recomputes yᵀA and yᵀb against the candidate's own data and declares
+// infeasibility only when the bound gap exceeds a conservatively scaled
+// tolerance — the same "trust only certificates" rule the warm solver
+// already follows. A stale ray can only miss (costing one normal solve),
+// never wrongly reject.
+
+const (
+	// farkasRingCap bounds the per-solver certificate ring. Screens cost
+	// O(m·n) per ray on every solve that misses, so the ring stays small:
+	// the searches that benefit recycle one or two structural causes of
+	// infeasibility at a time.
+	farkasRingCap = 8
+)
+
+// farkasRay is one stored infeasibility certificate: the stacked-row
+// multipliers (equality rows first, then inequality rows — the latter
+// clamped nonnegative) and the problem signature they apply to.
+type farkasRay struct {
+	y           []float64
+	n, nEq, nUb int
+}
+
+// prescreen tests the ring's rays, newest first, against the problem's
+// exact data. It returns true only when some ray certifies infeasibility
+// for this problem.
+func (s *RevisedSolver) prescreen(p *Problem, n, nEq, nUb int) bool {
+	cnt := len(s.rays)
+	for i := 1; i <= cnt; i++ {
+		idx := ((s.rayNext-i)%cnt + cnt) % cnt
+		ray := &s.rays[idx]
+		if ray.n != n || ray.nEq != nEq || ray.nUb != nUb {
+			continue
+		}
+		if s.rayCertifies(p, ray.y, n, nEq, nUb) {
+			return true
+		}
+	}
+	return false
+}
+
+// rayCertifies recomputes c = yᵀA and yᵀb for the candidate problem and
+// reports whether min_{lo≤x≤up} cᵀx > yᵀb by more than a scale-aware
+// tolerance — the exact Farkas infeasibility condition. Any infinite bound
+// the minimization would need makes the ray inconclusive (never a wrong
+// verdict, just no screen).
+func (s *RevisedSolver) rayCertifies(p *Problem, y []float64, n, nEq, nUb int) bool {
+	s.rayScratch = growF(s.rayScratch, n)
+	c := s.rayScratch[:n]
+	for j := range c {
+		c[j] = 0
+	}
+	rhs, scale := 0.0, 0.0
+	for r := 0; r < nEq+nUb; r++ {
+		yr := y[r]
+		if yr == 0 {
+			continue
+		}
+		var row []float64
+		var b float64
+		if r < nEq {
+			row, b = p.Aeq.RowView(r), p.Beq[r]
+		} else {
+			row, b = p.Aub.RowView(r-nEq), p.Bub[r-nEq]
+		}
+		mat.AxpyVec(yr, row, c)
+		rhs += yr * b
+		scale += math.Abs(yr * b)
+	}
+	minAct := 0.0
+	for j := 0; j < n; j++ {
+		cj := c[j]
+		if cj == 0 {
+			continue
+		}
+		lo, up := p.bound(j)
+		var v float64
+		if cj > 0 {
+			if math.IsInf(lo, -1) {
+				return false
+			}
+			v = cj * lo
+		} else {
+			if math.IsInf(up, 1) {
+				return false
+			}
+			v = cj * up
+		}
+		minAct += v
+		scale += math.Abs(v)
+	}
+	return minAct > rhs+feasTol*(1+scale)
+}
+
+// captureRay is called at the dual loop's certified-infeasible exit, while
+// s.pi still holds the dual ray B⁻ᵀe_pos of the violated row. It clamps
+// the inequality-row components nonnegative in both orientations and
+// stores whichever one certifies the current (known-infeasible) problem —
+// self-validating, so a capture that would not have screened its own
+// problem is simply dropped.
+func (s *RevisedSolver) captureRay(p *Problem) {
+	n, nEq, nUb := s.sigN, s.sigEq, s.sigUb
+	m := nEq + nUb
+	if len(s.pi) < m {
+		return
+	}
+	for _, sgn := range [2]float64{1, -1} {
+		s.rayCand = growF(s.rayCand, m)
+		y := s.rayCand[:m]
+		maxAbs := 0.0
+		for r := 0; r < m; r++ {
+			v := sgn * s.pi[r]
+			if r >= nEq && v < 0 {
+				v = 0
+			}
+			y[r] = v
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			continue
+		}
+		inv := 1 / maxAbs
+		for r := range y {
+			y[r] *= inv
+		}
+		if !s.rayCertifies(p, y, n, nEq, nUb) {
+			continue
+		}
+		s.storeRay(y, n, nEq, nUb)
+		return
+	}
+}
+
+// storeRay places a copy of y in the ring, replacing the oldest entry, and
+// drops exact duplicates (consecutive infeasible candidates usually share
+// one structural cause, and a ring full of copies screens nothing new).
+func (s *RevisedSolver) storeRay(y []float64, n, nEq, nUb int) {
+	for i := range s.rays {
+		r := &s.rays[i]
+		if r.n == n && r.nEq == nEq && r.nUb == nUb && equalVec(r.y, y) {
+			return
+		}
+	}
+	ray := farkasRay{y: append([]float64(nil), y...), n: n, nEq: nEq, nUb: nUb}
+	if len(s.rays) < farkasRingCap {
+		s.rays = append(s.rays, ray)
+		s.rayNext = len(s.rays) % farkasRingCap
+		return
+	}
+	s.rays[s.rayNext] = ray
+	s.rayNext = (s.rayNext + 1) % farkasRingCap
+}
+
+func equalVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

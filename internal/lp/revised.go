@@ -68,6 +68,17 @@ type RevisedStats struct {
 	// SparseFactors counts working-matrix refactorizations routed through
 	// the sparse LU (density-gated; see SetSparseLU).
 	SparseFactors int
+	// PrescreenHits counts Solve calls answered by the Farkas-ray
+	// pre-screen: a recycled infeasibility certificate, revalidated
+	// exactly against the call's own problem data, proved the problem
+	// infeasible before any simplex work. Pre-screened calls are NOT
+	// counted in Solves — Solves remains the number of full dispatch
+	// solves actually run.
+	PrescreenHits int
+	// InfeasibleSolves counts full solves (counted in Solves) that ended
+	// in a certified ErrInfeasible — the pre-screen's remaining misses;
+	// each is also a ray-capture opportunity.
+	InfeasibleSolves int
 }
 
 // PricingRule selects how the dual simplex picks its leaving row (and
@@ -209,6 +220,14 @@ type RevisedSolver struct {
 	flips   []int
 	flipCol []float64
 	fcol    []float64
+	// Farkas-ray pre-screen state (see prescreen.go): a small ring of
+	// recent infeasibility certificates plus scratch. The ring survives
+	// Invalidate on purpose — rays are never trusted from storage, only
+	// after exact revalidation against the current problem's data, so
+	// dropping the warm basis has no bearing on their validity.
+	rays                []farkasRay
+	rayNext             int
+	rayScratch, rayCand []float64
 	// Scratch vectors sized to the working dimension k, m or nTot.
 	rhs, sol, yAct, colAct, alpha []float64
 	col, posv, pi                 []float64
@@ -356,7 +375,6 @@ func (s *RevisedSolver) Solve(p *Problem) (*Solution, error) {
 		return nil, err
 	}
 	defer s.flushStats()
-	s.stats.Solves++
 	n := len(p.C)
 	nEq, nUb := 0, 0
 	if p.Aeq != nil {
@@ -365,6 +383,14 @@ func (s *RevisedSolver) Solve(p *Problem) (*Solution, error) {
 	if p.Aub != nil {
 		nUb = p.Aub.Rows()
 	}
+	// Farkas-ray pre-screen: if a recycled certificate, revalidated against
+	// this problem's exact data, proves infeasibility, that IS the answer —
+	// no simplex run, no warm-state change, not counted in Solves.
+	if len(s.rays) > 0 && s.prescreen(p, n, nEq, nUb) {
+		s.stats.PrescreenHits++
+		return nil, ErrInfeasible
+	}
+	s.stats.Solves++
 	if s.hasBasis && (n != s.sigN || nEq != s.sigEq || nUb != s.sigUb) {
 		s.hasBasis = false
 	}
@@ -376,14 +402,14 @@ func (s *RevisedSolver) Solve(p *Problem) (*Solution, error) {
 		// on the flat path with no warm state.
 		s.hasBasis = false
 		s.stats.ColdSolves++
-		return s.cold.Solve(p)
+		return s.countInfeasible(s.cold.Solve(p))
 	}
 
 	if s.hasBasis {
 		sol, err := s.warmSolve(p)
 		if err == nil || errors.Is(err, ErrInfeasible) {
 			s.stats.WarmSolves++
-			return sol, err
+			return s.countInfeasible(sol, err)
 		}
 		s.stats.Fallbacks++
 		s.hasBasis = false
@@ -401,11 +427,20 @@ func (s *RevisedSolver) Solve(p *Problem) (*Solution, error) {
 		sol, err := s.warmSolve(p)
 		if err == nil || errors.Is(err, ErrInfeasible) {
 			s.stats.WarmSolves++
-			return sol, err
+			return s.countInfeasible(sol, err)
 		}
 		s.hasBasis = false
 	}
-	return s.coldSolve(p)
+	return s.countInfeasible(s.coldSolve(p))
+}
+
+// countInfeasible attributes a full solve's infeasible outcome to the
+// stats on its way out (pre-screened calls are counted separately).
+func (s *RevisedSolver) countInfeasible(sol *Solution, err error) (*Solution, error) {
+	if errors.Is(err, ErrInfeasible) {
+		s.stats.InfeasibleSolves++
+	}
+	return sol, err
 }
 
 // crashBasis installs the deterministic cold-start basis: every slack
@@ -1401,6 +1436,9 @@ func (s *RevisedSolver) dualLoop(p *Problem) error {
 				continue
 			}
 			// No column can repair the violated row: primal infeasible.
+			// Bank the dual ray as a recyclable certificate before
+			// reporting (see prescreen.go).
+			s.captureRay(p)
 			return ErrInfeasible
 		}
 		enter := -1

@@ -13,7 +13,8 @@ type globalStats struct {
 	solves, warm, cold, fallbacks      atomic.Int64
 	primal, dual, etaUpdates, refacts  atomic.Int64
 	sePivots, weightResets, boundFlips atomic.Int64
-	sparseFactors                      atomic.Int64
+	sparseFactors, prescreens          atomic.Int64
+	infeasibles                        atomic.Int64
 }
 
 var global globalStats
@@ -34,6 +35,35 @@ func GlobalRevisedStats() RevisedStats {
 		WeightResets:     int(global.weightResets.Load()),
 		BoundFlips:       int(global.boundFlips.Load()),
 		SparseFactors:    int(global.sparseFactors.Load()),
+		PrescreenHits:    int(global.prescreens.Load()),
+		InfeasibleSolves: int(global.infeasibles.Load()),
+	}
+}
+
+// Delta returns the counter increments between an earlier snapshot of the
+// cumulative stats and this one (field-wise s − since). Tests and CI
+// compare per-request deltas with it instead of racing absolute
+// process-global values:
+//
+//	before := lp.GlobalRevisedStats()
+//	... run one request ...
+//	d := lp.GlobalRevisedStats().Delta(before)
+func (s RevisedStats) Delta(since RevisedStats) RevisedStats {
+	return RevisedStats{
+		Solves:           s.Solves - since.Solves,
+		WarmSolves:       s.WarmSolves - since.WarmSolves,
+		ColdSolves:       s.ColdSolves - since.ColdSolves,
+		Fallbacks:        s.Fallbacks - since.Fallbacks,
+		PrimalPivots:     s.PrimalPivots - since.PrimalPivots,
+		DualPivots:       s.DualPivots - since.DualPivots,
+		EtaUpdates:       s.EtaUpdates - since.EtaUpdates,
+		Refactorizations: s.Refactorizations - since.Refactorizations,
+		SEPivots:         s.SEPivots - since.SEPivots,
+		WeightResets:     s.WeightResets - since.WeightResets,
+		BoundFlips:       s.BoundFlips - since.BoundFlips,
+		SparseFactors:    s.SparseFactors - since.SparseFactors,
+		PrescreenHits:    s.PrescreenHits - since.PrescreenHits,
+		InfeasibleSolves: s.InfeasibleSolves - since.InfeasibleSolves,
 	}
 }
 
@@ -53,5 +83,7 @@ func (s *RevisedSolver) flushStats() {
 	global.weightResets.Add(int64(d.WeightResets - f.WeightResets))
 	global.boundFlips.Add(int64(d.BoundFlips - f.BoundFlips))
 	global.sparseFactors.Add(int64(d.SparseFactors - f.SparseFactors))
+	global.prescreens.Add(int64(d.PrescreenHits - f.PrescreenHits))
+	global.infeasibles.Add(int64(d.InfeasibleSolves - f.InfeasibleSolves))
 	s.flushed = d
 }

@@ -66,6 +66,13 @@ type DispatchEngine struct {
 	// results, which is the determinism contract pooled solves rely on.
 	seedOnce sync.Once
 	seed     *lp.WarmBasis
+
+	// Dispatch-solve memo (sparse path only): because every fast-path
+	// solve is a pure from-seed function of (loads, x), a cache hit is
+	// bitwise indistinguishable from recomputing — see SolveCache. nil on
+	// the dense path, which keeps its historical bitwise behavior and
+	// never consults the cache.
+	cache *SolveCache
 }
 
 type dispatchWorkspace struct {
@@ -176,6 +183,9 @@ func NewDispatchEngineBackend(n *grid.Network, backend grid.Backend) (*DispatchE
 			w.aub = mat.NewDense(2*len(e.limRow), e.nG)
 		}
 		return w
+	}
+	if e.warm {
+		e.cache = newSolveCache(0)
 	}
 	return e, nil
 }
@@ -328,6 +338,9 @@ func (e *DispatchEngine) buildProblem(w *dispatchWorkspace, x []float64) (*lp.Pr
 // the cold tableau solve. Per-candidate warm chaining stays with the
 // explicitly scoped per-worker sessions.
 func (e *DispatchEngine) Cost(x []float64) (float64, error) {
+	if e.cache != nil {
+		return e.cachedCost(nil, x)
+	}
 	w := e.pool.Get().(*dispatchWorkspace)
 	w.dropWarmStart()
 	sol, err := e.prepare(w, x)
@@ -338,6 +351,18 @@ func (e *DispatchEngine) Cost(x []float64) (float64, error) {
 	return sol.Objective, nil
 }
 
+// CostUpperBound returns an upper bound on Cost over every reactance
+// vector: Σ_i max(c_i·g_i^lo, c_i·g_i^hi), the worst any within-bounds
+// dispatch can cost. Searches use it to skip dispatch solves at points
+// whose penalty terms already exceed any cost the solve could contribute.
+func (e *DispatchEngine) CostUpperBound() float64 {
+	ub := 0.0
+	for i, c := range e.cost {
+		ub += math.Max(c*e.genLo[i], c*e.genHi[i])
+	}
+	return ub
+}
+
 // Solve returns the full OPF result for reactances x, including the
 // verifying DC power flow, exactly as SolveDispatch does. Like Cost, a
 // pooled solve starts from the engine's fixed seed basis, never another
@@ -345,8 +370,80 @@ func (e *DispatchEngine) Cost(x []float64) (float64, error) {
 func (e *DispatchEngine) Solve(x []float64) (*Result, error) {
 	w := e.pool.Get().(*dispatchWorkspace)
 	defer e.pool.Put(w)
+	if e.cache != nil {
+		return e.cachedSolve(w, x)
+	}
 	w.dropWarmStart()
 	return e.solve(w, x)
+}
+
+// cachedCost returns the memoized LP objective for the current (loads, x),
+// computing it on the caller's workspace (or a pooled one when w is nil)
+// on a miss. See SolveCache for why a hit is bitwise equivalent to a
+// fresh solve.
+func (e *DispatchEngine) cachedCost(w *dispatchWorkspace, x []float64) (float64, error) {
+	ent, ok := e.cache.entry(e.solveKey(x))
+	first := e.computeEntry(ent, w, x)
+	countSolveLookup(first, ok)
+	if ent.err != nil {
+		return 0, ent.err
+	}
+	return ent.obj, nil
+}
+
+// cachedSolve is Solve through the memo: the LP comes from the cache (or
+// one shared computation on a miss); only the verifying DC power flow —
+// which needs this workspace's factorization at x — runs per call.
+func (e *DispatchEngine) cachedSolve(w *dispatchWorkspace, x []float64) (*Result, error) {
+	ent, ok := e.cache.entry(e.solveKey(x))
+	first := e.computeEntry(ent, w, x)
+	countSolveLookup(first, ok)
+	if ent.err != nil {
+		return nil, ent.err
+	}
+	if !first {
+		// The LP ran in some earlier call: w.bf does not hold x's
+		// factorization, which the verifying power flow below needs.
+		if err := w.bf.Reset(x); err != nil {
+			return nil, fmt.Errorf("opf: PTDF: %w", err)
+		}
+	}
+	return e.verifiedResult(w, x, append([]float64(nil), ent.x...), ent.obj)
+}
+
+// computeEntry runs the entry's single LP solve if nobody has yet: a pure
+// from-seed solve of (loads, x) on the caller's workspace, or on a pooled
+// workspace when w is nil. It reports whether this call did the work (in
+// which case w's factorizer holds x when w was supplied).
+func (e *DispatchEngine) computeEntry(ent *solveEntry, w *dispatchWorkspace, x []float64) (first bool) {
+	ent.once.Do(func() {
+		first = true
+		ws := w
+		if ws == nil {
+			ws = e.pool.Get().(*dispatchWorkspace)
+			defer e.pool.Put(ws)
+		}
+		ws.dropWarmStart()
+		sol, err := e.prepare(ws, x)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		ent.obj = sol.Objective
+		ent.x = append([]float64(nil), sol.X...)
+	})
+	return first
+}
+
+// countSolveLookup attributes one cache lookup to the process-wide
+// counters: a lookup that found a computed entry is a hit, anything else
+// (created the entry, or did/shared the computation) is a miss.
+func countSolveLookup(first, existed bool) {
+	if first || !existed {
+		solveGlobal.misses.Add(1)
+	} else {
+		solveGlobal.hits.Add(1)
+	}
 }
 
 // dropWarmStart discards the workspace's warm LP basis (no-op on the
@@ -384,6 +481,13 @@ func (e *DispatchEngine) solve(w *dispatchWorkspace, x []float64) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
+	return e.verifiedResult(w, x, sol.X, sol.Objective)
+}
+
+// verifiedResult runs the verifying DC power flow for an already-solved
+// dispatch and assembles the Result. w.bf must hold the factorization of
+// x (buildProblem leaves it there; the cache-hit path re-resets it).
+func (e *DispatchEngine) verifiedResult(w *dispatchWorkspace, x, dispatch []float64, obj float64) (*Result, error) {
 	n := e.n
 
 	// Verifying power flow (dcflow.SolveDispatch, reusing the factors of
@@ -392,7 +496,7 @@ func (e *DispatchEngine) solve(w *dispatchWorkspace, x []float64) (*Result, erro
 		w.inj[i] = -b.LoadMW
 	}
 	for i, g := range n.Gens {
-		w.inj[g.Bus-1] += sol.X[i]
+		w.inj[g.Bus-1] += dispatch[i]
 	}
 	total := mat.SumVec(w.inj)
 	if math.Abs(total) > 1e-6*(1+mat.Norm1(w.inj)) {
@@ -411,10 +515,10 @@ func (e *DispatchEngine) solve(w *dispatchWorkspace, x []float64) (*Result, erro
 		flows[l] = (theta[br.From-1] - theta[br.To-1]) / x[l] * n.BaseMVA
 	}
 	return &Result{
-		DispatchMW:  sol.X,
+		DispatchMW:  dispatch,
 		FlowsMW:     flows,
 		ThetaRad:    theta,
-		CostPerHour: sol.Objective,
+		CostPerHour: obj,
 		Reactances:  mat.CopyVec(x),
 	}, nil
 }
@@ -436,8 +540,14 @@ func (e *DispatchEngine) NewSession() *DispatchSession {
 	return &DispatchSession{e: e, w: e.pool.New().(*dispatchWorkspace)}
 }
 
-// Cost is DispatchEngine.Cost on the session's private workspace.
+// Cost is DispatchEngine.Cost on the session's private workspace. On the
+// sparse path it serves from the engine's shared SolveCache: every miss
+// is a pure from-seed solve of (loads, x), so hits are bitwise equivalent
+// and session results no longer depend on the session's solve history.
 func (s *DispatchSession) Cost(x []float64) (float64, error) {
+	if s.e.cache != nil {
+		return s.e.cachedCost(s.w, x)
+	}
 	sol, err := s.e.prepare(s.w, x)
 	if err != nil {
 		return 0, err
@@ -447,6 +557,9 @@ func (s *DispatchSession) Cost(x []float64) (float64, error) {
 
 // Solve is DispatchEngine.Solve on the session's private workspace.
 func (s *DispatchSession) Solve(x []float64) (*Result, error) {
+	if s.e.cache != nil {
+		return s.e.cachedSolve(s.w, x)
+	}
 	return s.e.solve(s.w, x)
 }
 

@@ -126,10 +126,15 @@ func SolveDFACTSEngine(engine *DispatchEngine, cfg DFACTSConfig) (*Result, error
 		initial = n.Reactances()
 	}
 	best, err := optimize.MultiStart(obj, box, local, optimize.MSConfig{
-		Starts:             cfg.Starts,
-		Seed:               cfg.Seed,
-		InitialPoints:      [][]float64{n.DFACTSSetting(initial)},
-		Parallelism:        cfg.Parallelism,
+		Starts:        cfg.Starts,
+		Seed:          cfg.Seed,
+		InitialPoints: [][]float64{n.DFACTSSetting(initial)},
+		Parallelism:   cfg.Parallelism,
+		// On the sparse path every evaluation is a full dispatch LP, so a
+		// random restart must beat the incumbent initial-point optimum at
+		// its start point to earn a Nelder-Mead budget. The dense path
+		// keeps the historical every-start search bitwise.
+		ScreenRestarts:     engine.Backend() == grid.SparseBackend,
 		NewWorkerObjective: newWorkerObj,
 	})
 	if err != nil {

@@ -2,6 +2,7 @@ package optimize
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -96,6 +97,22 @@ type MSConfig struct {
 	// MultiStart up to that per-start state; a nil reset is allowed for
 	// stateless objectives.
 	NewWorkerObjective func() (Objective, func())
+	// ScreenRestarts stages the run: the deterministic InitialPoints
+	// trajectories complete first, then every random restart is scored
+	// with a single objective evaluation at its (clamped) start point and
+	// earns a full local search only if that score strictly improves on
+	// the best initial-point optimum. Restarts that fail the screen
+	// contribute their score as a 1-eval outcome — they can never win the
+	// reduction (their score is no better than an earlier result), so the
+	// screen only removes local-search work, never changes a winner that
+	// would have come from an initial point. Screening is deterministic
+	// and worker-count invariant by construction: the bar is fixed at the
+	// stage barrier before any restart is scored. It has no effect when
+	// there are no InitialPoints. Callers with expensive objectives (the
+	// dispatch-LP searches on the sparse path) use it to stop paying a
+	// full Nelder-Mead budget for restarts that start out losing; exact
+	// paths leave it off and keep the historical every-start behavior.
+	ScreenRestarts bool
 }
 
 // MultiStart minimizes f over the box by running the local solver from
@@ -148,6 +165,12 @@ func MultiStart(f Objective, box Bounds, local Local, cfg MSConfig) (*Result, er
 		err   error
 	}
 	outs := make([]outcome, len(points))
+	// screenBar is the restart screen threshold: the best initial-point
+	// optimum, fixed at the stage barrier before any restart is scored.
+	// +Inf (the zero stage: no screening, or no initial points) admits
+	// every restart.
+	screenBar := math.Inf(1)
+	screening := cfg.ScreenRestarts && len(cfg.InitialPoints) > 0
 	// runStart runs start i against one worker's objective. The reset hook
 	// fires before the local search, so everything the objective computes
 	// for this start — including the final re-evaluation of the clamped
@@ -156,6 +179,21 @@ func MultiStart(f Objective, box Bounds, local Local, cfg MSConfig) (*Result, er
 	runStart := func(i int, obj Objective, reset func()) {
 		if reset != nil {
 			reset()
+		}
+		if screening && i >= len(cfg.InitialPoints) {
+			// Restart screen: one evaluation at the start point decides
+			// whether this restart earns a local search. The score is a
+			// pure function of the point (the reset above scoped any
+			// warm state), so the verdict is worker-count invariant.
+			x0 := box.Clamp(append([]float64(nil), points[i]...))
+			f0 := obj(x0)
+			if !(f0 < screenBar) {
+				outs[i] = outcome{res: &Result{X: x0, F: f0, Evals: 1}, evals: 1}
+				return
+			}
+			if reset != nil {
+				reset() // scope the local search exactly like an unscreened run
+			}
 		}
 		// Evaluate through a box projection so local solvers cannot leave
 		// the box.
@@ -175,23 +213,28 @@ func MultiStart(f Objective, box Bounds, local Local, cfg MSConfig) (*Result, er
 		outs[i] = outcome{res: res, evals: evals}
 	}
 
-	workers := cfg.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(points) {
-		workers = len(points)
-	}
-	if workers <= 1 {
-		obj, reset := workerObjective()
-		for i := range points {
-			runStart(i, obj, reset)
-			if outs[i].err != nil {
-				// Fail fast like the serial loop: later starts never run.
-				return nil, outs[i].err
-			}
+	// runRange dispatches starts [lo, hi) across up to cfg.Parallelism
+	// workers and fails fast on the earliest-index error, exactly like the
+	// historical serial loop.
+	runRange := func(lo, hi int) error {
+		workers := cfg.Parallelism
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
 		}
-	} else {
+		if workers > hi-lo {
+			workers = hi - lo
+		}
+		if workers <= 1 {
+			obj, reset := workerObjective()
+			for i := lo; i < hi; i++ {
+				runStart(i, obj, reset)
+				if outs[i].err != nil {
+					// Fail fast like the serial loop: later starts never run.
+					return outs[i].err
+				}
+			}
+			return nil
+		}
 		var wg sync.WaitGroup
 		next := make(chan int)
 		for w := 0; w < workers; w++ {
@@ -204,11 +247,36 @@ func MultiStart(f Objective, box Bounds, local Local, cfg MSConfig) (*Result, er
 				}
 			}()
 		}
-		for i := range points {
+		for i := lo; i < hi; i++ {
 			next <- i
 		}
 		close(next)
 		wg.Wait()
+		for i := lo; i < hi; i++ {
+			if outs[i].err != nil {
+				return outs[i].err
+			}
+		}
+		return nil
+	}
+
+	if screening {
+		// Stage 1: deterministic initial points. The barrier fixes the
+		// screen bar before any restart runs, so the bar — and with it
+		// every screen verdict — is independent of scheduling.
+		if err := runRange(0, len(cfg.InitialPoints)); err != nil {
+			return nil, err
+		}
+		for i := 0; i < len(cfg.InitialPoints); i++ {
+			if outs[i].res.F < screenBar {
+				screenBar = outs[i].res.F
+			}
+		}
+		if err := runRange(len(cfg.InitialPoints), len(points)); err != nil {
+			return nil, err
+		}
+	} else if err := runRange(0, len(points)); err != nil {
+		return nil, err
 	}
 
 	// Deterministic reduction in start order: first error wins, strict

@@ -81,6 +81,30 @@ type Stats struct {
 	// repeat selections avoided, and how many of the remaining builds the
 	// rank-structured fast path served instead of a full QR.
 	Estimators core.EstimatorCacheStats `json:"estimators"`
+	// SolveCache is the process-wide dispatch-solve memo snapshot
+	// (opf.GlobalSolveCacheStats): how many dispatch LPs the bitwise
+	// (loads, reactances) memo answered without touching the solver.
+	SolveCache opf.SolveCacheStats `json:"solve_cache"`
+}
+
+// Delta returns the counter increments between an earlier Stats snapshot
+// and this one (field-wise s − since). The process-global counters served
+// by /v1/stats are cumulative; tests, CI and dashboards diff two
+// snapshots with it instead of racing absolute values. The γ-backend
+// label is copied from the newer snapshot.
+func (s Stats) Delta(since Stats) Stats {
+	return Stats{
+		CaseHits:          s.CaseHits - since.CaseHits,
+		CaseMisses:        s.CaseMisses - since.CaseMisses,
+		ResultHits:        s.ResultHits - since.ResultHits,
+		ResultMisses:      s.ResultMisses - since.ResultMisses,
+		GammaExactServed:  s.GammaExactServed - since.GammaExactServed,
+		GammaSparseServed: s.GammaSparseServed - since.GammaSparseServed,
+		GammaSketchServed: s.GammaSketchServed - since.GammaSketchServed,
+		LP:                s.LP.Delta(since.LP),
+		Estimators:        s.Estimators.Delta(since.Estimators),
+		SolveCache:        s.SolveCache.Delta(since.SolveCache),
+	}
 }
 
 // LPStats mirrors lp.RevisedStats with the JSON field names /v1/stats
@@ -98,6 +122,28 @@ type LPStats struct {
 	EtaUpdates       int `json:"eta_updates"`
 	Refactorizations int `json:"refactorizations"`
 	SparseFactors    int `json:"sparse_factors"`
+	PrescreenHits    int `json:"prescreen_hits"`
+	InfeasibleSolves int `json:"infeasible_solves"`
+}
+
+// Delta returns the field-wise counter increments s − since.
+func (s LPStats) Delta(since LPStats) LPStats {
+	return LPStats{
+		Solves:           s.Solves - since.Solves,
+		WarmSolves:       s.WarmSolves - since.WarmSolves,
+		ColdSolves:       s.ColdSolves - since.ColdSolves,
+		Fallbacks:        s.Fallbacks - since.Fallbacks,
+		PrimalPivots:     s.PrimalPivots - since.PrimalPivots,
+		DualPivots:       s.DualPivots - since.DualPivots,
+		SEPivots:         s.SEPivots - since.SEPivots,
+		BoundFlips:       s.BoundFlips - since.BoundFlips,
+		WeightResets:     s.WeightResets - since.WeightResets,
+		EtaUpdates:       s.EtaUpdates - since.EtaUpdates,
+		Refactorizations: s.Refactorizations - since.Refactorizations,
+		SparseFactors:    s.SparseFactors - since.SparseFactors,
+		PrescreenHits:    s.PrescreenHits - since.PrescreenHits,
+		InfeasibleSolves: s.InfeasibleSolves - since.InfeasibleSolves,
+	}
 }
 
 // lpStatsSnapshot converts the process-wide lp counters into the
@@ -117,6 +163,8 @@ func lpStatsSnapshot() LPStats {
 		EtaUpdates:       g.EtaUpdates,
 		Refactorizations: g.Refactorizations,
 		SparseFactors:    g.SparseFactors,
+		PrescreenHits:    g.PrescreenHits,
+		InfeasibleSolves: g.InfeasibleSolves,
 	}
 }
 
@@ -168,6 +216,7 @@ func (p *Planner) Stats() Stats {
 	s := p.stats
 	s.LP = lpStatsSnapshot()
 	s.Estimators = core.GlobalEstimatorCacheStats()
+	s.SolveCache = opf.GlobalSolveCacheStats()
 	return s
 }
 
