@@ -8,6 +8,8 @@
 // Usage:
 //
 //	gridmtdd [-addr 127.0.0.1:8642] [-backend auto] [-gamma auto] [-parallel 0] [-timeout 2m]
+//	         [-max-inflight 0] [-queue-depth 0] [-disk-cache DIR] [-disk-cache-mb 256]
+//	gridmtdd -route shard1:8643,shard2:8644 [-addr 127.0.0.1:8642] [-timeout 2m]
 //
 // Endpoints (JSON in, JSON out):
 //
@@ -22,10 +24,50 @@
 //	POST /v1/placement   planner.PlacementRequest -> planner.PlacementResponse
 //
 // Service hardening: every POST endpoint runs under a per-request deadline
-// (-timeout; exceeding it answers 503 while the abandoned computation's
-// result still lands in the memo for the retry), and SIGINT/SIGTERM
-// trigger a graceful shutdown that stops accepting connections and drains
-// in-flight requests before exiting.
+// (-timeout; exceeding it answers 503 with a Retry-After header while the
+// abandoned computation's result still lands in the memo for the retry),
+// and SIGINT/SIGTERM trigger a graceful shutdown that stops accepting
+// connections and drains in-flight requests before exiting.
+//
+// # Serving at scale
+//
+// Four layers turn one daemon into a fleet-scale service; cmd/gridmtdload
+// is the load harness that measures them, and PERF.md records the numbers.
+//
+// Single-flight coalescing (always on): identical in-flight requests join
+// one computation instead of racing the memo — N clients asking for the
+// same cold selection cost one search. The /v1/stats result_coalesced
+// counter reports the joins, and coalesced responses carry
+// "source":"coalesced".
+//
+// Admission control (-max-inflight N -queue-depth D): at most N requests
+// compute concurrently; up to D more wait in a bounded queue (default
+// 4×N); beyond that the daemon load-sheds with 429 + Retry-After instead
+// of collapsing. Queue wait is part of the served latency and is reported
+// under /v1/stats "admission". Memo, coalesced and disk hits bypass the
+// queue entirely, so warm traffic stays microseconds under overload.
+//
+// Persistent response cache (-disk-cache DIR [-disk-cache-mb M]): computed
+// responses are written through to a directory of content-addressed JSON
+// entries (atomic write-rename, LRU byte cap, corrupt entries skipped not
+// fatal), keyed on the bitwise memo key plus the case registry content
+// hash. A restarted daemon serves previously computed selections from
+// disk in microseconds ("source":"disk") instead of re-running sub-second
+// searches; stale entries from a different registry build can never serve.
+//
+// Router mode (-route shard1:port,shard2:port,...): the daemon becomes a
+// thin router — no planner of its own — that rendezvous-hashes each
+// request's (case, load_scale) over the shards and proxies, so N replicas
+// split the case registry (each case's factorized engines and disk cache
+// live on exactly one shard). GET /v1/stats answers the field-wise sum of
+// all shard stats (?mark=/?since= pass through to every shard), /healthz
+// aggregates shard health, and shard 429/503 responses (Retry-After
+// included) pass through untouched.
+//
+// The stats workflow for monitors and load tests: GET /v1/stats?mark=t0
+// stores a named snapshot, a later GET /v1/stats?since=t0 answers the
+// field-wise delta — per-window hit/coalesce/shed/solve counters without
+// racing absolute values.
 //
 // A selection request is parameterized exactly like one mtdscan sweep
 // point, so
@@ -40,6 +82,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -51,27 +94,54 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"gridmtd"
 	"gridmtd/internal/planner"
+	"gridmtd/internal/planner/diskcache"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gridmtdd: ")
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8642", "listen address")
-		backend    = flag.String("backend", "auto", "linear-algebra backend: auto, dense or sparse")
-		gammaBk    = flag.String("gamma", "auto", "default γ-evaluation backend: auto, exact, sparse or sketch (requests may override per call)")
-		parallel   = flag.Int("parallel", 0, "per-request search parallelism (0 = all cores); results are identical for any setting")
-		maxCases   = flag.Int("cases", 8, "case LRU capacity ((case, load-scale) entries)")
-		maxResults = flag.Int("results", 256, "response memo capacity")
-		timeout    = flag.Duration("timeout", 2*time.Minute, "per-request deadline (0 disables it)")
+		addr        = flag.String("addr", "127.0.0.1:8642", "listen address")
+		backend     = flag.String("backend", "auto", "linear-algebra backend: auto, dense or sparse")
+		gammaBk     = flag.String("gamma", "auto", "default γ-evaluation backend: auto, exact, sparse or sketch (requests may override per call)")
+		parallel    = flag.Int("parallel", 0, "per-request search parallelism (0 = all cores); results are identical for any setting")
+		maxCases    = flag.Int("cases", 8, "case LRU capacity ((case, load-scale) entries)")
+		maxResults  = flag.Int("results", 256, "response memo capacity")
+		timeout     = flag.Duration("timeout", 2*time.Minute, "per-request deadline (0 disables it)")
+		maxInflight = flag.Int("max-inflight", 0, "admission control: max concurrently computing requests (0 = unbounded); cache hits bypass the limit")
+		queueDepth  = flag.Int("queue-depth", 0, "admission control: max computations waiting for a slot (default 4x max-inflight); beyond it requests shed with 429")
+		diskDir     = flag.String("disk-cache", "", "persistent response cache directory (empty = off); survives restarts")
+		diskMB      = flag.Int("disk-cache-mb", 256, "disk cache size cap in MiB (LRU eviction past it)")
+		route       = flag.String("route", "", "router mode: comma-separated shard addresses; proxy requests by rendezvous-hashing (case, load_scale) instead of serving a planner")
 	)
 	flag.Parse()
+
+	if *route != "" {
+		rt, err := newRouter(strings.Split(*route, ","))
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := &http.Server{Addr: *addr, Handler: logRequests(rt.handler())}
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		log.Printf("routing MTD planner traffic on %s over %d shards: %s", *addr, len(rt.shards), strings.Join(rt.shards, ", "))
+		if err := serveUntilSignal(srv, ln, stop); err != nil {
+			log.Fatal(err)
+		}
+		log.Print("drained; bye")
+		return
+	}
 
 	b, err := gridmtd.ParseBackend(*backend)
 	if err != nil {
@@ -90,11 +160,22 @@ func main() {
 		runtime.GOMAXPROCS(*parallel)
 	}
 
+	var disk *diskcache.Cache
+	if *diskDir != "" {
+		disk, err = diskcache.Open(diskcache.Config{Dir: *diskDir, MaxBytes: int64(*diskMB) << 20})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("persistent response cache at %s (%d entries resident, cap %d MiB)", *diskDir, disk.Stats().Entries, *diskMB)
+	}
 	p := planner.New(planner.Config{
 		Backend:     b,
 		MaxCases:    *maxCases,
 		MaxResults:  *maxResults,
 		Parallelism: *parallel,
+		MaxInflight: *maxInflight,
+		QueueDepth:  *queueDepth,
+		Disk:        disk,
 	})
 	srv := &http.Server{Addr: *addr, Handler: newHandler(p, *timeout)}
 
@@ -188,23 +269,82 @@ func newHandler(p *planner.Planner, timeout time.Duration) http.Handler {
 	return logRequests(mux)
 }
 
+// retryAfterSeconds is the back-off hint on load-shed (429) and
+// deadline (503) responses: the memo completes abandoned computations
+// and sheds drain at the next slot, so an immediate-ish retry is cheap.
+const retryAfterSeconds = "1"
+
 // withDeadline bounds one request's wall clock: past the timeout the
-// client gets 503 with a JSON error body. The planner's memo still
-// completes the abandoned computation, so an immediate retry of the same
-// request is a cache hit rather than a second search.
+// client gets 503 with a Retry-After header and a JSON body explaining
+// that the abandoned computation still completes into the memo — the
+// retry the header invites picks the result up as a cache hit rather
+// than a second search. (A hand-rolled timeout wrapper rather than
+// http.TimeoutHandler: the 503 needs its own headers, which
+// TimeoutHandler cannot set without leaking them onto success
+// responses.)
 func withDeadline(h http.Handler, timeout time.Duration) http.Handler {
 	if timeout <= 0 {
 		return h
 	}
-	body, _ := json.Marshal(map[string]any{"error": fmt.Sprintf("request deadline (%s) exceeded; retry to pick up the memoized result", timeout)})
-	th := http.TimeoutHandler(h, timeout, string(body))
-	// TimeoutHandler writes its 503 body without a Content-Type; pre-set
-	// it on the real writer so the deadline error is JSON-typed like every
-	// other response (the success path overwrites with the same value).
+	body, _ := json.Marshal(map[string]any{"error": fmt.Sprintf("request deadline (%s) exceeded; the computation continues and its result will be memoized — retry to pick it up", timeout)})
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		th.ServeHTTP(w, r)
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		rec := &bufferedResponse{header: http.Header{}}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			h.ServeHTTP(rec, r.WithContext(ctx))
+		}()
+		select {
+		case <-done:
+			rec.copyTo(w)
+		case <-ctx.Done():
+			// The handler goroutine keeps writing into its private buffer
+			// until the planner call finishes; nothing reads it again.
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write(body)
+		}
 	})
+}
+
+// bufferedResponse captures a handler's full response in memory so the
+// deadline wrapper can either forward it or abandon it wholesale.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.status == 0 {
+		b.status = code
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	return b.body.Write(p)
+}
+
+func (b *bufferedResponse) copyTo(w http.ResponseWriter) {
+	for k, vs := range b.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	status := b.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	w.WriteHeader(status)
+	w.Write(b.body.Bytes())
 }
 
 // serve decodes one request body, runs the planner call and writes the
@@ -218,8 +358,14 @@ func serve[Req any](w http.ResponseWriter, r *http.Request, call func(Req) (any,
 	resp, err := call(req)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
-		if errors.Is(err, planner.ErrUnreachable) {
+		switch {
+		case errors.Is(err, planner.ErrUnreachable):
 			status = http.StatusConflict
+		case errors.Is(err, planner.ErrOverloaded):
+			// Load shed: tell the client when to come back. The result was
+			// deliberately not memoized, so the retry re-enters the queue.
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", retryAfterSeconds)
 		}
 		writeJSON(w, status, map[string]any{"error": err.Error()})
 		return

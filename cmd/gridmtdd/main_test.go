@@ -8,11 +8,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"gridmtd/internal/planner"
+	"gridmtd/internal/planner/diskcache"
 )
 
 func testServer(t *testing.T) *httptest.Server {
@@ -238,8 +241,10 @@ func TestErrorStatuses(t *testing.T) {
 }
 
 // TestRequestDeadline pins the service-hardening contract: a compute
-// endpoint that cannot finish inside the per-request deadline answers 503,
-// while the instant GET endpoints stay outside the deadline entirely.
+// endpoint that cannot finish inside the per-request deadline answers 503
+// with a Retry-After header and a body telling the client the computation
+// continues and will be memoized, while the instant GET endpoints stay
+// outside the deadline entirely.
 func TestRequestDeadline(t *testing.T) {
 	// A deadline no real selection can meet makes the timeout deterministic.
 	srv := httptest.NewServer(newHandler(planner.New(planner.Config{}), time.Nanosecond))
@@ -257,13 +262,163 @@ func TestRequestDeadline(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
 		t.Errorf("503 Content-Type %q, want application/json like every other response", ct)
 	}
-	if !strings.Contains(string(body), "deadline") {
-		t.Errorf("503 body %q does not explain the deadline", body)
+	if ra := resp.Header.Get("Retry-After"); ra != retryAfterSeconds {
+		t.Errorf("503 Retry-After %q, want %q — timeouts must invite the retry that hits the memo", ra, retryAfterSeconds)
+	}
+	if s := string(body); !strings.Contains(s, "deadline") || !strings.Contains(s, "memoized") {
+		t.Errorf("503 body %q does not explain the deadline and the memoized retry", body)
 	}
 	if r2, err := http.Get(srv.URL + "/healthz"); err != nil || r2.StatusCode != http.StatusOK {
 		t.Fatalf("healthz under a nanosecond deadline: %v / %v", err, r2)
 	} else {
 		r2.Body.Close()
+	}
+}
+
+// TestDaemonCoalescesIdenticalRequests drives the single-flight contract
+// through real HTTP: N identical in-flight selections run exactly one
+// computation (stats: 1 miss, the rest hits or coalesced joins) and every
+// client reads the same numbers.
+func TestDaemonCoalescesIdenticalRequests(t *testing.T) {
+	srv := testServer(t)
+	const n = 6
+	req := planner.SelectRequest{
+		Case: "ieee14", GammaThreshold: 0.12, Starts: 2, Seed: 1, Attacks: 50,
+	}
+	var wg sync.WaitGroup
+	resps := make([]planner.SelectResponse, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = postJSON(t, srv.URL+"/v1/select", req, &resps[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	r, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st planner.Stats
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if st.ResultMisses != 1 {
+		t.Errorf("result_misses = %d for %d identical concurrent requests, want exactly 1 computation", st.ResultMisses, n)
+	}
+	if st.ResultHits+st.ResultCoalesced != n-1 {
+		t.Errorf("hits(%d) + coalesced(%d) = %d, want %d",
+			st.ResultHits, st.ResultCoalesced, st.ResultHits+st.ResultCoalesced, n-1)
+	}
+	base := resps[0]
+	base.CacheHit, base.Source = false, ""
+	for i := 1; i < n; i++ {
+		got := resps[i]
+		got.CacheHit, got.Source = false, ""
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("response %d differs from response 0:\n%+v\n%+v", i, base, got)
+		}
+	}
+}
+
+// TestDaemonShedsWithRetryAfter drives admission control through real
+// HTTP, sequenced by polling /v1/stats so nothing races: a long request
+// holds the single worker slot, a second fills the queue, and the third
+// answers 429 with a Retry-After header. The shed request retried after
+// the drain computes normally.
+func TestDaemonShedsWithRetryAfter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("holds a multi-second computation to saturate the queue")
+	}
+	p := planner.New(planner.Config{MaxInflight: 1, QueueDepth: 1})
+	srv := httptest.NewServer(newHandler(p, time.Minute))
+	defer srv.Close()
+
+	admission := func() planner.AdmissionStats {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st planner.Stats
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st.Admission
+	}
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	var wg sync.WaitGroup
+	// The holder: a cold 300-bus selection computes for the better part of
+	// a second, so the millisecond-scale polling below sequences well
+	// inside its compute window.
+	holder := planner.SelectRequest{
+		Case: "ieee300", GammaThreshold: 0.05,
+		Starts: 1, MaxEvals: 30, Seed: 1, Attacks: 20, GammaBackend: "sketch",
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if code := postJSON(t, srv.URL+"/v1/select", holder, nil); code != http.StatusOK {
+			t.Errorf("holder request status %d", code)
+		}
+	}()
+	waitFor("worker slot held", func() bool { return admission().Admitted == 1 })
+
+	// The queuer: a distinct request that must wait for the slot.
+	quick := planner.SelectRequest{Case: "ieee14", GammaThreshold: 0.1, Starts: 1, Seed: 1, Attacks: 20}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if code := postJSON(t, srv.URL+"/v1/select", quick, nil); code != http.StatusOK {
+			t.Errorf("queued request status %d", code)
+		}
+	}()
+	waitFor("queue full", func() bool { return admission().Queued == 1 })
+
+	// The third concurrent computation sheds deterministically.
+	shedReq := planner.SelectRequest{Case: "ieee14", GammaThreshold: 0.2, Starts: 1, Seed: 1, Attacks: 20}
+	buf, _ := json.Marshal(shedReq)
+	resp, err := http.Post(srv.URL+"/v1/select", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated daemon answered %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != retryAfterSeconds {
+		t.Errorf("429 Retry-After %q, want %q", ra, retryAfterSeconds)
+	}
+	if st := admission(); st.Shed != 1 {
+		t.Errorf("admission shed = %d, want 1", st.Shed)
+	}
+	wg.Wait()
+	// The shed request was not memoized as an error: the retry computes.
+	var retried planner.SelectResponse
+	if code := postJSON(t, srv.URL+"/v1/select", shedReq, &retried); code != http.StatusOK {
+		t.Fatalf("retry after drain: status %d", code)
+	}
+	if retried.Source != planner.SourceComputed {
+		t.Errorf("retry served source %q, want a fresh computation", retried.Source)
 	}
 }
 
@@ -351,10 +506,18 @@ func TestGammaEndpoint(t *testing.T) {
 
 // TestStatsMarkSince pins the snapshot/delta mechanism: mark a named
 // snapshot, run one computed selection, and the ?since= delta reports the
-// per-window increments (at least one LP solve and one result miss) while
-// the cumulative counters keep growing. An unknown mark is a 404.
+// per-window increments — an LP solve, a result miss, an admission grant,
+// a disk-cache write, and (after a concurrent repeat) coalesced joins —
+// while the cumulative counters keep growing. An unknown mark is a 404.
 func TestStatsMarkSince(t *testing.T) {
-	srv := testServer(t)
+	disk, err := diskcache.Open(diskcache.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(planner.New(planner.Config{
+		MaxInflight: 2, Disk: disk,
+	}), time.Minute))
+	t.Cleanup(srv.Close)
 	getStats := func(query string) (planner.Stats, int) {
 		t.Helper()
 		resp, err := http.Get(srv.URL + "/v1/stats" + query)
@@ -399,6 +562,14 @@ func TestStatsMarkSince(t *testing.T) {
 	if delta.LP.Solves <= 0 {
 		t.Errorf("delta lp.solves = %d, want > 0", delta.LP.Solves)
 	}
+	// The PR 9 serving counters move in the same window: the computed
+	// selection passed admission control and wrote its disk entry.
+	if delta.Admission.Admitted != 1 || delta.Admission.Shed != 0 {
+		t.Errorf("delta admission = %+v, want 1 admitted / 0 shed", delta.Admission)
+	}
+	if delta.Disk.Writes != 1 || delta.Disk.Hits != 0 {
+		t.Errorf("delta disk_cache = %+v, want 1 write / 0 hits", delta.Disk)
+	}
 	cum, _ := getStats("")
 	if cum.LP.Solves < base.LP.Solves+delta.LP.Solves {
 		t.Errorf("cumulative solves %d < base %d + delta %d",
@@ -413,5 +584,27 @@ func TestStatsMarkSince(t *testing.T) {
 	delta2, _ := getStats("?since=t0")
 	if delta2.ResultMisses != 0 || delta2.ResultHits != 0 {
 		t.Errorf("delta after re-mark has result traffic: %+v", delta2)
+	}
+
+	// Coalesced joins are window counters too: N identical in-flight
+	// requests in a fresh window leave 1 miss and n-1 hits-or-joins.
+	const n = 4
+	var wg sync.WaitGroup
+	conReq := planner.SelectRequest{
+		Case: "ieee57", GammaThreshold: 0.07,
+		Starts: 1, MaxEvals: 20, Seed: 1, Attacks: 10,
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postJSON(t, srv.URL+"/v1/select", conReq, nil)
+		}()
+	}
+	wg.Wait()
+	delta3, _ := getStats("?since=t0")
+	if delta3.ResultMisses != 1 || delta3.ResultHits+delta3.ResultCoalesced != n-1 {
+		t.Errorf("concurrent window: misses=%d hits=%d coalesced=%d, want 1 miss and %d hits+joins",
+			delta3.ResultMisses, delta3.ResultHits, delta3.ResultCoalesced, n-1)
 	}
 }

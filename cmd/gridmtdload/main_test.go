@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubDaemon fakes just enough of the gridmtdd surface for the load
+// generator: the case registry, the stats mark/since pair, and compute
+// endpoints whose behavior the test scripts via shedEvery.
+type stubDaemon struct {
+	requests  atomic.Int64
+	shedEvery int64 // every Nth compute request answers 429 (0 = never)
+	marked    atomic.Bool
+}
+
+func (s *stubDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cases", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode([]map[string]any{
+			{"Name": "ieee14", "Branches": 20},
+			{"Name": "ieee57", "Branches": 80},
+		})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("mark") != "" {
+			s.marked.Store(true)
+		}
+		if since := r.URL.Query().Get("since"); since != "" && !s.marked.Load() {
+			http.Error(w, `{"error":"unknown mark"}`, http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"result_hits": 6, "result_misses": 2, "result_coalesced": 2,
+			"disk_cache": map[string]any{"hits": 1, "writes": 2},
+			"admission":  map[string]any{"admitted": 4, "queued": 1, "shed": 0},
+		})
+	})
+	compute := func(w http.ResponseWriter, r *http.Request) {
+		n := s.requests.Add(1)
+		if s.shedEvery > 0 && n%s.shedEvery == 0 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"overloaded"}`, http.StatusTooManyRequests)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"case": "ieee14", "gamma": 0.1})
+	}
+	for _, p := range []string{"/v1/select", "/v1/gamma", "/v1/daysweep", "/v1/placement"} {
+		mux.HandleFunc("POST "+p, compute)
+	}
+	return mux
+}
+
+func runStub(t *testing.T, stub *stubDaemon, extraArgs ...string) (int, *Report) {
+	t.Helper()
+	srv := httptest.NewServer(stub.handler())
+	t.Cleanup(srv.Close)
+	args := append([]string{
+		"-addr", srv.URL, "-duration", "300ms", "-concurrency", "2", "-seed", "7",
+	}, extraArgs...)
+	var out bytes.Buffer
+	code, err := run(args, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var report Report
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	return code, &report
+}
+
+// TestLoadRunHappyPath drives the stub and pins the report shape: request
+// accounting, percentile ordering, the mark/since server window, and the
+// exit code with no SLO gates armed.
+func TestLoadRunHappyPath(t *testing.T) {
+	stub := &stubDaemon{}
+	code, r := runStub(t, stub, "-mix", "select=50,gamma=50")
+	if code != 0 {
+		t.Fatalf("ungated run exited %d", code)
+	}
+	if r.Requests < 10 {
+		t.Fatalf("only %d requests in 300ms against an instant stub", r.Requests)
+	}
+	if r.ByStatus["200"] != r.Requests || r.Net != 0 || r.Count5xx != 0 || r.Shed != 0 {
+		t.Errorf("status accounting off: %+v", r)
+	}
+	if r.RPS <= 0 {
+		t.Errorf("rps = %v", r.RPS)
+	}
+	lat := r.LatencyMS
+	if lat.P50 <= 0 || lat.P50 > lat.P95 || lat.P95 > lat.P99 || lat.P99 > lat.Max {
+		t.Errorf("percentiles out of order: %+v", lat)
+	}
+	if r.Server == nil {
+		t.Fatal("report missing the server window")
+	}
+	if r.Server.ResultHits != 6 || r.Server.ResultCoalesced != 2 || r.Server.DiskHits != 1 {
+		t.Errorf("server window %+v does not match the stub's stats", r.Server)
+	}
+	// 6 hits + 2 misses + 2 coalesced served => rates over 10.
+	if r.Server.MemoHitRate != 0.6 || r.Server.CoalesceRate != 0.2 || r.Server.DiskHitRate != 0.1 {
+		t.Errorf("rates %+v, want 0.6/0.2/0.1", r.Server)
+	}
+	if !r.SLO.Gated && r.SLO.Pass != true {
+		t.Errorf("ungated run must report pass: %+v", r.SLO)
+	}
+}
+
+// TestLoadSheddingAndGates pins the SLO gating: a shedding server trips
+// -slo-max-shed (exit 1, violation listed) while a generous budget passes.
+func TestLoadSheddingAndGates(t *testing.T) {
+	code, r := runStub(t, &stubDaemon{shedEvery: 3}, "-slo-max-shed", "0.05")
+	if code != 1 {
+		t.Fatalf("~33%% shed against a 5%% budget exited %d, want 1", code)
+	}
+	if r.SLO.Pass || len(r.SLO.Violations) == 0 || !strings.Contains(r.SLO.Violations[0], "shed rate") {
+		t.Errorf("SLO report %+v does not name the shed violation", r.SLO)
+	}
+	if r.Shed == 0 || r.ShedRate < 0.2 || r.ShedRate > 0.5 {
+		t.Errorf("shed accounting: %d shed, rate %v, want ~1/3", r.Shed, r.ShedRate)
+	}
+	// 429s are back-pressure, not server errors.
+	if r.Count5xx != 0 {
+		t.Errorf("shed answers counted as 5xx: %d", r.Count5xx)
+	}
+	if code, r := runStub(t, &stubDaemon{shedEvery: 3}, "-slo-max-shed", "0.9"); code != 0 || !r.SLO.Pass {
+		t.Errorf("generous shed budget: exit %d, slo %+v", code, r.SLO)
+	}
+	// An impossible p99 budget trips its gate even with zero shed.
+	if code, r := runStub(t, &stubDaemon{}, "-slo-p99", "1ns"); code != 1 || r.SLO.Pass {
+		t.Errorf("1ns p99 budget: exit %d, slo %+v", code, r.SLO)
+	}
+	// An impossible throughput floor trips its gate.
+	if code, _ := runStub(t, &stubDaemon{}, "-slo-min-rps", "1e9"); code != 1 {
+		t.Errorf("1e9 rps floor: exit %d, want 1", code)
+	}
+}
+
+// TestLoadReportFile pins -o: the same JSON lands in the file.
+func TestLoadReportFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	_, want := runStub(t, &stubDaemon{}, "-o", path)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("file report is not JSON: %v", err)
+	}
+	if got.Requests != want.Requests || got.RPS != want.RPS {
+		t.Errorf("file report differs from stdout report")
+	}
+}
+
+// TestLoadFlagErrors pins the flag surface's rejections.
+func TestLoadFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mix", "select"},
+		{"-mix", "select=-1"},
+		{"-mix", "teleport=10"},
+		{"-mix", "select=0,gamma=0"},
+		{"-cases", ""},
+		{"-concurrency", "0"},
+	} {
+		var out bytes.Buffer
+		if _, err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	// An unknown case is caught against the live registry before any load.
+	stub := &stubDaemon{}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+	var out bytes.Buffer
+	if _, err := run([]string{"-addr", srv.URL, "-cases", "ieee9999", "-duration", "50ms"}, &out); err == nil {
+		t.Error("unknown case accepted")
+	}
+}
+
+// TestPercentiles pins the estimator on a known distribution.
+func TestPercentiles(t *testing.T) {
+	var lat []time.Duration
+	for i := 1; i <= 100; i++ {
+		lat = append(lat, time.Duration(i)*time.Millisecond)
+	}
+	p := percentiles(lat)
+	if p.P50 != 50 || p.P95 != 95 || p.P99 != 99 || p.Max != 100 {
+		t.Errorf("percentiles of 1..100ms = %+v, want 50/95/99/100", p)
+	}
+	if z := (percentiles(nil)); z != (Percentiles{}) {
+		t.Errorf("empty percentiles = %+v", z)
+	}
+}

@@ -58,6 +58,20 @@
 // scenario (ScenarioPlacement) greedily searches D-FACTS device subsets
 // for the deployment maximizing the reachable γ.
 //
+// At fleet scale the daemon adds three layers in front of the searches
+// themselves: identical in-flight requests coalesce into one computation
+// (single-flight; joiners are counted separately from memo hits),
+// computations pass a bounded admission queue (-max-inflight /
+// -queue-depth; past the queue the daemon sheds 429 + Retry-After rather
+// than collapsing), and finished responses persist to a content-addressed
+// disk cache (-disk-cache) keyed on the request's bitwise memo key plus
+// the case-registry hash, so a restarted daemon serves previously
+// computed selections in microseconds instead of re-solving. A
+// -route shard1:port,shard2:port front rendezvous-hashes (case, scale)
+// over replicas and aggregates their /v1/stats; cmd/gridmtdload drives a
+// deterministic mixed workload against either form and gates on SLOs
+// (latency percentiles, shed rate, 5xx budget) for CI.
+//
 // # γ backends
 //
 // γ evaluation — the largest principal angle between measurement column

@@ -1,8 +1,11 @@
 package grid
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strings"
+	"sync"
 
 	"gridmtd/internal/grid/cases"
 )
@@ -83,6 +86,30 @@ func Cases() []CaseInfo {
 // CaseNames returns the primary names of the registered cases, smallest
 // system first.
 func CaseNames() []string { return cases.Names() }
+
+var registryHash = sync.OnceValue(func() string {
+	h := sha256.New()
+	for _, s := range cases.All() {
+		fmt.Fprintf(h, "case %s %q base=%g slack=%d eta=%g\n", s.Name, s.Title, s.BaseMVA, s.SlackBus, s.EtaMax)
+		fmt.Fprintf(h, "loads %v\n", s.LoadsMW)
+		for _, b := range s.Branches {
+			fmt.Fprintf(h, "br %d %d %v %v\n", b.From, b.To, b.X, b.LimitMW)
+		}
+		for _, g := range s.Gens {
+			fmt.Fprintf(h, "gen %d %v %v %v\n", g.Bus, g.CostPerMWh, g.MinMW, g.MaxMW)
+		}
+		fmt.Fprintf(h, "dfacts %v\n", s.DFACTS)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+})
+
+// RegistryHash returns a stable SHA-256 content hash over the embedded
+// case registry — every number that shapes a Network (loads, reactances,
+// ratings, generator economics, D-FACTS deployment). Persistent caches key
+// their entries on it so responses computed against one registry build are
+// never served against another: editing any case data changes the hash and
+// silently invalidates every stale entry.
+func RegistryHash() string { return registryHash() }
 
 // CaseByName builds a fresh, validated Network for the named case (primary
 // name or alias, case-insensitive). The error for an unknown name lists

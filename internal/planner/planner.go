@@ -11,15 +11,23 @@
 //     parameterization (case, setpoint, budgets, seeds), so a repeated
 //     request is a map lookup instead of a multi-start search.
 //
-// Requests with identical keys share one computation (the second caller
-// waits for the first); requests with different keys compute concurrently.
-// cmd/gridmtdd serves this planner over HTTP.
+// Requests with identical keys share one computation — single-flight
+// coalescing: the second caller joins the first's in-flight search instead
+// of racing the memo, observable through the result_coalesced counter.
+// Requests with different keys compute concurrently, optionally through a
+// bounded admission queue (Config.MaxInflight / QueueDepth) that sheds
+// load with ErrOverloaded once the queue is full, and optionally backed by
+// a persistent disk cache (Config.Disk) so a restarted process serves
+// previously computed responses without re-solving. cmd/gridmtdd serves
+// this planner over HTTP.
 package planner
 
 import (
 	"container/list"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,6 +35,7 @@ import (
 	"gridmtd/internal/grid"
 	"gridmtd/internal/lp"
 	"gridmtd/internal/opf"
+	"gridmtd/internal/planner/diskcache"
 	"gridmtd/internal/scenario"
 	"gridmtd/internal/subspace"
 )
@@ -34,6 +43,12 @@ import (
 // ErrUnreachable is returned by Select when the requested γ threshold is
 // beyond the case's D-FACTS reach and no max-γ fallback was requested.
 var ErrUnreachable = errors.New("planner: gamma threshold unreachable within D-FACTS limits")
+
+// ErrOverloaded is returned when admission control sheds a request: the
+// worker pool is saturated and the work queue is at depth. The result is
+// not memoized — an immediate retry (the HTTP layer answers 429 with
+// Retry-After) re-enters the queue.
+var ErrOverloaded = errors.New("planner: overloaded, work queue full; retry later")
 
 // Config tunes a Planner.
 type Config struct {
@@ -47,6 +62,20 @@ type Config struct {
 	// Parallelism bounds each request's internal search parallelism
 	// (0 = GOMAXPROCS). Results are identical for any setting.
 	Parallelism int
+	// MaxInflight bounds how many requests may compute concurrently
+	// (0 = unbounded, admission control off). Memo, coalesced and disk
+	// hits never consume a slot.
+	MaxInflight int
+	// QueueDepth bounds how many computations may wait for a slot
+	// (default 4×MaxInflight when admission control is on); past the
+	// depth, requests shed with ErrOverloaded.
+	QueueDepth int
+	// Disk attaches a persistent response cache: computed responses are
+	// written through, and a fresh process serves previously computed
+	// requests from disk without re-solving. Entries are keyed on the
+	// bitwise memo key plus the case registry content hash, so stale
+	// caches from a different registry build read as misses.
+	Disk *diskcache.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +95,10 @@ type Stats struct {
 	CaseMisses   int64 `json:"case_misses"`
 	ResultHits   int64 `json:"result_hits"`
 	ResultMisses int64 `json:"result_misses"`
+	// ResultCoalesced counts requests that joined an identical in-flight
+	// computation (single-flight coalescing) instead of hitting a finished
+	// memo entry or computing themselves.
+	ResultCoalesced int64 `json:"result_coalesced"`
 	// GammaExactServed / GammaSparseServed / GammaSketchServed count
 	// computed requests by the γ backend that served their searches.
 	GammaExactServed  int64 `json:"gamma_exact_served"`
@@ -85,6 +118,12 @@ type Stats struct {
 	// (opf.GlobalSolveCacheStats): how many dispatch LPs the bitwise
 	// (loads, reactances) memo answered without touching the solver.
 	SolveCache opf.SolveCacheStats `json:"solve_cache"`
+	// Admission is the bounded work queue's traffic (all zero when
+	// admission control is off).
+	Admission AdmissionStats `json:"admission"`
+	// Disk is the persistent response cache's traffic (all zero when no
+	// disk cache is attached).
+	Disk diskcache.Stats `json:"disk_cache"`
 }
 
 // Delta returns the counter increments between an earlier Stats snapshot
@@ -98,12 +137,15 @@ func (s Stats) Delta(since Stats) Stats {
 		CaseMisses:        s.CaseMisses - since.CaseMisses,
 		ResultHits:        s.ResultHits - since.ResultHits,
 		ResultMisses:      s.ResultMisses - since.ResultMisses,
+		ResultCoalesced:   s.ResultCoalesced - since.ResultCoalesced,
 		GammaExactServed:  s.GammaExactServed - since.GammaExactServed,
 		GammaSparseServed: s.GammaSparseServed - since.GammaSparseServed,
 		GammaSketchServed: s.GammaSketchServed - since.GammaSketchServed,
 		LP:                s.LP.Delta(since.LP),
 		Estimators:        s.Estimators.Delta(since.Estimators),
 		SolveCache:        s.SolveCache.Delta(since.SolveCache),
+		Admission:         s.Admission.Delta(since.Admission),
+		Disk:              s.Disk.Delta(since.Disk),
 	}
 }
 
@@ -172,6 +214,8 @@ func lpStatsSnapshot() LPStats {
 type Planner struct {
 	cfg    Config
 	runner *scenario.Runner
+	adm    *admission
+	disk   *diskcache.Cache
 
 	mu      sync.Mutex
 	cases   map[string]*caseEntry
@@ -190,17 +234,22 @@ type caseEntry struct {
 
 type resultEntry struct {
 	once    sync.Once
+	done    chan struct{} // closed when the computation (or disk load) finished
 	resp    any
 	err     error
 	elapsed time.Duration
+	source  string // sourceComputed or sourceDisk, set by the first caller
 	elem    *list.Element
 }
 
 // New builds a planner.
 func New(cfg Config) *Planner {
+	cfg = cfg.withDefaults()
 	return &Planner{
-		cfg:     cfg.withDefaults(),
+		cfg:     cfg,
 		runner:  scenario.NewRunner(),
+		adm:     newAdmission(cfg.MaxInflight, cfg.QueueDepth),
+		disk:    cfg.Disk,
 		cases:   map[string]*caseEntry{},
 		caseLRU: list.New(),
 		results: map[string]*resultEntry{},
@@ -212,11 +261,13 @@ func New(cfg Config) *Planner {
 // revised-simplex counters.
 func (p *Planner) Stats() Stats {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	s := p.stats
+	p.mu.Unlock()
 	s.LP = lpStatsSnapshot()
 	s.Estimators = core.GlobalEstimatorCacheStats()
 	s.SolveCache = opf.GlobalSolveCacheStats()
+	s.Admission = p.adm.stats()
+	s.Disk = p.disk.Stats()
 	return s
 }
 
@@ -259,17 +310,43 @@ func (p *Planner) caseFor(name string, scale float64) (*grid.Network, error) {
 	return e.net, e.err
 }
 
+// The Source values a served response reports: where its payload came
+// from.
+const (
+	// SourceComputed marks a freshly computed response.
+	SourceComputed = "computed"
+	// SourceMemo marks a response served from the in-memory memo.
+	SourceMemo = "memo"
+	// SourceCoalesced marks a request that joined an identical in-flight
+	// computation (single-flight coalescing) and shares its response.
+	SourceCoalesced = "coalesced"
+	// SourceDisk marks a response loaded from the persistent disk cache
+	// (first request for the key in this process, computed by an earlier
+	// one).
+	SourceDisk = "disk"
+)
+
 // memo runs compute under the response memo: the first request with a key
-// computes, every later identical request returns the stored response.
-func (p *Planner) memo(key string, compute func() (any, error)) (resp any, elapsed time.Duration, hit bool, err error) {
+// computes (after a disk-cache probe and, when configured, admission),
+// every later identical request returns the stored response — joining the
+// in-flight computation (coalesced) or reading the finished entry (memo
+// hit). The returned source labels which of the four paths served.
+func (p *Planner) memo(key string, compute func() (any, error)) (resp any, elapsed time.Duration, source string, err error) {
 	p.mu.Lock()
 	e, ok := p.results[key]
 	if ok {
-		p.stats.ResultHits++
+		select {
+		case <-e.done:
+			p.stats.ResultHits++
+			source = SourceMemo
+		default:
+			p.stats.ResultCoalesced++
+			source = SourceCoalesced
+		}
 		p.resLRU.MoveToFront(e.elem)
 	} else {
 		p.stats.ResultMisses++
-		e = &resultEntry{}
+		e = &resultEntry{done: make(chan struct{})}
 		e.elem = p.resLRU.PushFront(key)
 		p.results[key] = e
 		for p.resLRU.Len() > p.cfg.MaxResults {
@@ -282,11 +359,85 @@ func (p *Planner) memo(key string, compute func() (any, error)) (resp any, elaps
 	first := false
 	e.once.Do(func() {
 		first = true
+		defer close(e.done)
 		start := time.Now()
-		e.resp, e.err = compute()
+		e.source = SourceComputed
+		if data, hit := p.disk.Get(p.diskKey(key)); hit {
+			if r, derr := decodeResponse(key, data); derr == nil {
+				e.resp, e.source = r, SourceDisk
+				e.elapsed = time.Since(start)
+				return
+			}
+			// The envelope key verified but the payload didn't decode (a
+			// response-schema change): fall through and recompute; the
+			// write-through below overwrites the stale entry.
+		}
+		if aerr := p.adm.acquire(); aerr != nil {
+			// Shed: report the error but never memoize it — the entry is
+			// evicted so a retry re-enters the queue instead of replaying
+			// the rejection from cache.
+			e.err = aerr
+			e.elapsed = time.Since(start)
+			p.dropResult(key, e)
+			return
+		}
+		func() {
+			defer p.adm.release()
+			e.resp, e.err = compute()
+		}()
+		// elapsed includes the admission queue wait: it is the latency a
+		// client actually observed for the computed request.
 		e.elapsed = time.Since(start)
+		if e.err == nil {
+			if data, merr := json.Marshal(e.resp); merr == nil {
+				p.disk.Put(p.diskKey(key), data)
+			}
+		}
 	})
-	return e.resp, e.elapsed, ok && !first, e.err
+	if first {
+		source = e.source
+	}
+	return e.resp, e.elapsed, source, e.err
+}
+
+// dropResult evicts e from the memo if it is still the entry stored under
+// key (shed results must not be replayed from cache).
+func (p *Planner) dropResult(key string, e *resultEntry) {
+	p.mu.Lock()
+	if cur, ok := p.results[key]; ok && cur == e {
+		delete(p.results, key)
+		p.resLRU.Remove(e.elem)
+	}
+	p.mu.Unlock()
+}
+
+// diskKey extends the bitwise memo key with the case registry content
+// hash: a persistent entry computed against different embedded case data
+// can never serve.
+func (p *Planner) diskKey(key string) string {
+	return key + "|registry:" + grid.RegistryHash()
+}
+
+// decodeResponse unmarshals a disk-cache payload into the response type
+// its memo-key prefix names.
+func decodeResponse(key string, data []byte) (any, error) {
+	var v any
+	switch {
+	case strings.HasPrefix(key, "select|"):
+		v = new(SelectResponse)
+	case strings.HasPrefix(key, "gamma|"):
+		v = new(GammaResponse)
+	case strings.HasPrefix(key, "day|"):
+		v = new(DaySweepResponse)
+	case strings.HasPrefix(key, "placement|"):
+		v = new(PlacementResponse)
+	default:
+		return nil, fmt.Errorf("planner: unknown response kind for key %q", key)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return nil, err
+	}
+	return v, nil
 }
 
 // ---- Select ----------------------------------------------------------------
@@ -332,9 +483,13 @@ type SelectResponse struct {
 	MaxGammaFallback bool      `json:"max_gamma_fallback,omitempty"`
 	// GammaBackend reports which γ backend served the search (the resolved
 	// value: "exact", "sparse" or "sketch").
-	GammaBackend string  `json:"gamma_backend"`
-	CacheHit     bool    `json:"cache_hit"`
-	ElapsedMS    float64 `json:"elapsed_ms"`
+	GammaBackend string `json:"gamma_backend"`
+	// CacheHit reports whether any cache served (memo, coalesced in-flight
+	// computation, or disk); Source names which ("computed", "memo",
+	// "coalesced" or "disk").
+	CacheHit  bool    `json:"cache_hit"`
+	Source    string  `json:"source,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 func (r SelectRequest) key() string {
@@ -361,14 +516,15 @@ func (p *Planner) Select(req SelectRequest) (*SelectResponse, error) {
 		return nil, fmt.Errorf("planner: %w", err)
 	}
 	req.GammaBackend = subspace.EffectiveGammaBackend(gb).String()
-	resp, elapsed, hit, err := p.memo(req.key(), func() (any, error) {
+	resp, elapsed, source, err := p.memo(req.key(), func() (any, error) {
 		return p.computeSelect(req, gb)
 	})
 	if err != nil {
 		return nil, err
 	}
 	out := *(resp.(*SelectResponse))
-	out.CacheHit = hit
+	out.CacheHit = source != SourceComputed
+	out.Source = source
 	out.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
 	return &out, nil
 }
@@ -547,13 +703,14 @@ type GammaResponse struct {
 	Case      string  `json:"case"`
 	Gamma     float64 `json:"gamma"`
 	CacheHit  bool    `json:"cache_hit"`
+	Source    string  `json:"source,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // Gamma serves one memoized γ evaluation.
 func (p *Planner) Gamma(req GammaRequest) (*GammaResponse, error) {
 	key := fmt.Sprintf("gamma|%s|%v|%v", req.Case, req.XOld, req.XNew)
-	resp, elapsed, hit, err := p.memo(key, func() (any, error) {
+	resp, elapsed, source, err := p.memo(key, func() (any, error) {
 		n, err := p.caseFor(req.Case, 1)
 		if err != nil {
 			return nil, err
@@ -571,7 +728,8 @@ func (p *Planner) Gamma(req GammaRequest) (*GammaResponse, error) {
 		return nil, err
 	}
 	out := *(resp.(*GammaResponse))
-	out.CacheHit = hit
+	out.CacheHit = source != SourceComputed
+	out.Source = source
 	out.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
 	return &out, nil
 }
@@ -610,6 +768,7 @@ type DaySweepResponse struct {
 	Case      string         `json:"case"`
 	Hours     []DaySweepHour `json:"hours"`
 	CacheHit  bool           `json:"cache_hit"`
+	Source    string         `json:"source,omitempty"`
 	ElapsedMS float64        `json:"elapsed_ms"`
 }
 
@@ -644,7 +803,7 @@ func (p *Planner) DaySweep(req DaySweepRequest) (*DaySweepResponse, error) {
 	key := fmt.Sprintf("day|%s|%v|%g|%g|%g|%d|%d|%d|%d|%d",
 		req.Case, req.Hours, req.PeakLoadMW, req.TargetDelta, req.TargetEta,
 		req.Iterations, req.Attacks, req.Starts, req.OPFStarts, req.Seed)
-	resp, elapsed, hit, err := p.memo(key, func() (any, error) {
+	resp, elapsed, source, err := p.memo(key, func() (any, error) {
 		n, err := p.caseFor(req.Case, 1)
 		if err != nil {
 			return nil, err
@@ -690,7 +849,8 @@ func (p *Planner) DaySweep(req DaySweepRequest) (*DaySweepResponse, error) {
 		return nil, err
 	}
 	out := *(resp.(*DaySweepResponse))
-	out.CacheHit = hit
+	out.CacheHit = source != SourceComputed
+	out.Source = source
 	out.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
 	return &out, nil
 }
@@ -723,6 +883,7 @@ type PlacementResponse struct {
 	Case      string           `json:"case"`
 	Rounds    []PlacementRound `json:"rounds"`
 	CacheHit  bool             `json:"cache_hit"`
+	Source    string           `json:"source,omitempty"`
 	ElapsedMS float64          `json:"elapsed_ms"`
 }
 
@@ -736,7 +897,7 @@ func (p *Planner) Placement(req PlacementRequest) (*PlacementResponse, error) {
 	}
 	req.GammaBackend = subspace.EffectiveGammaBackend(gb).String()
 	key := fmt.Sprintf("placement|%s|%d|%v|%v|%s", req.Case, req.Devices, req.Pool, req.AllBranches, req.GammaBackend)
-	resp, elapsed, hit, err := p.memo(key, func() (any, error) {
+	resp, elapsed, source, err := p.memo(key, func() (any, error) {
 		n, err := p.caseFor(req.Case, 1)
 		if err != nil {
 			return nil, err
@@ -771,7 +932,8 @@ func (p *Planner) Placement(req PlacementRequest) (*PlacementResponse, error) {
 		return nil, err
 	}
 	out := *(resp.(*PlacementResponse))
-	out.CacheHit = hit
+	out.CacheHit = source != SourceComputed
+	out.Source = source
 	out.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
 	return &out, nil
 }

@@ -43,8 +43,12 @@ func TestSelectMemoized(t *testing.T) {
 	if !second.CacheHit {
 		t.Error("second identical request missed the memo")
 	}
+	if first.Source != SourceComputed || second.Source != SourceMemo {
+		t.Errorf("sources %q / %q, want %q / %q", first.Source, second.Source, SourceComputed, SourceMemo)
+	}
 	f, s := *first, *second
 	f.CacheHit, s.CacheHit = false, false
+	f.Source, s.Source = "", ""
 	if !reflect.DeepEqual(f, s) {
 		t.Errorf("memoized response differs:\nfirst  %+v\nsecond %+v", f, s)
 	}
