@@ -4,11 +4,17 @@
 // (highest-random-weight) over the shard list, so one case always lands
 // on one shard — its factorized engines, response memo and disk cache
 // never duplicate — and removing or adding a shard only remaps the 1/N
-// of the keyspace that touched it. GET /v1/stats answers the field-wise
-// sum of every shard's counters; /healthz aggregates shard health.
+// of the keyspace that touched it. Concurrent byte-identical POSTs are
+// single-flighted at the router: one forward crosses to the shard and
+// every twin replays its buffered response (the "single_flight" block
+// under /v1/stats counts forwards and joins). GET /v1/stats answers the
+// field-wise sum of every shard's counters; /healthz aggregates shard
+// health.
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -16,6 +22,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -28,12 +35,38 @@ const maxRouteBody = 4 << 20
 type router struct {
 	shards []string // normalized base URLs, e.g. http://127.0.0.1:8643
 	client *http.Client
+
+	// Router-level single-flight: concurrent POSTs with byte-identical
+	// (path, body) join the first request's forward instead of each
+	// crossing the network to the shard. The shards coalesce identical
+	// in-flight computations themselves, but only after every duplicate
+	// has paid a proxy hop, a shard connection and an admission-queue
+	// slot; coalescing at the router stops the duplicates one tier
+	// earlier, where a retrying fleet client actually produces them.
+	mu       sync.Mutex
+	inflight map[string]*flight
+	forwards int64 // POSTs that crossed to a shard
+	joins    int64 // POSTs that replayed an in-flight twin's response
+}
+
+// flight is one in-flight forwarded POST plus its buffered outcome.
+// done is closed after the outcome fields are final; joiners replay
+// them verbatim, so every waiter answers exactly what the leader did.
+type flight struct {
+	done       chan struct{}
+	status     int
+	contentTyp string
+	retryAfter string
+	body       []byte
 }
 
 // newRouter normalizes and validates the shard list ("host:port" or full
 // URLs, comma-separated).
 func newRouter(addrs []string) (*router, error) {
-	rt := &router{client: &http.Client{Timeout: 5 * time.Minute}}
+	rt := &router{
+		client:   &http.Client{Timeout: 5 * time.Minute},
+		inflight: map[string]*flight{},
+	}
 	for _, a := range addrs {
 		a = strings.TrimSpace(a)
 		if a == "" {
@@ -94,7 +127,11 @@ func (rt *router) handler() http.Handler {
 	return mux
 }
 
-// route forwards one planner POST to the shard owning its (case, scale).
+// route forwards one planner POST to the shard owning its (case, scale),
+// single-flighting byte-identical concurrent requests: the first becomes
+// the leader and forwards, later twins wait and replay its buffered
+// response (status, Content-Type, Retry-After and body included, so even
+// a coalesced 429 back-pressure verdict reaches every client).
 func (rt *router) route(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxRouteBody))
 	if err != nil {
@@ -109,7 +146,87 @@ func (rt *router) route(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("invalid request: %v", err)})
 		return
 	}
-	rt.forward(w, r, rt.pick(shardKey(key.Case, key.LoadScale)), body)
+	sfKey := r.URL.Path + "?" + r.URL.RawQuery + "\x00" + string(body)
+
+	rt.mu.Lock()
+	if f, ok := rt.inflight[sfKey]; ok {
+		rt.joins++
+		rt.mu.Unlock()
+		select {
+		case <-f.done:
+			f.replay(w)
+		case <-r.Context().Done():
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]any{"error": "request canceled while joined to an in-flight twin"})
+		}
+		return
+	}
+	f := &flight{done: make(chan struct{})}
+	rt.inflight[sfKey] = f
+	rt.forwards++
+	rt.mu.Unlock()
+
+	// The leader detaches from its own client's cancellation: joiners
+	// arrived because they want this answer, so one impatient leader
+	// must not poison the flight for everyone behind it. The HTTP
+	// client's own timeout still bounds the forward.
+	pathAndQuery := r.URL.Path
+	if r.URL.RawQuery != "" {
+		pathAndQuery += "?" + r.URL.RawQuery
+	}
+	rt.exec(context.WithoutCancel(r.Context()), f, rt.pick(shardKey(key.Case, key.LoadScale)), pathAndQuery, body)
+	rt.mu.Lock()
+	delete(rt.inflight, sfKey)
+	rt.mu.Unlock()
+	close(f.done)
+	f.replay(w)
+}
+
+// exec performs the shard POST and buffers the outcome into f. Errors
+// become the same JSON payloads forward would have written, so leader
+// and joiners stay indistinguishable to clients.
+func (rt *router) exec(ctx context.Context, f *flight, shard, pathAndQuery string, body []byte) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, shard+pathAndQuery, bytes.NewReader(body))
+	if err != nil {
+		f.fail(http.StatusInternalServerError, err.Error())
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		f.fail(http.StatusBadGateway, fmt.Sprintf("shard %s: %v", shard, err))
+		return
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		f.fail(http.StatusBadGateway, fmt.Sprintf("shard %s: %v", shard, err))
+		return
+	}
+	f.status = resp.StatusCode
+	f.contentTyp = resp.Header.Get("Content-Type")
+	f.retryAfter = resp.Header.Get("Retry-After")
+	f.body = out
+}
+
+func (f *flight) fail(status int, msg string) {
+	f.status = status
+	f.contentTyp = "application/json"
+	f.body, _ = json.Marshal(map[string]any{"error": msg})
+	f.body = append(f.body, '\n')
+}
+
+// replay writes the buffered outcome. Safe to call from any number of
+// goroutines once done is closed (the fields are read-only by then).
+func (f *flight) replay(w http.ResponseWriter) {
+	if f.contentTyp != "" {
+		w.Header().Set("Content-Type", f.contentTyp)
+	}
+	if f.retryAfter != "" {
+		w.Header().Set("Retry-After", f.retryAfter)
+	}
+	w.WriteHeader(f.status)
+	w.Write(f.body)
 }
 
 // forward proxies the request to one shard, passing the response through
@@ -204,7 +321,16 @@ func (rt *router) stats(w http.ResponseWriter, r *http.Request) {
 		perShard[s] = one
 		sumJSON(sum, one)
 	}
-	sum["router"] = map[string]any{"shards": rt.shardNames()}
+	rt.mu.Lock()
+	forwards, joins := rt.forwards, rt.joins
+	rt.mu.Unlock()
+	sum["router"] = map[string]any{
+		"shards": rt.shardNames(),
+		"single_flight": map[string]any{
+			"forwards": forwards,
+			"joins":    joins,
+		},
+	}
 	writeJSON(w, http.StatusOK, sum)
 }
 

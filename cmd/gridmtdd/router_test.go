@@ -2,9 +2,11 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -170,6 +172,119 @@ func TestRouterStickyAndAggregated(t *testing.T) {
 	r2.Body.Close()
 	if len(cases) < 5 {
 		t.Errorf("routed case listing has %d entries", len(cases))
+	}
+}
+
+// TestRouterSingleFlight pins the router-level coalescing contract: N
+// concurrent byte-identical POSTs produce exactly 1 shard forward and
+// N−1 joins, every caller gets the same response, and the counters show
+// up in the /v1/stats router block. The fake shard blocks until the
+// router has registered every join, so the count is deterministic, not
+// a timing accident.
+func TestRouterSingleFlight(t *testing.T) {
+	const clients = 8
+	release := make(chan struct{})
+	var shardHits int64
+	shard := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			atomic.AddInt64(&shardHits, 1)
+			<-release
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"case":"ieee14","gamma":0.25}`))
+	}))
+	t.Cleanup(shard.Close)
+	rt, err := newRouter([]string{shard.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.handler())
+	t.Cleanup(front.Close)
+
+	body := `{"case":"ieee14","gamma_threshold":0.1,"starts":2,"seed":1}`
+	type reply struct {
+		code int
+		body string
+	}
+	replies := make(chan reply, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			resp, err := http.Post(front.URL+"/v1/select", "application/json", strings.NewReader(body))
+			if err != nil {
+				replies <- reply{code: -1, body: err.Error()}
+				return
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			replies <- reply{code: resp.StatusCode, body: string(b)}
+		}()
+	}
+	// Hold the shard until the router has seen every duplicate join, so
+	// no client can slip through after the flight lands.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rt.mu.Lock()
+		joins := rt.joins
+		rt.mu.Unlock()
+		if joins == clients-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router registered %d joins, want %d", joins, clients-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	want := `{"case":"ieee14","gamma":0.25}`
+	for i := 0; i < clients; i++ {
+		got := <-replies
+		if got.code != http.StatusOK || got.body != want {
+			t.Fatalf("client %d: status %d body %q, want 200 %q", i, got.code, got.body, want)
+		}
+	}
+	if hits := atomic.LoadInt64(&shardHits); hits != 1 {
+		t.Errorf("shard saw %d POSTs, want exactly 1 (single-flight leader)", hits)
+	}
+	rt.mu.Lock()
+	forwards, joins := rt.forwards, rt.joins
+	rt.mu.Unlock()
+	if forwards != 1 || joins != clients-1 {
+		t.Errorf("router counters forwards=%d joins=%d, want 1/%d", forwards, joins, clients-1)
+	}
+
+	// The counters surface in the aggregated stats block.
+	resp, err := http.Get(front.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw struct {
+		Router struct {
+			SingleFlight struct {
+				Forwards int64 `json:"forwards"`
+				Joins    int64 `json:"joins"`
+			} `json:"single_flight"`
+		} `json:"router"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if raw.Router.SingleFlight.Forwards != 1 || raw.Router.SingleFlight.Joins != clients-1 {
+		t.Errorf("stats single_flight forwards=%d joins=%d, want 1/%d",
+			raw.Router.SingleFlight.Forwards, raw.Router.SingleFlight.Joins, clients-1)
+	}
+
+	// Distinct bodies do NOT coalesce: a second, different request must
+	// forward on its own.
+	resp2, err := http.Post(front.URL+"/v1/select", "application/json",
+		strings.NewReader(`{"case":"ieee14","gamma_threshold":0.2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if hits := atomic.LoadInt64(&shardHits); hits != 2 {
+		t.Errorf("distinct body coalesced: shard saw %d POSTs, want 2", hits)
 	}
 }
 

@@ -226,8 +226,10 @@ func FormatLPStats(w io.Writer, s LPStats) {
 		s.PrimalPivots, s.DualPivots, s.SEPivots, s.BoundFlips, s.EtaUpdates, s.Refactorizations)
 	fmt.Fprintf(w, "  pricing-weight resets: %d; sparse working-matrix factorizations: %d\n",
 		s.WeightResets, s.SparseFactors)
-	fmt.Fprintf(w, "  infeasibility: %d certified by full solves, %d pre-screened by recycled Farkas rays\n",
-		s.InfeasibleSolves, s.PrescreenHits)
+	fmt.Fprintf(w, "  infeasibility: %d certified by full solves, %d pre-screened by recycled Farkas rays (%d ray probes)\n",
+		s.InfeasibleSolves, s.PrescreenHits, s.PrescreenProbes)
+	fmt.Fprintf(w, "  dual-bound screen: %d solves skipped with certified bounds (%d probes)\n",
+		s.BoundScreens, s.BoundProbes)
 }
 
 // FormatSolveCacheStats writes the one-line human rendering of the

@@ -1,0 +1,201 @@
+package lp
+
+import (
+	"math"
+
+	"gridmtd/internal/mat"
+)
+
+// Dual-bound screening: every verified warm solve ends with an optimal
+// dual solution y for its problem — zero on rows whose slack is basic,
+// the working-matrix transpose solve on the active rows. For THIS
+// problem, y is optimal; but by weak duality, ANY y whose inequality-row
+// components are ≤ 0 (in this solver's d = c − yᵀA sign convention)
+// yields a valid lower bound on the optimum of ANY problem with the same
+// shape:
+//
+//	OPT(p) ≥ yᵀb + Σ_j min(d_j·lo_j, d_j·up_j),  d = c − yᵀA,
+//
+// where d, b, lo, up are recomputed fresh against the candidate's own
+// data. The selection search solves long runs of slightly perturbed
+// dispatch LPs, so the incumbent optimum's duals stay near-optimal — and
+// near-tight as a bound — for nearby candidates: when the bound already
+// exceeds the search's current acceptance threshold, the candidate's
+// exact cost cannot matter and the simplex run is skipped entirely.
+//
+// Exactness rests on the same trust-only-certificates rule as the Farkas
+// pre-screen: the bound is evaluated in O(nnz(y)·n) against the
+// candidate's exact data with a conservatively scaled margin, so float
+// error can only weaken the screen (a missed skip), never produce a
+// wrong verdict. A stale certificate costs one normal solve, nothing
+// more.
+
+const (
+	// dualCertCap bounds the per-solver certificate ring. One local
+	// search revolves around one incumbent basis at a time, so a few
+	// recent dual solutions cover it; every extra certificate costs one
+	// O(nnz(y)·n) bound evaluation per probe miss.
+	dualCertCap = 4
+	// boundTol scales the certification margin: a bound must clear the
+	// threshold by boundTol·(1 + |threshold| + accumulated magnitude)
+	// before a screen fires. Far above the ~1e-12 relative error an
+	// O(m·n) float accumulation can carry, so the margin makes the
+	// screen certified, not heuristic.
+	boundTol = 1e-7
+)
+
+// dualCert is one stored dual solution: stacked row duals (equality rows
+// first, inequality components clamped ≤ 0) plus the problem signature
+// they price.
+type dualCert struct {
+	y           []float64
+	n, nEq, nUb int
+}
+
+// DualBoundExceeds probes the stored dual certificates against the
+// problem's exact data and reports whether any of them proves
+// OPT(p) > threshold by the certified margin, returning the first such
+// bound. The problem is not solved and no solver state changes; a false
+// return means no stored certificate was conclusive, never that the
+// optimum is below the threshold. p must be a validated problem of the
+// shape the solver has been solving (callers on the engine fast path
+// construct it the same way as for Solve).
+func (s *RevisedSolver) DualBoundExceeds(p *Problem, threshold float64) (float64, bool) {
+	if len(s.certs) == 0 || math.IsInf(threshold, 1) {
+		return 0, false
+	}
+	defer s.flushStats()
+	s.stats.BoundProbes++
+	n := len(p.C)
+	nEq, nUb := 0, 0
+	if p.Aeq != nil {
+		nEq = p.Aeq.Rows()
+	}
+	if p.Aub != nil {
+		nUb = p.Aub.Rows()
+	}
+	for i := range s.certs {
+		cert := &s.certs[i]
+		if cert.n != n || cert.nEq != nEq || cert.nUb != nUb {
+			continue
+		}
+		bound, scale, ok := s.certBound(p, cert.y, n, nEq, nUb)
+		if !ok {
+			continue
+		}
+		if bound > threshold+boundTol*(1+math.Abs(threshold)+scale) {
+			s.stats.BoundScreens++
+			if i > 0 {
+				// MRU: the certificate that fired screens the next
+				// candidate first.
+				c := s.certs[i]
+				copy(s.certs[1:i+1], s.certs[:i])
+				s.certs[0] = c
+			}
+			return bound, true
+		}
+	}
+	return 0, false
+}
+
+// certBound evaluates the weak-duality lower bound of one certificate
+// against the candidate's exact data: bound = yᵀb + Σ_j min(d_j·lo_j,
+// d_j·up_j) with d = c − yᵀA recomputed fresh. scale accumulates the
+// magnitudes entering the sum (the margin's conditioning input);
+// ok=false means the minimization needed an infinite bound — the
+// certificate is inconclusive for this candidate, never wrong.
+func (s *RevisedSolver) certBound(p *Problem, y []float64, n, nEq, nUb int) (bound, scale float64, ok bool) {
+	s.rayScratch = growF(s.rayScratch, n)
+	d := s.rayScratch[:n]
+	copy(d, p.C)
+	for r := 0; r < nEq+nUb; r++ {
+		yr := y[r]
+		if yr == 0 {
+			continue
+		}
+		var row []float64
+		var b float64
+		if r < nEq {
+			row, b = p.Aeq.RowView(r), p.Beq[r]
+		} else {
+			row, b = p.Aub.RowView(r-nEq), p.Bub[r-nEq]
+		}
+		mat.AxpyVec(-yr, row, d)
+		bound += yr * b
+		scale += math.Abs(yr * b)
+	}
+	for j := 0; j < n; j++ {
+		dj := d[j]
+		if dj == 0 {
+			continue
+		}
+		lo, up := p.bound(j)
+		var v float64
+		if dj > 0 {
+			if math.IsInf(lo, -1) {
+				return 0, 0, false
+			}
+			v = dj * lo
+		} else {
+			if math.IsInf(up, 1) {
+				return 0, 0, false
+			}
+			v = dj * up
+		}
+		bound += v
+		scale += math.Abs(v)
+	}
+	return bound, scale, true
+}
+
+// captureDualCert banks the just-verified optimal basis's dual solution
+// as a reusable bound certificate: zero duals on inactive rows, the
+// fresh transpose-solve values on the active ones, inequality components
+// clamped ≤ 0 (optimality leaves them ≤ dtol; any y with nonpositive
+// inequality duals stays a valid weak-duality multiplier, so the clamp
+// only trades a tolerance-sized sliver of tightness for exactness). Must
+// be called while s.yAct/s.activeRows describe the final fresh
+// factorization — warmSolve calls it right after verify succeeds.
+func (s *RevisedSolver) captureDualCert() {
+	n, nEq, nUb := s.sigN, s.sigEq, s.sigUb
+	m := nEq + nUb
+	if len(s.yAct) < len(s.activeRows) {
+		return
+	}
+	s.rayCand = growF(s.rayCand, m)
+	y := s.rayCand[:m]
+	for r := range y {
+		y[r] = 0
+	}
+	nz := false
+	for a, r := range s.activeRows {
+		v := s.yAct[a]
+		if r >= nEq && v > 0 {
+			v = 0
+		}
+		y[r] = v
+		if v != 0 {
+			nz = true
+		}
+	}
+	if !nz {
+		return
+	}
+	for i := range s.certs {
+		c := &s.certs[i]
+		if c.n == n && c.nEq == nEq && c.nUb == nUb && equalVec(c.y, y) {
+			if i > 0 {
+				cc := s.certs[i]
+				copy(s.certs[1:i+1], s.certs[:i])
+				s.certs[0] = cc
+			}
+			return
+		}
+	}
+	cert := dualCert{y: append([]float64(nil), y...), n: n, nEq: nEq, nUb: nUb}
+	if len(s.certs) < dualCertCap {
+		s.certs = append(s.certs, dualCert{})
+	}
+	copy(s.certs[1:], s.certs[:len(s.certs)-1])
+	s.certs[0] = cert
+}

@@ -1,0 +1,178 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gridmtd/internal/mat"
+)
+
+// TestDualBoundRejectionsMatchExactSolves is the dual-bound screen's
+// safety property, mirroring TestPrescreenRejectionsMatchExactSolves:
+// every candidate the probe certifies above a threshold must, on a fresh
+// exact solve, either have an optimal objective strictly above that
+// threshold or be infeasible (whose search objective is the infeasible
+// sentinel, above any screenable threshold by construction). The
+// candidates are randomized perturbations — RHS jitter, bound shifts and
+// constraint-matrix noise — around a solved base problem, so the
+// certificates are tested against data they were NOT captured from.
+func TestDualBoundRejectionsMatchExactSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	screened, admitted := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		n, nUb := 3+rng.Intn(6), 1+rng.Intn(6)
+		base := randomBoundedLP(rng, n, nUb)
+		rs := NewRevisedSolver()
+		sol, err := rs.Solve(base)
+		if err != nil {
+			continue
+		}
+		if len(rs.certs) == 0 {
+			t.Fatalf("trial %d: verified solve captured no dual certificate", trial)
+		}
+
+		for k := 0; k < 15; k++ {
+			cand := cloneProblem(base)
+			cand.Beq[0] *= 0.7 + 0.6*rng.Float64()
+			for i := range cand.Bub {
+				cand.Bub[i] += 0.3 * (2*rng.Float64() - 1)
+			}
+			for j := range cand.C {
+				cand.C[j] *= 1 + 0.1*(2*rng.Float64()-1)
+			}
+			if rng.Intn(2) == 0 {
+				r := rng.Intn(len(cand.Bub))
+				row := cand.Aub.RowView(r)
+				row[rng.Intn(n)] += 0.05 * (2*rng.Float64() - 1)
+			}
+			// Thresholds straddle the base optimum so both verdicts occur.
+			threshold := sol.Objective * (0.8 + 0.4*rng.Float64())
+			bound, hit := rs.DualBoundExceeds(cand, threshold)
+			if !hit {
+				admitted++
+				continue
+			}
+			screened++
+			fresh := NewRevisedSolver()
+			exact, err := fresh.Solve(cand)
+			switch {
+			case err == nil:
+				if exact.Objective <= threshold {
+					t.Fatalf("trial %d/%d: screen certified bound %.9g > threshold %.9g but exact optimum is %.9g",
+						trial, k, bound, threshold, exact.Objective)
+				}
+				if bound > exact.Objective+1e-9*(1+math.Abs(exact.Objective)) {
+					t.Fatalf("trial %d/%d: 'lower bound' %.9g exceeds the exact optimum %.9g",
+						trial, k, bound, exact.Objective)
+				}
+			case errorsIsInfeasible(err):
+				// Infeasible candidate: its LP has no cost at all; the
+				// screen's claim "the cost cannot beat the threshold" holds
+				// vacuously (search objectives map infeasibility to a
+				// sentinel above every screenable threshold).
+			default:
+				t.Fatalf("trial %d/%d: exact solve failed unexpectedly: %v", trial, k, err)
+			}
+		}
+	}
+	if screened == 0 {
+		t.Fatal("property test never exercised a bound screen")
+	}
+	if admitted == 0 {
+		t.Fatal("property test never exercised an admitted candidate")
+	}
+	t.Logf("bound screen rejected %d candidates, admitted %d", screened, admitted)
+}
+
+func errorsIsInfeasible(err error) bool { return err == ErrInfeasible }
+
+// TestDualBoundCounters pins the probe/screen counter semantics: every
+// DualBoundExceeds call is one BoundProbes, only certifying calls add a
+// BoundScreens, and neither touches Solves.
+func TestDualBoundCounters(t *testing.T) {
+	mk := func(b float64) *Problem {
+		return &Problem{
+			C:     []float64{1, 2},
+			Aeq:   mat.NewDenseFrom(1, 2, []float64{1, 1}),
+			Beq:   []float64{b},
+			Lower: []float64{0, 0},
+			Upper: []float64{1, 1},
+		}
+	}
+	rs := NewRevisedSolver()
+	sol, err := rs.Solve(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 1 {
+		t.Fatalf("base optimum %v, want 1", sol.Objective)
+	}
+	// The optimum of mk(1.9) is 1 + 2·0.9 = 2.8; either optimal basis of
+	// the base problem carries duals bounding it well above 1.5.
+	if bound, hit := rs.DualBoundExceeds(mk(1.9), 1.5); !hit {
+		t.Fatal("expected the dual bound to certify the perturbed-RHS candidate above 1.5")
+	} else if bound <= 1.5 {
+		t.Fatalf("certified bound %v not above the threshold", bound)
+	}
+	// Same candidate against an unreachable threshold: probe, no screen.
+	if _, hit := rs.DualBoundExceeds(mk(1.9), 10); hit {
+		t.Fatal("dual bound certified a candidate above a threshold beyond its optimum")
+	}
+	s := rs.Stats()
+	if s.BoundProbes != 2 || s.BoundScreens != 1 {
+		t.Fatalf("probe/screen counters: %+v", s)
+	}
+	if s.Solves != 1 {
+		t.Fatalf("probes must not count as solves: %+v", s)
+	}
+	// +Inf threshold (the search's "must be exact" sentinel) never probes.
+	if _, hit := rs.DualBoundExceeds(mk(3), math.Inf(1)); hit {
+		t.Fatal("screened against +Inf threshold")
+	}
+	if s := rs.Stats(); s.BoundProbes != 2 {
+		t.Fatalf("+Inf threshold should not count a probe: %+v", s)
+	}
+}
+
+// TestFarkasIndexRetainsDistinctCauses exercises the structural-cause
+// index: rays for distinct causes coexist instead of evicting each other,
+// a refreshed ray supersedes its cause's stale predecessor in place, and
+// PrescreenProbes counts the revalidation work.
+func TestFarkasIndexRetainsDistinctCauses(t *testing.T) {
+	mk := func(b float64) *Problem {
+		return &Problem{
+			C:     []float64{1, 1},
+			Aeq:   mat.NewDenseFrom(1, 2, []float64{1, 1}),
+			Beq:   []float64{b},
+			Lower: []float64{0, 0},
+			Upper: []float64{1, 1},
+		}
+	}
+	rs := NewRevisedSolver()
+	if _, err := rs.Solve(mk(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Same structural cause certified at two RHS levels: the index keeps
+	// one ray for it, refreshed in place.
+	if _, err := rs.Solve(mk(5)); err != ErrInfeasible {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+	if len(rs.rays) != 1 {
+		t.Fatalf("after first capture: %d rays, want 1", len(rs.rays))
+	}
+	cause := rs.rays[0].cause
+	// A screened re-probe is answered from the index (prescreen runs
+	// before Solves counts it) and counts its probe.
+	before := rs.Stats()
+	if _, err := rs.Solve(mk(6)); err != ErrInfeasible {
+		t.Fatalf("want screened ErrInfeasible, got %v", err)
+	}
+	d := rs.Stats().Delta(before)
+	if d.PrescreenHits != 1 || d.PrescreenProbes != 1 || d.Solves != 0 {
+		t.Fatalf("screened probe delta: %+v", d)
+	}
+	if len(rs.rays) != 1 || rs.rays[0].cause != cause {
+		t.Fatalf("screened probe disturbed the index: %d rays", len(rs.rays))
+	}
+}

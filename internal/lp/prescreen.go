@@ -16,9 +16,20 @@ import (
 // candidate's data in O(m·n) and, when it still certifies, IS the answer.
 // The selection search probes many reactance configurations whose dispatch
 // LPs are infeasible for the same structural reason (the same overloaded
-// cut), so a tiny ring of recent rays converts the repeated 15–22 ms
-// infeasible dual-simplex runs of a cold ieee300 selection into
-// microsecond screens.
+// cut), so recycling recent rays converts the repeated 15–22 ms infeasible
+// dual-simplex runs of a cold ieee300 selection into microsecond screens.
+//
+// Certificates are indexed by their STRUCTURAL CAUSE — the basic variable
+// whose bound violation no entering column could repair, and the violated
+// direction. Distinct causes are distinct overloaded cuts; one search can
+// alternate between several of them (different corners of the device box
+// overload different line groups), and the old newest-first ring let a
+// burst of one cause evict the rays of every other. The index instead
+// retains the newest ray PER cause (a fresher ray for the same cut
+// supersedes its stale predecessor rather than crowding out unrelated
+// ones) and probes causes most-recently-useful first, bounding the probes
+// per miss so a screen miss never costs more than the historical ring
+// scan.
 //
 // Soundness does not rest on where a stored ray came from: every use
 // recomputes yᵀA and yᵀb against the candidate's own data and declares
@@ -28,37 +39,67 @@ import (
 // never wrongly reject.
 
 const (
-	// farkasRingCap bounds the per-solver certificate ring. Screens cost
-	// O(m·n) per ray on every solve that misses, so the ring stays small:
-	// the searches that benefit recycle one or two structural causes of
-	// infeasibility at a time.
-	farkasRingCap = 8
+	// farkasIndexCap bounds the number of distinct structural causes the
+	// index retains (MRU eviction past it). Selections see a handful of
+	// binding cut patterns; 32 is a wide ceiling, not a working set.
+	farkasIndexCap = 32
+	// farkasProbeMax bounds the O(m·n) ray revalidations per pre-screen
+	// miss, keeping the worst-case miss cost at the historical 8-entry
+	// ring's while the MRU ordering concentrates hits in the first
+	// probes.
+	farkasProbeMax = 8
 )
+
+// farkasCause identifies the structural reason a dual ray certified
+// infeasibility: the basic variable whose violated bound no entering
+// column could repair, and which bound it violated.
+type farkasCause struct {
+	leave      int
+	belowLower bool
+}
 
 // farkasRay is one stored infeasibility certificate: the stacked-row
 // multipliers (equality rows first, then inequality rows — the latter
-// clamped nonnegative) and the problem signature they apply to.
+// clamped nonnegative), the problem signature they apply to, and the
+// structural cause they were captured at.
 type farkasRay struct {
 	y           []float64
 	n, nEq, nUb int
+	cause       farkasCause
 }
 
-// prescreen tests the ring's rays, newest first, against the problem's
-// exact data. It returns true only when some ray certifies infeasibility
-// for this problem.
+// prescreen tests the indexed rays, most-recently-useful first and at
+// most farkasProbeMax of them, against the problem's exact data. It
+// returns true only when some ray certifies infeasibility for this
+// problem; the certifying ray moves to the front of the probe order.
 func (s *RevisedSolver) prescreen(p *Problem, n, nEq, nUb int) bool {
-	cnt := len(s.rays)
-	for i := 1; i <= cnt; i++ {
-		idx := ((s.rayNext-i)%cnt + cnt) % cnt
-		ray := &s.rays[idx]
+	probes := 0
+	for i := range s.rays {
+		if probes >= farkasProbeMax {
+			break
+		}
+		ray := &s.rays[i]
 		if ray.n != n || ray.nEq != nEq || ray.nUb != nUb {
 			continue
 		}
+		probes++
+		s.stats.PrescreenProbes++
 		if s.rayCertifies(p, ray.y, n, nEq, nUb) {
+			s.promoteRay(i)
 			return true
 		}
 	}
 	return false
+}
+
+// promoteRay moves the ray at index i to the front of the MRU order.
+func (s *RevisedSolver) promoteRay(i int) {
+	if i == 0 {
+		return
+	}
+	r := s.rays[i]
+	copy(s.rays[1:i+1], s.rays[:i])
+	s.rays[0] = r
 }
 
 // rayCertifies recomputes c = yᵀA and yᵀb for the candidate problem and
@@ -115,12 +156,13 @@ func (s *RevisedSolver) rayCertifies(p *Problem, y []float64, n, nEq, nUb int) b
 }
 
 // captureRay is called at the dual loop's certified-infeasible exit, while
-// s.pi still holds the dual ray B⁻ᵀe_pos of the violated row. It clamps
-// the inequality-row components nonnegative in both orientations and
-// stores whichever one certifies the current (known-infeasible) problem —
-// self-validating, so a capture that would not have screened its own
-// problem is simply dropped.
-func (s *RevisedSolver) captureRay(p *Problem) {
+// s.pi still holds the dual ray B⁻ᵀe_pos of the violated row; cause names
+// the basic variable (and direction) whose violation proved irreparable.
+// It clamps the inequality-row components nonnegative in both orientations
+// and stores whichever one certifies the current (known-infeasible)
+// problem — self-validating, so a capture that would not have screened its
+// own problem is simply dropped.
+func (s *RevisedSolver) captureRay(p *Problem, cause farkasCause) {
 	n, nEq, nUb := s.sigN, s.sigEq, s.sigUb
 	m := nEq + nUb
 	if len(s.pi) < m {
@@ -150,29 +192,34 @@ func (s *RevisedSolver) captureRay(p *Problem) {
 		if !s.rayCertifies(p, y, n, nEq, nUb) {
 			continue
 		}
-		s.storeRay(y, n, nEq, nUb)
+		s.storeRay(y, n, nEq, nUb, cause)
 		return
 	}
 }
 
-// storeRay places a copy of y in the ring, replacing the oldest entry, and
-// drops exact duplicates (consecutive infeasible candidates usually share
-// one structural cause, and a ring full of copies screens nothing new).
-func (s *RevisedSolver) storeRay(y []float64, n, nEq, nUb int) {
+// storeRay places a copy of y at the front of the MRU index. A ray with
+// the same structural cause and signature is superseded in place (the
+// newest certificate for a cut is the one its future candidates resemble)
+// and exact duplicates are just promoted; past the cause cap the
+// least-recently-useful cause is evicted.
+func (s *RevisedSolver) storeRay(y []float64, n, nEq, nUb int, cause farkasCause) {
 	for i := range s.rays {
 		r := &s.rays[i]
-		if r.n == n && r.nEq == nEq && r.nUb == nUb && equalVec(r.y, y) {
-			return
+		if r.n != n || r.nEq != nEq || r.nUb != nUb || r.cause != cause {
+			continue
 		}
-	}
-	ray := farkasRay{y: append([]float64(nil), y...), n: n, nEq: nEq, nUb: nUb}
-	if len(s.rays) < farkasRingCap {
-		s.rays = append(s.rays, ray)
-		s.rayNext = len(s.rays) % farkasRingCap
+		if !equalVec(r.y, y) {
+			r.y = append(r.y[:0], y...)
+		}
+		s.promoteRay(i)
 		return
 	}
-	s.rays[s.rayNext] = ray
-	s.rayNext = (s.rayNext + 1) % farkasRingCap
+	ray := farkasRay{y: append([]float64(nil), y...), n: n, nEq: nEq, nUb: nUb, cause: cause}
+	if len(s.rays) < farkasIndexCap {
+		s.rays = append(s.rays, farkasRay{})
+	}
+	copy(s.rays[1:], s.rays[:len(s.rays)-1])
+	s.rays[0] = ray
 }
 
 func equalVec(a, b []float64) bool {

@@ -75,10 +75,22 @@ type RevisedStats struct {
 	// counted in Solves — Solves remains the number of full dispatch
 	// solves actually run.
 	PrescreenHits int
+	// PrescreenProbes counts individual stored-ray revalidations run by
+	// the pre-screen (the structural-cause index's per-miss work;
+	// PrescreenHits/PrescreenProbes is its precision).
+	PrescreenProbes int
 	// InfeasibleSolves counts full solves (counted in Solves) that ended
 	// in a certified ErrInfeasible — the pre-screen's remaining misses;
 	// each is also a ray-capture opportunity.
 	InfeasibleSolves int
+	// BoundProbes counts DualBoundExceeds calls: incumbent-basis
+	// weak-duality bound evaluations run instead of (potentially) a full
+	// solve.
+	BoundProbes int
+	// BoundScreens counts the probes that certified the candidate's
+	// optimal cost above the caller's threshold — each one a simplex run
+	// the search skipped. Screened probes never touch Solves.
+	BoundScreens int
 }
 
 // PricingRule selects how the dual simplex picks its leaving row (and
@@ -220,14 +232,19 @@ type RevisedSolver struct {
 	flips   []int
 	flipCol []float64
 	fcol    []float64
-	// Farkas-ray pre-screen state (see prescreen.go): a small ring of
-	// recent infeasibility certificates plus scratch. The ring survives
-	// Invalidate on purpose — rays are never trusted from storage, only
-	// after exact revalidation against the current problem's data, so
-	// dropping the warm basis has no bearing on their validity.
+	// Farkas-ray pre-screen state (see prescreen.go): an MRU index of
+	// infeasibility certificates keyed by structural cause, plus scratch.
+	// The index survives Invalidate on purpose — rays are never trusted
+	// from storage, only after exact revalidation against the current
+	// problem's data, so dropping the warm basis has no bearing on their
+	// validity.
 	rays                []farkasRay
-	rayNext             int
 	rayScratch, rayCand []float64
+	// Dual-bound certificates (see dualbound.go): recent verified optimal
+	// dual solutions, MRU-ordered. Like the Farkas index they survive
+	// Invalidate — a weak-duality bound is recomputed exactly against
+	// each candidate's own data, so certificate origin never matters.
+	certs []dualCert
 	// Scratch vectors sized to the working dimension k, m or nTot.
 	rhs, sol, yAct, colAct, alpha []float64
 	col, posv, pi                 []float64
@@ -642,6 +659,11 @@ func (s *RevisedSolver) warmSolve(p *Problem) (*Solution, error) {
 	if !s.verify(p) {
 		return nil, errWarmFallback
 	}
+	// The verified optimum's dual solution is a reusable weak-duality
+	// bound certificate for future candidates (see dualbound.go). The
+	// loops above only accept on a fresh factorization, so
+	// s.yAct/s.activeRows still describe the final basis exactly.
+	s.captureDualCert()
 	xOut := make([]float64, n)
 	copy(xOut, s.x[:n])
 	return &Solution{X: xOut, Objective: mat.Dot(p.C, xOut), Status: StatusOptimal}, nil
@@ -1437,8 +1459,9 @@ func (s *RevisedSolver) dualLoop(p *Problem) error {
 			}
 			// No column can repair the violated row: primal infeasible.
 			// Bank the dual ray as a recyclable certificate before
-			// reporting (see prescreen.go).
-			s.captureRay(p)
+			// reporting, indexed by its structural cause — the violated
+			// basic variable and direction (see prescreen.go).
+			s.captureRay(p, farkasCause{leave: leave, belowLower: belowLower})
 			return ErrInfeasible
 		}
 		enter := -1

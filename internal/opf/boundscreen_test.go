@@ -1,0 +1,109 @@
+package opf
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gridmtd/internal/grid"
+	"gridmtd/internal/optimize"
+)
+
+// TestDualBoundNeverCutsFeasibleWinner is the end-to-end screening
+// contract on real dispatch LPs: Nelder-Mead searches over perturbed
+// D-FACTS reactances, run once exactly and once with the dual-bound
+// screen (on a fresh engine, so every screened evaluation really probes
+// instead of hitting the first run's solve cache), must evaluate the
+// identical candidate sequence and return bitwise-identical results —
+// the screen may only remove simplex work from rejected candidates,
+// never a feasible winner. ieee118's calibrated ratings make line
+// limits bind, so the search landscape has real gradients and the
+// screen actually fires (asserted).
+func TestDualBoundNeverCutsFeasibleWinner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping ieee118 screened-search property in -short mode")
+	}
+	n, err := grid.CaseByName("ieee118")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkObj := func(s *DispatchSession, seq *[][]float64) optimize.Objective {
+		return func(xd []float64) float64 {
+			*seq = append(*seq, append([]float64(nil), xd...))
+			cost, err := s.Cost(n.ExpandDFACTS(xd))
+			if err != nil {
+				return optimize.InfeasibleObjective
+			}
+			return cost
+		}
+	}
+	mkScreen := func(s *DispatchSession, seq *[][]float64) optimize.ThresholdEval {
+		return func(xd []float64, threshold float64) (float64, bool) {
+			*seq = append(*seq, append([]float64(nil), xd...))
+			if threshold >= optimize.InfeasibleObjective {
+				cost, err := s.Cost(n.ExpandDFACTS(xd))
+				if err != nil {
+					return optimize.InfeasibleObjective, false
+				}
+				return cost, false
+			}
+			cost, screened, err := s.CostOrBound(n.ExpandDFACTS(xd), threshold)
+			if err != nil {
+				return optimize.InfeasibleObjective, false
+			}
+			return cost, screened
+		}
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	lo, hi := n.DFACTSBounds()
+	totalScreens := 0
+	for trial := 0; trial < 6; trial++ {
+		x0 := make([]float64, len(lo))
+		for i := range x0 {
+			x0[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+		}
+		cfg := optimize.NMConfig{MaxEvals: 40 + rng.Intn(40)}
+
+		exactEng, err := NewDispatchEngineBackend(n, grid.SparseBackend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var exactSeq [][]float64
+		exact, err := optimize.NelderMead(mkObj(exactEng.NewSession(), &exactSeq), x0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		scrEng, err := NewDispatchEngineBackend(n, grid.SparseBackend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss := scrEng.NewSession()
+		var scrSeq [][]float64
+		scfg := cfg
+		scfg.Screen = mkScreen(ss, &scrSeq)
+		screened, err := optimize.NelderMead(mkObj(ss, &scrSeq), x0, scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if !reflect.DeepEqual(exact, screened) {
+			t.Fatalf("trial %d: screened search returned a different result:\nexact    %+v\nscreened %+v",
+				trial, exact, screened)
+		}
+		if !reflect.DeepEqual(exactSeq, scrSeq) {
+			t.Fatalf("trial %d: screened search evaluated a different candidate sequence (%d vs %d points)",
+				trial, len(scrSeq), len(exactSeq))
+		}
+		st := ss.LPStats()
+		totalScreens += st.BoundScreens
+		if st.BoundProbes == 0 {
+			t.Fatalf("trial %d: screened search never probed the dual bound", trial)
+		}
+	}
+	if totalScreens == 0 {
+		t.Fatal("screened searches never certified a rejection — the screen is dead")
+	}
+	t.Logf("dual-bound screen certified %d rejections across trials, results bitwise identical", totalScreens)
+}

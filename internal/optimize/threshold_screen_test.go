@@ -1,0 +1,134 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// mkScreen mimics the dual-bound screen on an arbitrary objective: it
+// certifies "above threshold" with the lower bound f(x) − slack whenever
+// that bound still clears the threshold, and answers exactly otherwise.
+// slack > 0 exercises the bound-is-not-the-value substitution (the
+// screened value differs from the exact one, as a real weak-duality
+// bound would); exactCalls counts the evaluations that could not stop at
+// a bound — the "solves" the screen saved show up as the difference.
+func mkScreen(f Objective, slack float64, exactCalls, screens *int) ThresholdEval {
+	return func(x []float64, threshold float64) (float64, bool) {
+		if !math.IsInf(threshold, 1) {
+			if b := f(x) - slack; b > threshold {
+				*screens++
+				return b, true
+			}
+		}
+		*exactCalls++
+		return f(x), false
+	}
+}
+
+// ripple is a multimodal objective rough enough to drive NM through
+// every branch (reflection, expansion, both contractions, shrink).
+func ripple(off []float64) Objective {
+	return func(x []float64) float64 {
+		s := 0.0
+		for i, v := range x {
+			d := v - off[i]
+			s += d*d + 0.3*math.Sin(7*d)
+		}
+		return s
+	}
+}
+
+// TestScreenedNelderMeadResultBitwise is the NM screening contract: the
+// screened run must return a bitwise-identical Result (X, F, Evals,
+// Converged) while stopping at certified bounds for some evaluations.
+// Randomized objectives, starts and budgets; slack makes every screened
+// value differ from the exact one, so any unsound substitution would
+// steer the trajectory and change the result.
+func TestScreenedNelderMeadResultBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	screensTotal, savedTotal := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		dim := 2 + rng.Intn(4)
+		off := make([]float64, dim)
+		x0 := make([]float64, dim)
+		for i := range off {
+			off[i] = 2 * (2*rng.Float64() - 1)
+			x0[i] = 3 * (2*rng.Float64() - 1)
+		}
+		f := ripple(off)
+		cfg := NMConfig{MaxEvals: 40 + rng.Intn(120)}
+		exact, err := NelderMead(f, x0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactCalls, screens := 0, 0
+		scfg := cfg
+		scfg.Screen = mkScreen(f, 0.05+rng.Float64(), &exactCalls, &screens)
+		screened, err := NelderMead(f, x0, scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(exact, screened) {
+			t.Fatalf("trial %d: screened result differs:\nexact    %+v\nscreened %+v", trial, exact, screened)
+		}
+		if exactCalls+screens != screened.Evals {
+			t.Fatalf("trial %d: probe accounting: %d exact + %d screened != %d evals",
+				trial, exactCalls, screens, screened.Evals)
+		}
+		screensTotal += screens
+		savedTotal += screened.Evals - exactCalls
+	}
+	if screensTotal == 0 {
+		t.Fatal("property test never exercised a screened evaluation")
+	}
+	t.Logf("screen replaced %d of the exact evaluations across trials (saved %d)", screensTotal, savedTotal)
+}
+
+// TestScreenedMultiStartResultBitwise runs the full screened pipeline —
+// restart screen via ThresholdEval plus ScreenedLocal Nelder-Mead — and
+// pins the Result bitwise against the unscreened MultiStart.
+func TestScreenedMultiStartResultBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	box := Bounds{Lower: []float64{-4, -4, -4}, Upper: []float64{4, 4, 4}}
+	for trial := 0; trial < 20; trial++ {
+		off := []float64{2 * rng.Float64(), -2 * rng.Float64(), rng.Float64()}
+		f := ripple(off)
+		maxEvals := 60 + rng.Intn(60)
+		local := func(fo Objective, x0 []float64) (*Result, error) {
+			return NelderMead(fo, x0, NMConfig{MaxEvals: maxEvals})
+		}
+		base := MSConfig{
+			Starts:         4,
+			Seed:           int64(trial),
+			InitialPoints:  [][]float64{{0.5, 0.5, 0.5}},
+			ScreenRestarts: true,
+		}
+		exact, err := MultiStart(f, box, local, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		screens, exactCalls := 0, 0
+		slack := 0.1 + rng.Float64()
+		scr := base
+		scr.NewWorkerScreened = func() (Objective, ThresholdEval, func()) {
+			return f, mkScreen(f, slack, &exactCalls, &screens), nil
+		}
+		scr.ScreenedLocal = func(fo Objective, screen ThresholdEval, x0 []float64) (*Result, error) {
+			return NelderMead(fo, x0, NMConfig{MaxEvals: maxEvals, Screen: screen})
+		}
+		screened, err := MultiStart(f, box, local, scr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pruned restarts store their screen score as F; with a screen
+		// that value is the certified bound, not the exact score — but
+		// such an outcome can never be the returned winner (its F is no
+		// better than an earlier start's optimum), so the returned
+		// Result must still be bitwise identical.
+		if !reflect.DeepEqual(exact, screened) {
+			t.Fatalf("trial %d: screened MultiStart differs:\nexact    %+v\nscreened %+v", trial, exact, screened)
+		}
+	}
+}

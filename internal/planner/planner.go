@@ -165,6 +165,9 @@ type LPStats struct {
 	Refactorizations int `json:"refactorizations"`
 	SparseFactors    int `json:"sparse_factors"`
 	PrescreenHits    int `json:"prescreen_hits"`
+	PrescreenProbes  int `json:"prescreen_probes"`
+	BoundProbes      int `json:"bound_probes"`
+	BoundScreens     int `json:"bound_screens"`
 	InfeasibleSolves int `json:"infeasible_solves"`
 }
 
@@ -184,6 +187,9 @@ func (s LPStats) Delta(since LPStats) LPStats {
 		Refactorizations: s.Refactorizations - since.Refactorizations,
 		SparseFactors:    s.SparseFactors - since.SparseFactors,
 		PrescreenHits:    s.PrescreenHits - since.PrescreenHits,
+		PrescreenProbes:  s.PrescreenProbes - since.PrescreenProbes,
+		BoundProbes:      s.BoundProbes - since.BoundProbes,
+		BoundScreens:     s.BoundScreens - since.BoundScreens,
 		InfeasibleSolves: s.InfeasibleSolves - since.InfeasibleSolves,
 	}
 }
@@ -206,6 +212,9 @@ func lpStatsSnapshot() LPStats {
 		Refactorizations: g.Refactorizations,
 		SparseFactors:    g.SparseFactors,
 		PrescreenHits:    g.PrescreenHits,
+		PrescreenProbes:  g.PrescreenProbes,
+		BoundProbes:      g.BoundProbes,
+		BoundScreens:     g.BoundScreens,
 		InfeasibleSolves: g.InfeasibleSolves,
 	}
 }
